@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: IOTLB conflict mitigation (Section 5).
+ *
+ * With contiguous 64 GB slices, corresponding pages of different
+ * virtual accelerators share an IOTLB set (p1 == p2 mod 2^9) and
+ * evict each other even when the aggregate working set fits in the
+ * IOTLB's 1 GB reach. The 128 MB inter-slice gap offsets the set
+ * indices; each accelerator gets 128 MB of conflict-free reach.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+
+using namespace optimus;
+
+namespace {
+
+struct Point
+{
+    double gbps = 0;
+    std::uint64_t conflictEvictions = 0;
+    std::uint64_t misses = 0;
+};
+
+Point
+run(bool mitigation, std::uint32_t jobs, std::uint64_t per_job)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.iotlbConflictMitigation = mitigation;
+    hv::System sys(hv::makeOptimusConfig("MB", 8, p));
+
+    std::vector<hv::AccelHandle *> handles;
+    for (std::uint32_t j = 0; j < jobs; ++j) {
+        hv::AccelHandle &h = sys.attach(j, 2ULL << 30);
+        bench::setupMembench(h, per_job,
+                             accel::MembenchAccel::kRead, 45 + j);
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+
+    double ns = 0;
+    auto ops = bench::measureWindow(sys, handles,
+                                    150 * sim::kTickUs,
+                                    500 * sim::kTickUs, &ns);
+    std::uint64_t total = 0;
+    for (auto o : ops)
+        total += o;
+
+    Point out;
+    out.gbps = bench::gbps(total, ns);
+    out.conflictEvictions =
+        sys.platform.iommu().iotlb().conflictEvictions();
+    out.misses = sys.platform.iommu().iotlb().misses();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: IOTLB conflict mitigation (128 MB "
+                  "inter-slice gap)",
+                  "Section 5 of the paper, 'IOTLB Conflict "
+                  "Mitigation'");
+
+    std::printf("%-6s %-10s | %-28s | %-28s\n", "Jobs", "WSet/job",
+                "gap ON  (GB/s, conflicts)",
+                "gap OFF (GB/s, conflicts)");
+    for (std::uint32_t jobs : {2u, 4u, 8u}) {
+        // Per-accelerator working sets inside the 128 MB
+        // conflict-free budget: mitigation should eliminate
+        // cross-tenant evictions entirely.
+        for (std::uint64_t per_job : {64ULL << 20, 96ULL << 20}) {
+            Point on = run(true, jobs, per_job);
+            Point off = run(false, jobs, per_job);
+            std::printf("%-6u %6lluM     | %10.2f %14llu | %10.2f "
+                        "%14llu\n",
+                        jobs,
+                        static_cast<unsigned long long>(per_job >>
+                                                        20),
+                        on.gbps,
+                        static_cast<unsigned long long>(
+                            on.conflictEvictions),
+                        off.gbps,
+                        static_cast<unsigned long long>(
+                            off.conflictEvictions));
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\nWith the gap, working sets up to 128 MB per "
+                "accelerator stay conflict-free; without it, "
+                "corresponding pages of different slices evict each "
+                "other and throughput drops.\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablation: multiplexer tree arrangement (Sections 3, 5, 7.2).
+ *
+ * A flat multiplexer minimizes latency but cannot close timing at
+ * 400 MHz beyond a small fan-in; OPTIMUS therefore uses a
+ * three-level binary tree and accepts ~100 ns of latency. This
+ * ablation quantifies both sides: the synthesis-feasibility model
+ * (max clock vs fan-in) and the measured LinkedList latency and
+ * MemBench throughput for alternative arrangements, with wide
+ * arrangements derated to the clock they can actually close.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "fpga/resources.hh"
+
+using namespace optimus;
+
+namespace {
+
+struct Point
+{
+    double llNs = 0;
+    double mbGbps = 0;
+};
+
+Point
+run(std::uint32_t arity, std::uint64_t fabric_mhz)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.fpgaIfaceMhz = fabric_mhz;
+    hv::PlatformConfig cfg = hv::makeOptimusConfig("LL", 8, p);
+    cfg.treeArity = arity;
+
+    Point out;
+    {
+        hv::System sys(cfg);
+        hv::AccelHandle &h = sys.attach(0, 2ULL << 30);
+        bench::setupLinkedList(h, 16ULL << 20, 4096,
+                               ccip::VChannel::kUpi, 42);
+        h.start();
+        double ns = 0;
+        auto ops = bench::measureWindow(sys, {&h},
+                                        200 * sim::kTickUs,
+                                        600 * sim::kTickUs, &ns);
+        out.llNs = ns / static_cast<double>(ops[0]);
+    }
+    {
+        // Aggregate bandwidth with all eight accelerators active:
+        // the derated fabric clock caps the whole interface.
+        hv::PlatformConfig mb_cfg = hv::makeOptimusConfig("MB", 8, p);
+        mb_cfg.treeArity = arity;
+        hv::System sys(mb_cfg);
+        std::vector<hv::AccelHandle *> handles;
+        for (std::uint32_t j = 0; j < 8; ++j) {
+            hv::AccelHandle &h = sys.attach(j, 2ULL << 30);
+            bench::setupMembench(h, 16ULL << 20,
+                                 accel::MembenchAccel::kRead, 9 + j);
+            handles.push_back(&h);
+        }
+        for (auto *h : handles)
+            h->start();
+        double ns = 0;
+        auto ops = bench::measureWindow(sys, handles,
+                                        200 * sim::kTickUs,
+                                        600 * sim::kTickUs, &ns);
+        std::uint64_t total = 0;
+        for (auto o : ops)
+            total += o;
+        out.mbGbps = bench::gbps(total, ns);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: multiplexer tree vs flat multiplexer",
+                  "Sections 3, 5, 7.2 of the paper");
+
+    std::printf("Synthesis feasibility (max mux clock vs fan-in):\n");
+    std::printf("%-8s %14s %12s\n", "Fan-in", "MaxClock(MHz)",
+                "400MHz OK?");
+    for (std::uint32_t f : {2u, 4u, 8u}) {
+        double mhz = fpga::ResourceModel::maxMuxFreqMhz(f);
+        std::printf("%-8u %14.0f %12s\n", f, mhz,
+                    mhz >= 400.0 ? "yes" : "NO");
+    }
+
+    std::printf("\nMeasured with 8 accelerators (wide arrangements "
+                "derated to their achievable clock):\n");
+    std::printf("%-26s %10s %12s\n", "Arrangement", "LL (ns)",
+                "MB (GB/s)");
+
+    struct Arr
+    {
+        const char *name;
+        std::uint32_t arity;
+    };
+    for (const Arr &a : {Arr{"binary tree (3 levels)", 2},
+                         Arr{"4-ary tree (2 levels)", 4},
+                         Arr{"flat 8-way mux", 8}}) {
+        auto mhz = static_cast<std::uint64_t>(
+            std::min(400.0,
+                     fpga::ResourceModel::maxMuxFreqMhz(a.arity)));
+        Point pt = run(a.arity, mhz);
+        std::printf("%-26s %10.1f %12.2f   (@%llu MHz)\n", a.name,
+                    pt.llNs, pt.mbGbps,
+                    static_cast<unsigned long long>(mhz));
+        std::fflush(stdout);
+    }
+    std::printf("\nThe flat mux wins slightly on latency (fewer "
+                "levels, even derated — why AmorphOS uses one below "
+                "8 accelerators) but cannot run at 400 MHz, so the "
+                "whole interface ingests fewer packets per second "
+                "and aggregate bandwidth falls short of the link "
+                "ceiling — why OPTIMUS defaults to the binary tree "
+                "(Sections 5, 7.2).\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig 5: LinkedList average memory-access latency versus total
+ * working-set size and concurrent job count, under 2 MB pages
+ * (16 MB - 8 GB) and 4 KB pages (32 KB - 16 MB), on the UPI and
+ * PCIe channels.
+ *
+ * Expected shape (paper Fig 5): flat latency while the working set
+ * fits in IOTLB reach (1 GB for 2 MB pages, 2 MB for 4 KB pages),
+ * then a rapid climb as translation misses queue behind the walker,
+ * exacerbated by more jobs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+
+using namespace optimus;
+
+namespace {
+
+double
+avgLatencyNs(std::uint64_t total_wset, std::uint32_t jobs,
+             ccip::VChannel vc, std::uint64_t page_bytes)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.pageBytes = page_bytes;
+    hv::System sys(hv::makeOptimusConfig("LL", 8, p));
+
+    std::vector<hv::AccelHandle *> handles;
+    std::uint64_t per_job = total_wset / jobs;
+    // Enough scattered nodes that the window never revisits within
+    // the warmup + measurement horizon.
+    std::uint64_t nodes =
+        std::min<std::uint64_t>(per_job / 64, 6000);
+    for (std::uint32_t j = 0; j < jobs; ++j) {
+        hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
+        bench::setupLinkedList(h, per_job, nodes, vc, 77 + j);
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+
+    double ns = 0;
+    auto ops = bench::measureWindow(sys, handles,
+                                    400 * sim::kTickUs,
+                                    1200 * sim::kTickUs, &ns);
+    std::uint64_t total_ops = 0;
+    for (auto o : ops)
+        total_ops += o;
+    // Each job walks serially: per-access latency is jobs * window /
+    // total accesses.
+    return static_cast<double>(jobs) * ns /
+           static_cast<double>(total_ops);
+}
+
+void
+sweep(const char *title, ccip::VChannel vc, std::uint64_t page_bytes,
+      const std::vector<std::uint64_t> &wsets)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%-10s", "WSet");
+    for (std::uint32_t jobs : {1, 2, 4, 8})
+        std::printf("  %4u job%s", jobs, jobs > 1 ? "s" : " ");
+    std::printf("   (avg latency, ns)\n");
+    for (std::uint64_t w : wsets) {
+        if (w >= 1ULL << 30) {
+            std::printf("%-10s", sim::strprintf(
+                                     "%lluG", static_cast<unsigned long long>(
+                                                  w >> 30))
+                                     .c_str());
+        } else if (w >= 1ULL << 20) {
+            std::printf("%-10s", sim::strprintf(
+                                     "%lluM", static_cast<unsigned long long>(
+                                                  w >> 20))
+                                     .c_str());
+        } else {
+            std::printf("%-10s", sim::strprintf(
+                                     "%lluK", static_cast<unsigned long long>(
+                                                  w >> 10))
+                                     .c_str());
+        }
+        for (std::uint32_t jobs : {1, 2, 4, 8}) {
+            std::printf("  %8.0f",
+                        avgLatencyNs(w, jobs, vc, page_bytes));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig 5: LinkedList latency vs working set and jobs",
+                  "Fig 5a/5b of the paper");
+
+    const std::vector<std::uint64_t> big = {
+        16ULL << 20,  32ULL << 20,  64ULL << 20, 128ULL << 20,
+        256ULL << 20, 512ULL << 20, 1ULL << 30,  2ULL << 30,
+        4ULL << 30,   8ULL << 30};
+    const std::vector<std::uint64_t> small = {
+        32ULL << 10,  64ULL << 10, 128ULL << 10, 256ULL << 10,
+        512ULL << 10, 1ULL << 20,  2ULL << 20,   4ULL << 20,
+        8ULL << 20,   16ULL << 20};
+
+    sweep("Fig 5a (2M pages), UPI channel", ccip::VChannel::kUpi,
+          mem::kPage2M, big);
+    sweep("Fig 5a (2M pages), PCIe channel", ccip::VChannel::kPcie0,
+          mem::kPage2M, big);
+    sweep("Fig 5b (4K pages), UPI channel", ccip::VChannel::kUpi,
+          mem::kPage4K, small);
+    sweep("Fig 5b (4K pages), PCIe channel", ccip::VChannel::kPcie0,
+          mem::kPage4K, small);
+    return 0;
+}

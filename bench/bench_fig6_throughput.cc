@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig 6: MemBench aggregate random read/write throughput versus
+ * total working-set size and job count, under 2 MB and 4 KB pages.
+ *
+ * Expected shape (paper Fig 6): aggregate throughput is flat and
+ * independent of the job count while the working set fits in IOTLB
+ * reach (1 GB with 2 MB pages, 2 MB with 4 KB pages), then drops as
+ * translations miss; writes sustain less than reads.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+
+using namespace optimus;
+
+namespace {
+
+double
+aggregateGbps(std::uint64_t total_wset, std::uint32_t jobs,
+              std::uint64_t mode, std::uint64_t page_bytes)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.pageBytes = page_bytes;
+    hv::System sys(hv::makeOptimusConfig("MB", 8, p));
+    // Random-write contents are irrelevant; don't materialize the
+    // simulation host's RAM.
+    sys.platform.memory().setScratchWrites(true);
+
+    std::vector<hv::AccelHandle *> handles;
+    std::uint64_t per_job = total_wset / jobs;
+    for (std::uint32_t j = 0; j < jobs; ++j) {
+        hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
+        bench::setupMembench(h, per_job, mode, 31 + j);
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+
+    double ns = 0;
+    auto ops = bench::measureWindow(sys, handles,
+                                    150 * sim::kTickUs,
+                                    400 * sim::kTickUs, &ns);
+    std::uint64_t total = 0;
+    for (auto o : ops)
+        total += o;
+    return bench::gbps(total, ns);
+}
+
+void
+sweep(const char *title, std::uint64_t mode,
+      std::uint64_t page_bytes,
+      const std::vector<std::uint64_t> &wsets)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%-10s", "WSet");
+    for (std::uint32_t jobs : {1, 2, 4, 8})
+        std::printf("  %4u job%s", jobs, jobs > 1 ? "s" : " ");
+    std::printf("   (aggregate GB/s)\n");
+    for (std::uint64_t w : wsets) {
+        if (w >= 1ULL << 30) {
+            std::printf("%-10llu", static_cast<unsigned long long>(
+                                       w >> 30));
+        } else if (w >= 1ULL << 20) {
+            std::printf("%-9lluM", static_cast<unsigned long long>(
+                                       w >> 20));
+        } else {
+            std::printf("%-9lluK", static_cast<unsigned long long>(
+                                       w >> 10));
+        }
+        for (std::uint32_t jobs : {1, 2, 4, 8}) {
+            std::printf("  %8.2f",
+                        aggregateGbps(w, jobs, mode, page_bytes));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Fig 6: MemBench aggregate throughput vs working set",
+        "Fig 6a/6b of the paper");
+
+    const std::vector<std::uint64_t> big = {
+        16ULL << 20,  32ULL << 20,  64ULL << 20, 128ULL << 20,
+        256ULL << 20, 512ULL << 20, 1ULL << 30,  2ULL << 30,
+        4ULL << 30,   8ULL << 30};
+    const std::vector<std::uint64_t> small = {
+        32ULL << 10,  64ULL << 10, 128ULL << 10, 256ULL << 10,
+        512ULL << 10, 1ULL << 20,  2ULL << 20,   4ULL << 20,
+        8ULL << 20,   16ULL << 20};
+
+    sweep("Fig 6a (2M pages), random read",
+          accel::MembenchAccel::kRead, mem::kPage2M, big);
+    sweep("Fig 6a (2M pages), random write",
+          accel::MembenchAccel::kWrite, mem::kPage2M, big);
+    sweep("Fig 6b (4K pages), random read",
+          accel::MembenchAccel::kRead, mem::kPage4K, small);
+    sweep("Fig 6b (4K pages), random write",
+          accel::MembenchAccel::kWrite, mem::kPage4K, small);
+    return 0;
+}

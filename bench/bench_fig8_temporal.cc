@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fig 8: aggregate throughput under preemptive temporal
+ * multiplexing — 1 to 16 virtual accelerators sharing one physical
+ * accelerator, normalized to a single job.
+ *
+ * Expected shape (paper Fig 8): a small constant drop once context
+ * switching begins (~0.5% for LinkedList, ~0.7% for MemBench at the
+ * 10 ms default slice) that does NOT grow with the number of jobs,
+ * plus a simulated worst case in which all resources MD5 occupies
+ * must be saved (~9%).
+ *
+ * MemBench runs throttled here (its absolute intensity does not
+ * affect the lost-time fraction, which is what the figure reports);
+ * see EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/streaming_accelerator.hh"
+#include "bench/harness.hh"
+
+using namespace optimus;
+
+namespace {
+
+struct Scenario
+{
+    const char *name;
+    const char *app;
+    /** Pad the saved context to this many bytes (0 = natural). */
+    std::uint64_t syntheticState;
+};
+
+double
+aggregateRate(const Scenario &sc, std::uint32_t jobs)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    hv::System sys(hv::makeOptimusConfig(sc.app, 1, p));
+    if (sc.syntheticState != 0) {
+        sys.platform.accel(0).setSyntheticStateBytes(
+            sc.syntheticState);
+    }
+
+    std::vector<hv::AccelHandle *> handles;
+    for (std::uint32_t j = 0; j < jobs; ++j) {
+        hv::AccelHandle &h = sys.attach(0, 2ULL << 30);
+        (void)p;
+        if (std::string(sc.app) == "MB") {
+            bench::setupMembench(h, 16ULL << 20,
+                                 accel::MembenchAccel::kRead,
+                                 11 + j, /*gap=*/32);
+        } else if (std::string(sc.app) == "LL") {
+            bench::setupLinkedList(h, 16ULL << 20, 4096,
+                                   ccip::VChannel::kUpi, 21 + j);
+        } else {
+            // MD5 worst case: a hash stream far longer than the
+            // measurement horizon. The region is registered but
+            // never written (contents are irrelevant to
+            // throughput), so the simulation host stays lean.
+            mem::Gva src = h.dmaAlloc(512ULL << 20, 64);
+            h.writeAppReg(accel::stream_reg::kSrc, src.value());
+            h.writeAppReg(accel::stream_reg::kDst, src.value());
+            h.writeAppReg(accel::stream_reg::kLen, 512ULL << 20);
+        }
+        h.setupStateBuffer();
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+
+    // Measure across several full scheduler rotations.
+    sim::Tick window = (jobs * 2 + 1) * p.timeSlice;
+    double ns = 0;
+    auto ops = bench::measureWindow(sys, handles, p.timeSlice / 2,
+                                    window, &ns);
+    std::uint64_t total = 0;
+    for (auto o : ops)
+        total += o;
+    return static_cast<double>(total) / ns;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Fig 8: temporal multiplexing aggregate throughput",
+        "Fig 8 of the paper (normalized to 1 job; 10 ms slices)");
+
+    const Scenario scenarios[] = {
+        {"LinkedList", "LL", 0},
+        {"MemBench", "MB", 0},
+        {"MD5 worst case", "MD5", 1536ULL << 10},
+    };
+
+    std::printf("%-16s %7s %7s %7s %7s %7s\n", "Benchmark", "1",
+                "2", "4", "8", "16");
+    for (const auto &sc : scenarios) {
+        double base = aggregateRate(sc, 1);
+        std::printf("%-16s %7.3f", sc.name, 1.0);
+        std::fflush(stdout);
+        for (std::uint32_t jobs : {2u, 4u, 8u, 16u}) {
+            std::printf(" %7.3f", aggregateRate(sc, jobs) / base);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nThe drop from 1 to 2 jobs is the context-switch "
+                "cost; it stays flat as jobs grow because switches "
+                "happen at a fixed interval regardless of the "
+                "multiplexing factor.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot simulation
+ * primitives and software kernels: event-queue throughput, IOTLB
+ * lookups, GF(256) arithmetic / Reed-Solomon decode, AES, SHA-256,
+ * and Smith-Waterman. Useful when optimizing the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "accel/algo/aes128.hh"
+#include "accel/algo/reed_solomon.hh"
+#include "accel/algo/sha.hh"
+#include "accel/algo/smith_waterman.hh"
+#include "iommu/iotlb.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace optimus;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.scheduleIn(static_cast<sim::Tick>(i), [&]() { ++sink; });
+        eq.runAll();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_IotlbLookupHit(benchmark::State &state)
+{
+    iommu::Iotlb tlb(512, mem::kPage2M);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        tlb.insert(mem::Iova(i << 21), mem::Hpa(i << 21));
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        auto hit = tlb.lookup(
+            mem::Iova((rng.below(512) << 21) | 0x40));
+        benchmark::DoNotOptimize(hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IotlbLookupHit);
+
+void
+BM_Aes128EncryptBlock(benchmark::State &state)
+{
+    algo::Aes128::Key key{};
+    algo::Aes128 aes(key);
+    std::uint8_t block[16] = {};
+    for (auto _ : state) {
+        aes.encryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Aes128EncryptBlock);
+
+void
+BM_Sha256DoubleHash80B(benchmark::State &state)
+{
+    std::uint8_t header[80] = {};
+    for (auto _ : state) {
+        auto d = algo::Sha256::doubleHash(header, sizeof(header));
+        benchmark::DoNotOptimize(d);
+        ++header[0];
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sha256DoubleHash80B);
+
+void
+BM_ReedSolomonDecode(benchmark::State &state)
+{
+    algo::ReedSolomon rs;
+    sim::Rng rng(2);
+    std::uint8_t msg[algo::ReedSolomon::kK];
+    for (auto &b : msg)
+        b = static_cast<std::uint8_t>(rng.next());
+    std::uint8_t clean[algo::ReedSolomon::kN];
+    rs.encode(msg, clean);
+
+    const auto nerr = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        std::uint8_t cw[algo::ReedSolomon::kN];
+        std::memcpy(cw, clean, sizeof(cw));
+        for (std::size_t e = 0; e < nerr; ++e)
+            cw[(e * 17) % algo::ReedSolomon::kN] ^= 0x5a;
+        int rc = rs.decode(cw);
+        benchmark::DoNotOptimize(rc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReedSolomonDecode)->Arg(0)->Arg(4)->Arg(16);
+
+void
+BM_SmithWaterman(benchmark::State &state)
+{
+    sim::Rng rng(3);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::string a(n, 'A');
+    std::string b(n, 'A');
+    static const char alpha[] = "ACGT";
+    for (auto &c : a)
+        c = alpha[rng.below(4)];
+    for (auto &c : b)
+        c = alpha[rng.below(4)];
+    for (auto _ : state) {
+        auto s = algo::smithWatermanScore(a, b);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SmithWaterman)->Arg(256)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

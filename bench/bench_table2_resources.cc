@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 2: FPGA resource utilization by component — the shell, the
+ * hardware monitor, and each benchmark accelerator at one instance
+ * (pass-through) versus eight instances (OPTIMUS).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "fpga/resources.hh"
+
+using namespace optimus;
+using fpga::ResourceModel;
+
+int
+main()
+{
+    bench::header(
+        "Table 2: FPGA resource utilization breakdown (ALM / BRAM %)",
+        "Table 2 of the paper");
+
+    std::printf("%-18s %12s %8s %12s %8s\n", "FPGA Component",
+                "ALM OPTIMUS", "ALM PT", "BRAM OPTIMUS", "BRAM PT");
+    std::printf("%-18s %12.2f %8.2f %12.2f %8.2f\n", "Shell",
+                ResourceModel::shellAlm(), ResourceModel::shellAlm(),
+                ResourceModel::shellBram(),
+                ResourceModel::shellBram());
+    std::printf("%-18s %12.2f %8.2f %12.2f %8.2f\n",
+                "Hardware Monitor", ResourceModel::monitorAlm(8, 2),
+                0.0, ResourceModel::monitorBram(8, 2), 0.0);
+    for (const auto &app : ResourceModel::apps()) {
+        std::printf("%-18s %12.2f %8.2f %12.2f %8.2f\n", app.name,
+                    ResourceModel::appAlm(app, 8),
+                    ResourceModel::appAlm(app, 1),
+                    ResourceModel::appBram(app, 8),
+                    ResourceModel::appBram(app, 1));
+    }
+
+    std::printf("\nScaling of aggregate accelerator utilization with "
+                "instance count (AES):\n  n: ");
+    const auto &aes = ResourceModel::lookup("AES");
+    for (std::uint32_t n = 1; n <= 8; ++n)
+        std::printf("%6u", n);
+    std::printf("\nALM: ");
+    for (std::uint32_t n = 1; n <= 8; ++n)
+        std::printf("%6.2f", ResourceModel::appAlm(aes, n));
+    std::printf("\n\nHardware monitor overhead: %.2f%% ALM, %.2f%% "
+                "BRAM (paper: 6.16%% / 0.48%%).\n",
+                ResourceModel::monitorAlm(8, 2),
+                ResourceModel::monitorBram(8, 2));
+    return 0;
+}

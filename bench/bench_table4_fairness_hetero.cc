@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 4: fairness in heterogeneous configurations — MemBench's
+ * throughput when co-located with one other active accelerator,
+ * normalized to a standalone MemBench.
+ *
+ * Expected (paper Table 4): MemBench keeps >= 1/2 of its standalone
+ * bandwidth in every pairing (the round-robin guarantee); it keeps
+ * nearly all of it next to latency-bound or compute-bound partners
+ * (LL, GRN, BTC ~1.0x) and splits evenly with a second bandwidth
+ * hog (MD5 in the paper's configuration, or another MemBench,
+ * 0.5x).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+
+using namespace optimus;
+
+namespace {
+
+double
+membenchGbps(const std::string &partner)
+{
+    hv::PlatformConfig cfg;
+    cfg.apps = {"MB", partner.empty() ? "LL" : partner};
+    hv::System sys(cfg);
+
+    hv::AccelHandle &mb = sys.attach(0, 2ULL << 30);
+    bench::setupMembench(mb, 16ULL << 20,
+                         accel::MembenchAccel::kRead, 5);
+
+    std::unique_ptr<hv::workload::Workload> wl;
+    hv::AccelHandle *other = nullptr;
+    if (!partner.empty()) {
+        other = &sys.attach(1, 2ULL << 30);
+        if (partner == "MB") {
+            bench::setupMembench(*other, 16ULL << 20,
+                                 accel::MembenchAccel::kRead, 6);
+        } else if (partner == "LL") {
+            bench::setupLinkedList(*other, 16ULL << 20, 4096,
+                                   ccip::VChannel::kUpi, 7);
+        } else {
+            wl = hv::workload::Workload::create(partner, *other,
+                                                48ULL << 20, 8);
+            wl->program();
+        }
+    }
+
+    mb.start();
+    if (other)
+        other->start();
+
+    double ns = 0;
+    auto ops = bench::measureWindow(sys, {&mb}, 300 * sim::kTickUs,
+                                    900 * sim::kTickUs, &ns);
+    return bench::gbps(ops[0], ns);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table 4: MemBench throughput when co-located "
+                  "with a second accelerator",
+                  "Table 4 of the paper (normalized to standalone)");
+
+    double solo = membenchGbps("");
+    // The standalone baseline runs alongside an idle partner slot.
+    std::printf("Standalone MemBench: %.2f GB/s\n\n", solo);
+    std::printf("%-10s %18s\n", "Co-located", "Normalized MB tput");
+    for (const auto &app :
+         {"AES", "MD5", "SHA", "FIR", "GRN", "RSD", "SW", "GAU",
+          "GRS", "SBL", "SSSP", "BTC", "MB", "LL"}) {
+        double with = membenchGbps(app);
+        std::printf("%-10s %17.2fx\n", app, with / solo);
+        std::fflush(stdout);
+    }
+    return 0;
+}

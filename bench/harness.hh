@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared measurement helpers for the benchmark harnesses that
+ * regenerate the paper's tables and figures: warmup + window
+ * progress measurement, tenant setup for the microbenchmarks, and
+ * tabular output.
+ */
+
+#ifndef OPTIMUS_BENCH_HARNESS_HH
+#define OPTIMUS_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/linkedlist_accel.hh"
+#include "accel/membench_accel.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+
+namespace optimus::bench {
+
+/** Print a section header for one table/figure. */
+inline void
+header(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n==========================================================="
+                "=====\n");
+    std::printf("%s\n  (reproduces %s)\n", title.c_str(),
+                paper_ref.c_str());
+    std::printf("-----------------------------------------------------------"
+                "-----\n");
+}
+
+/**
+ * Run a warmup, then measure each handle's PROGRESS delta over the
+ * window. Returns ops per handle; @p elapsed_ns receives the window.
+ */
+inline std::vector<std::uint64_t>
+measureWindow(hv::System &sys,
+              const std::vector<hv::AccelHandle *> &handles,
+              sim::Tick warmup, sim::Tick window,
+              double *elapsed_ns = nullptr)
+{
+    sys.eq.runUntil(sys.eq.now() + warmup);
+    std::vector<std::uint64_t> before;
+    before.reserve(handles.size());
+    for (auto *h : handles)
+        before.push_back(sys.hv.peekProgress(h->vaccel()));
+    sim::Tick t0 = sys.eq.now();
+    sys.eq.runUntil(t0 + window);
+    if (elapsed_ns) {
+        *elapsed_ns = static_cast<double>(sys.eq.now() - t0) /
+                      static_cast<double>(sim::kTickNs);
+    }
+    std::vector<std::uint64_t> delta;
+    delta.reserve(handles.size());
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        delta.push_back(sys.hv.peekProgress(handles[i]->vaccel()) -
+                        before[i]);
+    }
+    return delta;
+}
+
+/** Configure an endless MemBench tenant over its own working set. */
+inline void
+setupMembench(hv::AccelHandle &h, std::uint64_t wset_bytes,
+              std::uint64_t mode, std::uint64_t seed,
+              std::uint64_t gap_cycles = 0)
+{
+    mem::Gva base = h.dmaAlloc(wset_bytes, 64);
+    h.writeAppReg(accel::MembenchAccel::kRegBase, base.value());
+    h.writeAppReg(accel::MembenchAccel::kRegWset, wset_bytes);
+    h.writeAppReg(accel::MembenchAccel::kRegMode, mode);
+    h.writeAppReg(accel::MembenchAccel::kRegSeed, seed);
+    h.writeAppReg(accel::MembenchAccel::kRegTarget, 0);
+    h.writeAppReg(accel::MembenchAccel::kRegGap, gap_cycles);
+}
+
+/** Configure an endless (circular) LinkedList tenant. */
+inline void
+setupLinkedList(hv::AccelHandle &h, std::uint64_t wset_bytes,
+                std::uint64_t nodes, ccip::VChannel vc,
+                std::uint64_t seed)
+{
+    auto layout =
+        hv::workload::buildScatteredLinkedList(h, wset_bytes, nodes,
+                                               seed);
+    h.writeAppReg(accel::LinkedlistAccel::kRegHead,
+                  layout.head.value());
+    h.writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
+    h.writeAppReg(accel::LinkedlistAccel::kRegChannel,
+                  static_cast<std::uint64_t>(vc));
+}
+
+/** GB/s from a line-ops count over @p ns. */
+inline double
+gbps(std::uint64_t ops, double ns)
+{
+    return static_cast<double>(ops) * 64.0 / ns;
+}
+
+} // namespace optimus::bench
+
+#endif // OPTIMUS_BENCH_HARNESS_HH

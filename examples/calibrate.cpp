@@ -1,0 +1,79 @@
+// Scratch calibration harness (not installed); reports the headline
+// latency/throughput anchors so model constants can be tuned.
+#include <cstdio>
+
+#include "accel/linkedlist_accel.hh"
+#include "accel/membench_accel.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+
+using namespace optimus;
+
+namespace {
+
+double
+llLatencyNs(bool optimus, ccip::VChannel vc)
+{
+    hv::PlatformConfig cfg =
+        optimus ? hv::makeOptimusConfig("LL", 8)
+                : hv::makePassthroughConfig("LL");
+    hv::System sys(cfg);
+    hv::AccelHandle &h = sys.attach(0);
+    auto layout = hv::workload::buildLinkedList(h, 4096, 42);
+    h.writeAppReg(accel::LinkedlistAccel::kRegHead,
+                  layout.head.value());
+    h.writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
+    h.writeAppReg(accel::LinkedlistAccel::kRegChannel,
+                  static_cast<std::uint64_t>(vc));
+    sim::Tick t0 = sys.eq.now();
+    h.start();
+    h.wait();
+    double ns = static_cast<double>(sys.eq.now() - t0) / 1000.0;
+    return ns / 4096.0;
+}
+
+double
+mbGbps(bool optimus)
+{
+    hv::PlatformConfig cfg = optimus
+                                 ? hv::makeOptimusConfig("MB", 8)
+                                 : hv::makePassthroughConfig("MB");
+    hv::System sys(cfg);
+    hv::AccelHandle &h = sys.attach(0);
+    mem::Gva base = h.dmaAlloc(64ULL << 20, 64);
+    h.writeAppReg(accel::MembenchAccel::kRegBase, base.value());
+    h.writeAppReg(accel::MembenchAccel::kRegWset, 64ULL << 20);
+    h.writeAppReg(accel::MembenchAccel::kRegMode, 0);
+    h.writeAppReg(accel::MembenchAccel::kRegSeed, 7);
+    h.writeAppReg(accel::MembenchAccel::kRegTarget, 0);
+    h.start();
+    sys.eq.runUntil(sys.eq.now() + 200 * sim::kTickUs); // warmup
+    std::uint64_t p0 = sys.hv.peekProgress(h.vaccel());
+    sim::Tick t0 = sys.eq.now();
+    sys.eq.runUntil(t0 + 800 * sim::kTickUs);
+    std::uint64_t p1 = sys.hv.peekProgress(h.vaccel());
+    double bytes = static_cast<double>(p1 - p0) * 64.0;
+    double ns = static_cast<double>(sys.eq.now() - t0) / 1000.0;
+    return bytes / ns;
+}
+
+} // namespace
+
+int
+main()
+{
+    double pt_upi = llLatencyNs(false, ccip::VChannel::kUpi);
+    double op_upi = llLatencyNs(true, ccip::VChannel::kUpi);
+    double pt_pcie = llLatencyNs(false, ccip::VChannel::kPcie0);
+    double op_pcie = llLatencyNs(true, ccip::VChannel::kPcie0);
+    std::printf("LL UPI:  PT %.1f ns  OPT %.1f ns  ratio %.1f%%\n",
+                pt_upi, op_upi, 100.0 * op_upi / pt_upi);
+    std::printf("LL PCIe: PT %.1f ns  OPT %.1f ns  ratio %.1f%%\n",
+                pt_pcie, op_pcie, 100.0 * op_pcie / pt_pcie);
+
+    double mb_pt = mbGbps(false);
+    double mb_op = mbGbps(true);
+    std::printf("MB read: PT %.2f GB/s  OPT %.2f GB/s  ratio %.1f%%\n",
+                mb_pt, mb_op, 100.0 * mb_op / mb_pt);
+    return 0;
+}

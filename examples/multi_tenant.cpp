@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-tenant cloud scenario: spatial + temporal multiplexing.
+ *
+ * One FPGA is configured with four different physical accelerators
+ * (AES, SHA, GRS, LL). Six guest VMs share it: four get their own
+ * accelerator, and two more oversubscribe the LL slot under the
+ * weighted scheduler — the paper's deployment model in miniature.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+
+using namespace optimus;
+
+int
+main()
+{
+    // The cloud provider's chosen accelerator mix.
+    hv::PlatformConfig cfg;
+    cfg.apps = {"AES", "SHA", "GRS", "LL"};
+    hv::System sys(cfg);
+
+    std::printf("FPGA configured with %u physical accelerators "
+                "behind the OPTIMUS hardware monitor\n",
+                sys.platform.numAccels());
+
+    // Four tenants, one per accelerator.
+    std::vector<hv::AccelHandle *> tenants;
+    std::vector<std::unique_ptr<hv::workload::Workload>> jobs;
+    for (std::uint32_t slot = 0; slot < 4; ++slot) {
+        hv::AccelHandle &h = sys.attach(slot, 2ULL << 30);
+        jobs.push_back(hv::workload::Workload::create(
+            cfg.apps[slot], h, 512 * 1024, 1000 + slot));
+        jobs.back()->program();
+        h.setupStateBuffer();
+        tenants.push_back(&h);
+    }
+
+    // Two more tenants oversubscribe the LL slot: a premium tenant
+    // (weight 3) and a basic one (weight 1).
+    hv::AccelHandle &premium = sys.attach(3, 2ULL << 30);
+    hv::AccelHandle &basic = sys.attach(3, 2ULL << 30);
+    jobs.push_back(hv::workload::Workload::create("LL", premium,
+                                                  12ULL << 20, 2000));
+    jobs.back()->program();
+    premium.setupStateBuffer();
+    jobs.push_back(hv::workload::Workload::create("LL", basic,
+                                                  12ULL << 20, 2001));
+    jobs.back()->program();
+    basic.setupStateBuffer();
+    tenants.push_back(&premium);
+    tenants.push_back(&basic);
+
+    sys.hv.setWeight(premium.vaccel(), 3.0);
+    sys.hv.setWeight(basic.vaccel(), 1.0);
+    sys.hv.setPolicy(3, hv::SchedPolicy::kWeighted,
+                     2 * sim::kTickMs);
+
+    for (auto *t : tenants)
+        t->start();
+
+    const char *names[] = {"AES tenant",     "SHA tenant",
+                           "GRS tenant",     "LL tenant",
+                           "LL premium (w3)", "LL basic (w1)"};
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        accel::Status st = tenants[i]->wait();
+        bool ok = jobs[i]->verify();
+        std::printf("%-16s %-6s output %s  (progress %llu)\n",
+                    names[i],
+                    st == accel::Status::kDone ? "DONE" : "ERROR",
+                    ok ? "verified" : "MISMATCH",
+                    static_cast<unsigned long long>(
+                        tenants[i]->progress()));
+        if (st != accel::Status::kDone || !ok)
+            return 1;
+    }
+
+    std::printf("\nhypervisor: %llu MMIO traps, %llu hypercalls, "
+                "%llu context switches, %llu forced resets\n",
+                static_cast<unsigned long long>(sys.hv.traps()),
+                static_cast<unsigned long long>(sys.hv.hypercalls()),
+                static_cast<unsigned long long>(
+                    sys.hv.contextSwitches()),
+                static_cast<unsigned long long>(
+                    sys.hv.forcedResets()));
+    // Equal-length jobs under 3:1 weighting: the premium tenant
+    // finishes far earlier because it received 3x the slice time
+    // while both were runnable.
+    std::printf("identical LL jobs: premium held the accelerator "
+                "%.1f ms, basic %.1f ms (weights 3:1 -> premium "
+                "finishes first)\n",
+                static_cast<double>(
+                    sys.hv.occupancy(premium.vaccel())) /
+                    static_cast<double>(sim::kTickMs),
+                static_cast<double>(
+                    sys.hv.occupancy(basic.vaccel())) /
+                    static_cast<double>(sim::kTickMs));
+    return 0;
+}

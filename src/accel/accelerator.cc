@@ -1,0 +1,310 @@
+#include "accel/accelerator.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace optimus::accel {
+
+Accelerator::Accelerator(sim::EventQueue &eq,
+                         const sim::PlatformParams &params,
+                         std::string name, std::uint64_t freq_mhz,
+                         sim::StatGroup *stats)
+    : sim::Clocked(eq, freq_mhz),
+      _name(std::move(name)),
+      _dma(eq, freq_mhz, _name + ".dma", stats),
+      _stateLineGap(static_cast<sim::Tick>(
+          static_cast<double>(sim::kCacheLineBytes) /
+          params.stateSaveGbps * static_cast<double>(sim::kTickNs))),
+      _preempts(stats, _name + ".preempts", "preempt commands handled"),
+      _resumes(stats, _name + ".resumes", "resume commands handled"),
+      _jobs(stats, _name + ".jobs", "jobs completed")
+{
+}
+
+std::uint64_t
+Accelerator::stateSizeBytes() const
+{
+    std::uint64_t base = 3 * sizeof(std::uint64_t) +
+                         archStateCapacity();
+    return std::max(base, _syntheticStateBytes);
+}
+
+void
+Accelerator::dmaResponse(ccip::DmaTxnPtr txn)
+{
+    if (txn->onComplete)
+        txn->onComplete(*txn);
+}
+
+std::uint64_t
+Accelerator::mmioRead(std::uint64_t offset)
+{
+    switch (offset) {
+      case reg::kCtrl:
+        return 0;
+      case reg::kStatus:
+        return static_cast<std::uint64_t>(_status);
+      case reg::kStateBuf:
+        return _stateBuf;
+      case reg::kStateSize:
+        return stateSizeBytes();
+      case reg::kResult:
+        return _result;
+      case reg::kProgress:
+        return _progress;
+      default:
+        break;
+    }
+    if (offset >= reg::kApp0 &&
+        offset < reg::kApp0 + 8ULL * reg::kNumAppRegs &&
+        offset % 8 == 0) {
+        return _appRegs[(offset - reg::kApp0) / 8];
+    }
+    return 0;
+}
+
+void
+Accelerator::mmioWrite(std::uint64_t offset, std::uint64_t value)
+{
+    if (offset == reg::kCtrl) {
+        command(value);
+        return;
+    }
+    if (offset == reg::kStateBuf) {
+        _stateBuf = value;
+        return;
+    }
+    if (offset >= reg::kApp0 &&
+        offset < reg::kApp0 + 8ULL * reg::kNumAppRegs &&
+        offset % 8 == 0) {
+        std::uint32_t idx =
+            static_cast<std::uint32_t>((offset - reg::kApp0) / 8);
+        _appRegs[idx] = value;
+        onAppRegWrite(idx, value);
+    }
+    // Other offsets are read-only or unmapped; writes are ignored,
+    // as real MMIO register files do.
+}
+
+void
+Accelerator::command(std::uint64_t bits)
+{
+    if (bits & ctrl::kSoftReset) {
+        ++_epoch;
+        _dma.reset();
+        _status = Status::kIdle;
+        _result = 0;
+        _progress = 0;
+        _doneDuringSave = false;
+        onSoftReset();
+        return;
+    }
+    if (bits & ctrl::kStart) {
+        if (_status == Status::kIdle || _status == Status::kDone ||
+            _status == Status::kError) {
+            _status = Status::kRunning;
+            _result = 0;
+            _progress = 0;
+            onStart();
+        }
+        return;
+    }
+    if (bits & ctrl::kPreempt) {
+        beginPreempt();
+        return;
+    }
+    if (bits & ctrl::kResume) {
+        beginResume();
+        return;
+    }
+}
+
+void
+Accelerator::hardReset()
+{
+    ++_epoch;
+    _dma.reset();
+    _status = Status::kIdle;
+    _result = 0;
+    _progress = 0;
+    _stateBuf = 0;
+    _doneDuringSave = false;
+    _appRegs.fill(0);
+    onSoftReset();
+}
+
+void
+Accelerator::finish(std::uint64_t result)
+{
+    _result = result;
+    ++_jobs;
+    if (_status == Status::kSaving) {
+        // The job drained to completion while a preempt was pending;
+        // record it so the saved context resumes straight to DONE.
+        _doneDuringSave = true;
+        return;
+    }
+    _status = Status::kDone;
+    raiseDoorbell();
+}
+
+void
+Accelerator::fail()
+{
+    _status = Status::kError;
+    raiseDoorbell();
+}
+
+void
+Accelerator::scheduleGuarded(std::uint64_t cycles,
+                             std::function<void()> fn)
+{
+    std::uint64_t epoch = _epoch;
+    scheduleCycles(cycles, [this, epoch, fn = std::move(fn)]() {
+        if (epoch == _epoch)
+            fn();
+    });
+}
+
+void
+Accelerator::raiseDoorbell()
+{
+    if (_doorbell)
+        _doorbell(*this);
+}
+
+void
+Accelerator::beginPreempt()
+{
+    if (_status == Status::kSaving || _status == Status::kSaved ||
+        _status == Status::kRestoring) {
+        return; // already context switching
+    }
+    ++_preempts;
+    Status at_preempt = _status;
+    _status = Status::kSaving;
+    _doneDuringSave = false;
+
+    // Wait for all in-flight transactions to be processed, then save
+    // the execution state to the guest buffer (Section 4.2).
+    std::uint64_t epoch = _epoch;
+    _dma.notifyWhenDrained([this, epoch, at_preempt]() {
+        if (epoch != _epoch)
+            return;
+
+        Status to_save = at_preempt;
+        if (_doneDuringSave || at_preempt == Status::kDone)
+            to_save = Status::kDone;
+
+        std::vector<std::uint8_t> blob(stateSizeBytes(), 0);
+        std::uint64_t header[3] = {
+            static_cast<std::uint64_t>(to_save), _result, _progress};
+        std::memcpy(blob.data(), header, sizeof(header));
+        std::vector<std::uint8_t> arch = saveArchState();
+        OPTIMUS_ASSERT(arch.size() <= archStateCapacity(),
+                       "%s arch state exceeds declared capacity",
+                       _name.c_str());
+        std::memcpy(blob.data() + sizeof(header), arch.data(),
+                    arch.size());
+
+        transferStateBlob(true, std::move(blob),
+                          [this](std::vector<std::uint8_t>) {
+                              _status = Status::kSaved;
+                              raiseDoorbell();
+                          });
+    });
+}
+
+void
+Accelerator::beginResume()
+{
+    if (_status == Status::kRunning)
+        return;
+    ++_resumes;
+    _status = Status::kRestoring;
+
+    transferStateBlob(
+        false, std::vector<std::uint8_t>(stateSizeBytes(), 0),
+        [this](std::vector<std::uint8_t> blob) {
+            std::uint64_t header[3];
+            std::memcpy(header, blob.data(), sizeof(header));
+            _result = header[1];
+            _progress = header[2];
+            std::vector<std::uint8_t> arch(
+                blob.begin() + sizeof(header), blob.end());
+            restoreArchState(arch);
+
+            auto saved = static_cast<Status>(header[0]);
+            _status = saved;
+            if (saved == Status::kRunning) {
+                onResumed();
+            } else if (saved == Status::kDone ||
+                       saved == Status::kError) {
+                raiseDoorbell();
+            }
+        });
+}
+
+void
+Accelerator::transferStateBlob(
+    bool save, std::vector<std::uint8_t> blob,
+    std::function<void(std::vector<std::uint8_t>)> done)
+{
+    OPTIMUS_ASSERT(_stateBuf != 0,
+                   "%s: preemption without a state buffer",
+                   _name.c_str());
+
+    struct Xfer
+    {
+        std::vector<std::uint8_t> blob;
+        std::function<void(std::vector<std::uint8_t>)> done;
+        std::uint64_t lines = 0;
+        std::uint64_t issued = 0;
+        std::uint64_t completed = 0;
+    };
+    auto xfer = std::make_shared<Xfer>();
+    xfer->blob = std::move(blob);
+    xfer->done = std::move(done);
+    xfer->lines = (xfer->blob.size() + sim::kCacheLineBytes - 1) /
+                  sim::kCacheLineBytes;
+
+    std::uint64_t epoch = _epoch;
+    mem::Gva buf(_stateBuf);
+
+    // State moves in MMIO-paced cache-line bursts: one line per
+    // _stateLineGap, well below streaming DMA rates.
+    auto issue_one = [this, epoch, xfer, buf, save]() {
+        if (epoch != _epoch)
+            return;
+        std::uint64_t i = xfer->issued++;
+        std::uint64_t off = i * sim::kCacheLineBytes;
+        std::uint32_t bytes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(sim::kCacheLineBytes,
+                                    xfer->blob.size() - off));
+        auto on_line = [this, epoch, xfer, off,
+                        bytes](ccip::DmaTxn &t) {
+            if (epoch != _epoch)
+                return;
+            if (!t.isWrite)
+                std::memcpy(xfer->blob.data() + off, t.data.data(),
+                            bytes);
+            if (++xfer->completed == xfer->lines)
+                xfer->done(std::move(xfer->blob));
+        };
+        if (save) {
+            _dma.write(buf + off, xfer->blob.data() + off, bytes,
+                       on_line);
+        } else {
+            _dma.read(buf + off, bytes, on_line);
+        }
+    };
+
+    for (std::uint64_t i = 0; i < xfer->lines; ++i)
+        eventq().scheduleIn(_stateLineGap * i, issue_one);
+}
+
+} // namespace optimus::accel

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Base class for all benchmark accelerators.
+ *
+ * Implements the common register file, the DMA port attachment, and
+ * the paper's preemption interface (Section 4.2): a preempt command
+ * drains in-flight transactions, serializes the accelerator's
+ * architectural state, DMAs it to a guest-provided buffer, and
+ * reports SAVED; a resume command loads it back and continues.
+ * Derived classes define the job itself and decide — as the paper's
+ * complexity/performance trade-off intends — the minimal state worth
+ * saving.
+ */
+
+#ifndef OPTIMUS_ACCEL_ACCELERATOR_HH
+#define OPTIMUS_ACCEL_ACCELERATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accel/dma_port.hh"
+#include "accel/regs.hh"
+#include "fpga/accel_port.hh"
+#include "sim/clocked.hh"
+#include "sim/platform_params.hh"
+#include "sim/stats.hh"
+
+namespace optimus::accel {
+
+/** Abstract benchmark accelerator with the common control protocol. */
+class Accelerator : public fpga::AccelDevice, public sim::Clocked
+{
+  public:
+    using Doorbell = std::function<void(Accelerator &)>;
+
+    Accelerator(sim::EventQueue &eq,
+                const sim::PlatformParams &params, std::string name,
+                std::uint64_t freq_mhz, sim::StatGroup *stats = nullptr);
+
+    const std::string &name() const { return _name; }
+
+    /** Attach to a fabric (monitor port or pass-through). */
+    void attachFabric(fpga::FabricPort *fabric) { _dma.attach(fabric); }
+
+    DmaPort &dma() { return _dma; }
+
+    Status status() const { return _status; }
+    std::uint64_t result() const { return _result; }
+    std::uint64_t progress() const { return _progress; }
+
+    /**
+     * Doorbell raised on DONE / SAVED / ERROR transitions — the
+     * simulation's stand-in for the device interrupt the guest
+     * driver would receive.
+     */
+    void setDoorbell(Doorbell d) { _doorbell = std::move(d); }
+
+    /**
+     * Pad the saved-state blob to @p n bytes; used by the temporal
+     * multiplexing worst-case estimate (Section 6.6), which assumes
+     * all resources an accelerator occupies must be saved.
+     */
+    void setSyntheticStateBytes(std::uint64_t n)
+    {
+        _syntheticStateBytes = n;
+    }
+
+    /** Total bytes the preemption state buffer must hold. */
+    std::uint64_t stateSizeBytes() const;
+
+    // ----- fpga::AccelDevice interface -----
+    void dmaResponse(ccip::DmaTxnPtr txn) override;
+    std::uint64_t mmioRead(std::uint64_t offset) override;
+    void mmioWrite(std::uint64_t offset, std::uint64_t value) override;
+    void hardReset() override;
+
+  protected:
+    /** Begin the configured job (app registers hold parameters). */
+    virtual void onStart() = 0;
+
+    /** Clear job state on a soft or hard reset. */
+    virtual void onSoftReset() {}
+
+    /** Observe application-register writes (optional). */
+    virtual void
+    onAppRegWrite(std::uint32_t idx, std::uint64_t value)
+    {
+        (void)idx;
+        (void)value;
+    }
+
+    /**
+     * Serialize the minimal architectural state needed to resume the
+     * job (the linked-list walker saves little more than the next
+     * node pointer, per the paper's design discussion).
+     */
+    virtual std::vector<std::uint8_t> saveArchState() const = 0;
+
+    /** Inverse of saveArchState(). */
+    virtual void restoreArchState(
+        const std::vector<std::uint8_t> &blob) = 0;
+
+    /** Continue execution after a restore that left us RUNNING. */
+    virtual void onResumed() = 0;
+
+    /** Upper bound on saveArchState() size, for STATE_SIZE. */
+    virtual std::uint64_t archStateCapacity() const { return 256; }
+
+    // ----- helpers for derived classes -----
+    bool running() const { return _status == Status::kRunning; }
+
+    std::uint64_t
+    appReg(std::uint32_t idx) const
+    {
+        return _appRegs[idx];
+    }
+
+    void setProgress(std::uint64_t p) { _progress = p; }
+    void bumpProgress(std::uint64_t n = 1) { _progress += n; }
+
+    /** Complete the job successfully. */
+    void finish(std::uint64_t result);
+
+    /** Complete the job with an error (e.g., DMA fault observed). */
+    void fail();
+
+    /**
+     * Schedule @p fn after @p cycles of this accelerator's clock;
+     * dropped if the accelerator is reset in the meantime.
+     */
+    void scheduleGuarded(std::uint64_t cycles,
+                         std::function<void()> fn);
+
+    /** Current reset epoch (for custom guards). */
+    std::uint64_t epoch() const { return _epoch; }
+
+  private:
+    void command(std::uint64_t bits);
+    void beginPreempt();
+    void beginResume();
+    void transferStateBlob(bool save,
+                           std::vector<std::uint8_t> blob,
+                           std::function<void(std::vector<
+                               std::uint8_t>)> done);
+    void raiseDoorbell();
+
+    std::string _name;
+    DmaPort _dma;
+    Doorbell _doorbell;
+
+    Status _status = Status::kIdle;
+    std::uint64_t _result = 0;
+    std::uint64_t _progress = 0;
+    std::uint64_t _stateBuf = 0;
+    std::array<std::uint64_t, reg::kNumAppRegs> _appRegs{};
+    bool _doneDuringSave = false;
+    std::uint64_t _syntheticStateBytes = 0;
+    std::uint64_t _epoch = 0;
+
+    sim::Tick _stateLineGap;
+
+    sim::Counter _preempts;
+    sim::Counter _resumes;
+    sim::Counter _jobs;
+};
+
+} // namespace optimus::accel
+
+#endif // OPTIMUS_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,102 @@
+#include "accel/algo/graph.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace optimus::algo {
+
+CsrGraph
+makeRandomGraph(std::uint32_t vertices, std::uint64_t edges,
+                std::uint32_t max_weight, std::uint64_t seed)
+{
+    OPTIMUS_ASSERT(vertices > 0, "graph needs vertices");
+    sim::Rng rng(seed);
+
+    // Degree assignment: one guaranteed edge per vertex (when the
+    // budget allows), remainder distributed uniformly.
+    std::vector<std::uint32_t> degree(vertices, 0);
+    std::uint64_t remaining = edges;
+    if (edges >= vertices) {
+        std::fill(degree.begin(), degree.end(), 1u);
+        remaining = edges - vertices;
+    }
+    for (std::uint64_t i = 0; i < remaining; ++i)
+        ++degree[rng.below(vertices)];
+
+    CsrGraph g;
+    g.rowptr.resize(vertices + 1);
+    g.rowptr[0] = 0;
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        g.rowptr[v + 1] = g.rowptr[v] + degree[v];
+    g.dest.resize(edges);
+    g.weight.resize(edges);
+    for (std::uint64_t e = 0; e < edges; ++e) {
+        g.dest[e] = static_cast<std::uint32_t>(rng.below(vertices));
+        g.weight[e] =
+            1 + static_cast<std::uint32_t>(rng.below(max_weight));
+    }
+    return g;
+}
+
+std::vector<std::uint32_t>
+dijkstra(const CsrGraph &g, std::uint32_t source)
+{
+    const std::uint32_t n = g.numVertices();
+    std::vector<std::uint32_t> dist(n, kDistInf);
+    dist[source] = 0;
+
+    using Item = std::pair<std::uint32_t, std::uint32_t>; // dist, v
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0, source});
+
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (d != dist[v])
+            continue;
+        for (std::uint32_t e = g.rowptr[v]; e < g.rowptr[v + 1]; ++e) {
+            std::uint32_t nd = d + g.weight[e];
+            if (nd < dist[g.dest[e]]) {
+                dist[g.dest[e]] = nd;
+                pq.push({nd, g.dest[e]});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t>
+bellmanFord(const CsrGraph &g, std::uint32_t source,
+            std::uint32_t *rounds_out)
+{
+    const std::uint32_t n = g.numVertices();
+    std::vector<std::uint32_t> dist(n, kDistInf);
+    dist[source] = 0;
+
+    std::uint32_t rounds = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++rounds;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (dist[v] == kDistInf)
+                continue;
+            for (std::uint32_t e = g.rowptr[v]; e < g.rowptr[v + 1];
+                 ++e) {
+                std::uint32_t nd = dist[v] + g.weight[e];
+                if (nd < dist[g.dest[e]]) {
+                    dist[g.dest[e]] = nd;
+                    changed = true;
+                }
+            }
+        }
+    }
+    if (rounds_out)
+        *rounds_out = rounds;
+    return dist;
+}
+
+} // namespace optimus::algo

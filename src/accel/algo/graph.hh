@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Graph utilities for the SSSP benchmark: CSR representation, random
+ * graph generation (matching the paper's 800 K-vertex graphs with a
+ * sweep of edge counts), and reference shortest-path algorithms.
+ */
+
+#ifndef OPTIMUS_ACCEL_ALGO_GRAPH_HH
+#define OPTIMUS_ACCEL_ALGO_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace optimus::algo {
+
+/** Distance value for unreachable vertices. */
+constexpr std::uint32_t kDistInf = 0xffffffffu;
+
+/** Compressed sparse row directed graph with integer weights. */
+struct CsrGraph
+{
+    /** rowptr.size() == num_vertices + 1. */
+    std::vector<std::uint32_t> rowptr;
+    /** Edge destinations, rowptr-indexed. */
+    std::vector<std::uint32_t> dest;
+    /** Edge weights, parallel to dest. */
+    std::vector<std::uint32_t> weight;
+
+    std::uint32_t
+    numVertices() const
+    {
+        return rowptr.empty()
+                   ? 0
+                   : static_cast<std::uint32_t>(rowptr.size() - 1);
+    }
+    std::uint64_t numEdges() const { return dest.size(); }
+};
+
+/**
+ * Generate a random directed graph with @p vertices vertices and
+ * @p edges edges, weights uniform in [1, max_weight]. A deterministic
+ * function of @p seed. Every vertex receives at least one outgoing
+ * edge when edges >= vertices.
+ */
+CsrGraph makeRandomGraph(std::uint32_t vertices, std::uint64_t edges,
+                         std::uint32_t max_weight = 63,
+                         std::uint64_t seed = 1);
+
+/** Dijkstra reference (binary heap); distances from @p source. */
+std::vector<std::uint32_t> dijkstra(const CsrGraph &g,
+                                    std::uint32_t source);
+
+/**
+ * Round-based Bellman-Ford, the algorithm the SSSP accelerator
+ * implements in hardware: relax every edge per round until a round
+ * changes nothing.
+ * @param rounds_out optional: receives the number of rounds run.
+ */
+std::vector<std::uint32_t> bellmanFord(const CsrGraph &g,
+                                       std::uint32_t source,
+                                       std::uint32_t *rounds_out =
+                                           nullptr);
+
+} // namespace optimus::algo
+
+#endif // OPTIMUS_ACCEL_ALGO_GRAPH_HH

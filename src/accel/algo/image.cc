@@ -1,0 +1,84 @@
+#include "accel/algo/image.hh"
+
+#include <cstdlib>
+
+namespace optimus::algo {
+
+std::uint8_t
+rgbxLuma(const std::uint8_t *pixel)
+{
+    std::uint32_t r = pixel[0];
+    std::uint32_t g = pixel[1];
+    std::uint32_t b = pixel[2];
+    return static_cast<std::uint8_t>((77 * r + 150 * g + 29 * b) >> 8);
+}
+
+std::vector<std::uint8_t>
+rgbxToGray(const std::uint8_t *rgbx, std::size_t pixel_count)
+{
+    std::vector<std::uint8_t> out(pixel_count);
+    for (std::size_t i = 0; i < pixel_count; ++i)
+        out[i] = rgbxLuma(rgbx + i * 4);
+    return out;
+}
+
+std::uint8_t
+gaussianPixel(const GrayImage &in, std::int64_t x, std::int64_t y)
+{
+    static constexpr int k[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+    std::uint32_t acc = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx)
+            acc += static_cast<std::uint32_t>(k[dy + 1][dx + 1]) *
+                   in.at(x + dx, y + dy);
+    }
+    return static_cast<std::uint8_t>(acc >> 4);
+}
+
+std::uint8_t
+sobelPixel(const GrayImage &in, std::int64_t x, std::int64_t y)
+{
+    static constexpr int gx[3][3] = {{-1, 0, 1}, {-2, 0, 2},
+                                     {-1, 0, 1}};
+    static constexpr int gy[3][3] = {{-1, -2, -1}, {0, 0, 0},
+                                     {1, 2, 1}};
+    std::int32_t sx = 0;
+    std::int32_t sy = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            std::int32_t p = in.at(x + dx, y + dy);
+            sx += gx[dy + 1][dx + 1] * p;
+            sy += gy[dy + 1][dx + 1] * p;
+        }
+    }
+    std::int32_t mag = std::abs(sx) + std::abs(sy);
+    return static_cast<std::uint8_t>(mag > 255 ? 255 : mag);
+}
+
+GrayImage
+gaussianBlur3x3(const GrayImage &in)
+{
+    GrayImage out{in.width, in.height,
+                  std::vector<std::uint8_t>(in.pixels.size())};
+    for (std::uint32_t y = 0; y < in.height; ++y) {
+        for (std::uint32_t x = 0; x < in.width; ++x)
+            out.pixels[static_cast<std::size_t>(y) * in.width + x] =
+                gaussianPixel(in, x, y);
+    }
+    return out;
+}
+
+GrayImage
+sobel3x3(const GrayImage &in)
+{
+    GrayImage out{in.width, in.height,
+                  std::vector<std::uint8_t>(in.pixels.size())};
+    for (std::uint32_t y = 0; y < in.height; ++y) {
+        for (std::uint32_t x = 0; x < in.width; ++x)
+            out.pixels[static_cast<std::size_t>(y) * in.width + x] =
+                sobelPixel(in, x, y);
+    }
+    return out;
+}
+
+} // namespace optimus::algo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Image kernels for the GAU (Gaussian blur), GRS (grayscale), and
+ * SBL (Sobel) benchmark accelerators. All operate on row-major
+ * images; the hardware implementations stream rows through line
+ * buffers, and these functions define the exact arithmetic.
+ */
+
+#ifndef OPTIMUS_ACCEL_ALGO_IMAGE_HH
+#define OPTIMUS_ACCEL_ALGO_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace optimus::algo {
+
+/** A row-major 8-bit grayscale image. */
+struct GrayImage
+{
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::vector<std::uint8_t> pixels;
+
+    std::uint8_t
+    at(std::int64_t x, std::int64_t y) const
+    {
+        // Replicate edges (the hardware pipelines clamp coordinates).
+        if (x < 0)
+            x = 0;
+        if (y < 0)
+            y = 0;
+        if (x >= width)
+            x = width - 1;
+        if (y >= height)
+            y = height - 1;
+        return pixels[static_cast<std::size_t>(y) * width +
+                      static_cast<std::size_t>(x)];
+    }
+};
+
+/** RGBX (4 bytes per pixel) to 8-bit grayscale. */
+std::vector<std::uint8_t> rgbxToGray(const std::uint8_t *rgbx,
+                                     std::size_t pixel_count);
+
+/** Integer luma of one RGBX pixel: (77 R + 150 G + 29 B) >> 8. */
+std::uint8_t rgbxLuma(const std::uint8_t *pixel);
+
+/** 3x3 Gaussian blur (kernel 1-2-1 / 2-4-2 / 1-2-1, divide by 16). */
+GrayImage gaussianBlur3x3(const GrayImage &in);
+
+/** 3x3 Sobel edge magnitude: min(255, |Gx| + |Gy|). */
+GrayImage sobel3x3(const GrayImage &in);
+
+/** Blur arithmetic for a single output pixel (streaming form). */
+std::uint8_t gaussianPixel(const GrayImage &in, std::int64_t x,
+                           std::int64_t y);
+
+/** Sobel arithmetic for a single output pixel (streaming form). */
+std::uint8_t sobelPixel(const GrayImage &in, std::int64_t x,
+                        std::int64_t y);
+
+} // namespace optimus::algo
+
+#endif // OPTIMUS_ACCEL_ALGO_IMAGE_HH

@@ -1,0 +1,178 @@
+#include "accel/algo/md5.hh"
+
+#include <cstring>
+
+namespace optimus::algo {
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+std::uint32_t
+rotl(std::uint32_t x, std::uint32_t c)
+{
+    return (x << c) | (x >> (32 - c));
+}
+
+} // namespace
+
+void
+Md5::reset()
+{
+    _h[0] = 0x67452301;
+    _h[1] = 0xefcdab89;
+    _h[2] = 0x98badcfe;
+    _h[3] = 0x10325476;
+    _totalLen = 0;
+    _bufLen = 0;
+}
+
+void
+Md5::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i)
+        std::memcpy(&m[i], block + i * 4, 4);
+
+    std::uint32_t a = _h[0], b = _h[1], c = _h[2], d = _h[3];
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        std::uint32_t g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        std::uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl(a + f + kK[i] + m[g], kShift[i]);
+        a = tmp;
+    }
+    _h[0] += a;
+    _h[1] += b;
+    _h[2] += c;
+    _h[3] += d;
+}
+
+void
+Md5::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    _totalLen += len;
+
+    if (_bufLen > 0) {
+        std::size_t need = 64 - _bufLen;
+        std::size_t take = len < need ? len : need;
+        std::memcpy(_buf + _bufLen, p, take);
+        _bufLen += take;
+        p += take;
+        len -= take;
+        if (_bufLen == 64) {
+            processBlock(_buf);
+            _bufLen = 0;
+        }
+    }
+    while (len >= 64) {
+        processBlock(p);
+        p += 64;
+        len -= 64;
+    }
+    if (len > 0) {
+        std::memcpy(_buf, p, len);
+        _bufLen = len;
+    }
+}
+
+Md5::Digest
+Md5::finish()
+{
+    std::uint64_t bit_len = _totalLen * 8;
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    std::uint8_t zero = 0;
+    while (_bufLen != 56)
+        update(&zero, 1);
+    std::uint8_t len_le[8];
+    for (int i = 0; i < 8; ++i)
+        len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+    update(len_le, 8);
+
+    Digest d;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            d[i * 4 + j] =
+                static_cast<std::uint8_t>(_h[i] >> (8 * j));
+        }
+    }
+    reset();
+    return d;
+}
+
+Md5::Digest
+Md5::hash(const void *data, std::size_t len)
+{
+    Md5 md5;
+    md5.update(data, len);
+    return md5.finish();
+}
+
+} // namespace optimus::algo
+
+std::vector<std::uint8_t>
+optimus::algo::Md5::serialize() const
+{
+    std::vector<std::uint8_t> blob(sizeof(_h) + 8 + 8 + 64);
+    std::uint8_t *p = blob.data();
+    std::memcpy(p, _h, sizeof(_h));
+    p += sizeof(_h);
+    std::memcpy(p, &_totalLen, 8);
+    p += 8;
+    std::uint64_t buf_len = _bufLen;
+    std::memcpy(p, &buf_len, 8);
+    p += 8;
+    std::memcpy(p, _buf, 64);
+    return blob;
+}
+
+void
+optimus::algo::Md5::deserialize(const std::vector<std::uint8_t> &blob)
+{
+    const std::uint8_t *p = blob.data();
+    std::memcpy(_h, p, sizeof(_h));
+    p += sizeof(_h);
+    std::memcpy(&_totalLen, p, 8);
+    p += 8;
+    std::uint64_t buf_len = 0;
+    std::memcpy(&buf_len, p, 8);
+    p += 8;
+    _bufLen = static_cast<std::size_t>(buf_len);
+    std::memcpy(_buf, p, 64);
+}

@@ -1,0 +1,230 @@
+#include "accel/algo/reed_solomon.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace optimus::algo {
+
+Gf256::Gf256()
+{
+    // Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d).
+    std::uint32_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+        _exp[i] = static_cast<std::uint8_t>(x);
+        _log[x] = i;
+        x <<= 1;
+        if (x & 0x100)
+            x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i)
+        _exp[i] = _exp[i - 255];
+    _log[0] = 0; // never consulted: mul/div guard zero operands
+}
+
+std::uint8_t
+Gf256::div(std::uint8_t a, std::uint8_t b) const
+{
+    OPTIMUS_ASSERT(b != 0, "GF(256) division by zero");
+    if (a == 0)
+        return 0;
+    return _exp[(_log[a] + 255 - _log[b]) % 255];
+}
+
+std::uint8_t
+Gf256::inv(std::uint8_t a) const
+{
+    OPTIMUS_ASSERT(a != 0, "GF(256) inverse of zero");
+    return _exp[255 - _log[a]];
+}
+
+std::uint8_t
+Gf256::pow(std::uint8_t a, int n) const
+{
+    if (a == 0)
+        return 0;
+    int e = (_log[a] * n) % 255;
+    if (e < 0)
+        e += 255;
+    return _exp[e];
+}
+
+ReedSolomon::ReedSolomon()
+{
+    // g(x) = prod_{i=0}^{2t-1} (x - alpha^i), stored highest-first
+    // and monic: _generator[0] == 1, length kParity + 1.
+    _generator = {1};
+    for (std::size_t i = 0; i < kParity; ++i) {
+        std::vector<std::uint8_t> term = {
+            1, _gf.expTable(static_cast<int>(i))};
+        _generator = polyMul(_generator, term);
+    }
+}
+
+std::vector<std::uint8_t>
+ReedSolomon::polyMul(const std::vector<std::uint8_t> &a,
+                     const std::vector<std::uint8_t> &b) const
+{
+    std::vector<std::uint8_t> r(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < b.size(); ++j)
+            r[i + j] ^= _gf.mul(a[i], b[j]);
+    }
+    return r;
+}
+
+std::uint8_t
+ReedSolomon::polyEval(const std::vector<std::uint8_t> &poly,
+                      std::uint8_t x) const
+{
+    // Horner's rule; poly stored highest-degree first.
+    std::uint8_t y = 0;
+    for (std::uint8_t c : poly)
+        y = static_cast<std::uint8_t>(_gf.mul(y, x) ^ c);
+    return y;
+}
+
+void
+ReedSolomon::encode(const std::uint8_t *message,
+                    std::uint8_t *codeword) const
+{
+    // Systematic encoding: remainder of M(x) * x^2t divided by g(x).
+    std::array<std::uint8_t, kParity> rem{};
+    for (std::size_t i = 0; i < kK; ++i) {
+        std::uint8_t coef =
+            static_cast<std::uint8_t>(message[i] ^ rem[0]);
+        std::copy(rem.begin() + 1, rem.end(), rem.begin());
+        rem[kParity - 1] = 0;
+        if (coef != 0) {
+            for (std::size_t j = 0; j < kParity; ++j)
+                rem[j] ^= _gf.mul(coef, _generator[j + 1]);
+        }
+    }
+    std::copy(message, message + kK, codeword);
+    std::copy(rem.begin(), rem.end(), codeword + kK);
+}
+
+int
+ReedSolomon::decode(std::uint8_t *codeword) const
+{
+    // --- Syndromes: s_i = C(alpha^i), i = 0 .. 2t-1.
+    std::array<std::uint8_t, kParity> synd{};
+    bool all_zero = true;
+    for (std::size_t i = 0; i < kParity; ++i) {
+        std::uint8_t x = _gf.expTable(static_cast<int>(i));
+        std::uint8_t y = 0;
+        for (std::size_t j = 0; j < kN; ++j)
+            y = static_cast<std::uint8_t>(_gf.mul(y, x) ^ codeword[j]);
+        synd[i] = y;
+        all_zero = all_zero && y == 0;
+    }
+    if (all_zero)
+        return 0;
+
+    // --- Berlekamp-Massey: error locator sigma(x), lowest-first.
+    std::vector<std::uint8_t> sigma = {1};
+    std::vector<std::uint8_t> prev = {1};
+    std::size_t L = 0;
+    std::size_t m = 1;
+    std::uint8_t b = 1;
+    for (std::size_t n = 0; n < kParity; ++n) {
+        std::uint8_t delta = synd[n];
+        for (std::size_t i = 1; i <= L && i < sigma.size(); ++i)
+            delta ^= _gf.mul(sigma[i], synd[n - i]);
+        if (delta == 0) {
+            ++m;
+        } else if (2 * L <= n) {
+            std::vector<std::uint8_t> t = sigma;
+            std::uint8_t scale = _gf.div(delta, b);
+            if (sigma.size() < prev.size() + m)
+                sigma.resize(prev.size() + m, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                sigma[i + m] ^= _gf.mul(scale, prev[i]);
+            L = n + 1 - L;
+            prev = std::move(t);
+            b = delta;
+            m = 1;
+        } else {
+            std::uint8_t scale = _gf.div(delta, b);
+            if (sigma.size() < prev.size() + m)
+                sigma.resize(prev.size() + m, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                sigma[i + m] ^= _gf.mul(scale, prev[i]);
+            ++m;
+        }
+    }
+    while (!sigma.empty() && sigma.back() == 0)
+        sigma.pop_back();
+    if (L > kT || sigma.size() != L + 1)
+        return -1; // too many errors
+
+    // --- Chien search: degrees j with sigma(alpha^{-j}) == 0.
+    std::vector<int> error_degrees;
+    for (int j = 0; j < static_cast<int>(kN); ++j) {
+        std::uint8_t xinv = _gf.pow(2, -j);
+        std::uint8_t y = 0;
+        // sigma is lowest-first; evaluate directly.
+        std::uint8_t xp = 1;
+        for (std::uint8_t c : sigma) {
+            y ^= _gf.mul(c, xp);
+            xp = _gf.mul(xp, xinv);
+        }
+        if (y == 0)
+            error_degrees.push_back(j);
+    }
+    if (error_degrees.size() != L)
+        return -1; // locator roots inconsistent: uncorrectable
+
+    // --- Error evaluator Omega(x) = S(x) sigma(x) mod x^{2t},
+    // lowest-first.
+    std::vector<std::uint8_t> omega(kParity, 0);
+    for (std::size_t i = 0; i < kParity; ++i) {
+        std::uint8_t acc = 0;
+        for (std::size_t j = 0; j <= i && j < sigma.size(); ++j)
+            acc ^= _gf.mul(sigma[j], synd[i - j]);
+        omega[i] = acc;
+    }
+
+    // --- Forney: e_j = X_j * Omega(X_j^{-1}) / sigma'(X_j^{-1}).
+    for (int j : error_degrees) {
+        std::uint8_t x = _gf.pow(2, j);
+        std::uint8_t xinv = _gf.inv(x);
+
+        std::uint8_t omega_v = 0;
+        std::uint8_t xp = 1;
+        for (std::uint8_t c : omega) {
+            omega_v ^= _gf.mul(c, xp);
+            xp = _gf.mul(xp, xinv);
+        }
+
+        // Formal derivative keeps odd-degree terms only in GF(2^m).
+        std::uint8_t deriv_v = 0;
+        xp = 1; // xinv^0, multiplies the degree-1 coefficient
+        for (std::size_t d = 1; d < sigma.size(); d += 2) {
+            deriv_v ^= _gf.mul(sigma[d], xp);
+            xp = _gf.mul(xp, _gf.mul(xinv, xinv));
+        }
+        if (deriv_v == 0)
+            return -1;
+
+        std::uint8_t magnitude =
+            _gf.mul(x, _gf.div(omega_v, deriv_v));
+        std::size_t byte_index = kN - 1 - static_cast<std::size_t>(j);
+        codeword[byte_index] ^= magnitude;
+    }
+
+    // Verify: recompute syndromes; a decoding failure that slipped
+    // through shows up here.
+    for (std::size_t i = 0; i < kParity; ++i) {
+        std::uint8_t xs = _gf.expTable(static_cast<int>(i));
+        std::uint8_t y = 0;
+        for (std::size_t j = 0; j < kN; ++j)
+            y = static_cast<std::uint8_t>(_gf.mul(y, xs) ^
+                                          codeword[j]);
+        if (y != 0)
+            return -1;
+    }
+    return static_cast<int>(L);
+}
+
+} // namespace optimus::algo

@@ -1,0 +1,55 @@
+#include "accel/algo/signal.hh"
+
+#include <cmath>
+
+namespace optimus::algo {
+
+Fir16::Taps
+Fir16::defaultTaps()
+{
+    // Symmetric low-pass kernel (integer, sums to 1024).
+    return Taps{1,  6,  18, 42, 78, 118, 148, 161,
+                161, 148, 118, 78, 42, 18, 6,  1};
+}
+
+std::vector<std::int32_t>
+Fir16::filter(const std::vector<std::int32_t> &x) const
+{
+    std::vector<std::int32_t> y(x.size(), 0);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        std::int64_t acc = 0;
+        for (std::size_t k = 0; k < kTaps && k <= n; ++k)
+            acc += static_cast<std::int64_t>(_taps[k]) * x[n - k];
+        y[n] = static_cast<std::int32_t>(acc >> 10);
+    }
+    return y;
+}
+
+std::int32_t
+Fir16::step(const std::int32_t *history) const
+{
+    // history[0] is the newest sample, history[15] the oldest.
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < kTaps; ++k)
+        acc += static_cast<std::int64_t>(_taps[k]) * history[k];
+    return static_cast<std::int32_t>(acc >> 10);
+}
+
+double
+GaussianSource::next()
+{
+    if (_hasSpare) {
+        _hasSpare = false;
+        return _spare;
+    }
+    // Box-Muller; u1 in (0, 1] to keep the log finite.
+    double u1 = 1.0 - _rng.uniform();
+    double u2 = _rng.uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    _spare = r * std::sin(theta);
+    _hasSpare = true;
+    return r * std::cos(theta);
+}
+
+} // namespace optimus::algo

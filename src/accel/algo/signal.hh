@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Signal-processing kernels: the FIR filter and the Gaussian random
+ * number generator used by the FIR and GRN benchmark accelerators.
+ */
+
+#ifndef OPTIMUS_ACCEL_ALGO_SIGNAL_HH
+#define OPTIMUS_ACCEL_ALGO_SIGNAL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace optimus::algo {
+
+/** Fixed 16-tap integer FIR filter. */
+class Fir16
+{
+  public:
+    static constexpr std::size_t kTaps = 16;
+    using Taps = std::array<std::int32_t, kTaps>;
+
+    explicit Fir16(const Taps &taps) : _taps(taps) {}
+
+    /** The default low-pass tap set used by the FIR benchmark. */
+    static Taps defaultTaps();
+
+    /**
+     * y[n] = sum_k h[k] * x[n-k], with x[<0] treated as zero;
+     * output is the same length as the input.
+     */
+    std::vector<std::int32_t>
+    filter(const std::vector<std::int32_t> &x) const;
+
+    /** Single-output convenience for streaming implementations. */
+    std::int32_t step(const std::int32_t *history) const;
+
+    const Taps &taps() const { return _taps; }
+
+  private:
+    Taps _taps;
+};
+
+/**
+ * Gaussian random number source (Box-Muller over the deterministic
+ * xoshiro stream), producing the same values as the GRN accelerator.
+ */
+class GaussianSource
+{
+  public:
+    explicit GaussianSource(std::uint64_t seed) : _rng(seed) {}
+
+    /** Next N(0,1) variate. */
+    double next();
+
+    /** State capture for accelerator preemption. */
+    struct State
+    {
+        std::array<std::uint64_t, 4> rng;
+        bool hasSpare;
+        double spare;
+    };
+    State
+    state() const
+    {
+        return State{_rng.state(), _hasSpare, _spare};
+    }
+    void
+    setState(const State &s)
+    {
+        _rng.setState(s.rng);
+        _hasSpare = s.hasSpare;
+        _spare = s.spare;
+    }
+
+  private:
+    sim::Rng _rng;
+    bool _hasSpare = false;
+    double _spare = 0.0;
+};
+
+} // namespace optimus::algo
+
+#endif // OPTIMUS_ACCEL_ALGO_SIGNAL_HH

@@ -1,0 +1,37 @@
+#include "accel/algo/smith_waterman.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace optimus::algo {
+
+std::int32_t
+smithWatermanScore(std::string_view a, std::string_view b,
+                   const SwParams &params)
+{
+    if (a.empty() || b.empty())
+        return 0;
+
+    // Two-row DP; H[i][j] >= 0 with local reset.
+    std::vector<std::int32_t> prev(b.size() + 1, 0);
+    std::vector<std::int32_t> cur(b.size() + 1, 0);
+    std::int32_t best = 0;
+
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = 0;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::int32_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? params.match
+                                                    : params.mismatch);
+            std::int32_t del = prev[j] + params.gap;
+            std::int32_t ins = cur[j - 1] + params.gap;
+            std::int32_t h = std::max({0, sub, del, ins});
+            cur[j] = h;
+            best = std::max(best, h);
+        }
+        std::swap(prev, cur);
+    }
+    return best;
+}
+
+} // namespace optimus::algo

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Smith-Waterman local sequence alignment (score only), as computed
+ * by the SW benchmark accelerator's systolic array.
+ */
+
+#ifndef OPTIMUS_ACCEL_ALGO_SMITH_WATERMAN_HH
+#define OPTIMUS_ACCEL_ALGO_SMITH_WATERMAN_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace optimus::algo {
+
+/** Scoring parameters for the alignment. */
+struct SwParams
+{
+    std::int32_t match = 2;
+    std::int32_t mismatch = -1;
+    std::int32_t gap = -1;
+};
+
+/**
+ * Maximum local alignment score between @p a and @p b with linear
+ * gap penalties.
+ */
+std::int32_t smithWatermanScore(std::string_view a, std::string_view b,
+                                const SwParams &params = SwParams{});
+
+} // namespace optimus::algo
+
+#endif // OPTIMUS_ACCEL_ALGO_SMITH_WATERMAN_HH

@@ -1,0 +1,216 @@
+#include "accel/crypto_accels.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace optimus::accel {
+
+// ------------------------------------------------------------------ AES
+
+AesAccel::AesAccel(sim::EventQueue &eq,
+                   const sim::PlatformParams &params, std::string name,
+                   sim::StatGroup *stats)
+    : StreamingAccelerator(eq, params, std::move(name), 200,
+                           Tuning{64, 11}, stats)
+{
+}
+
+void
+AesAccel::streamBegin()
+{
+    algo::Aes128::Key key{};
+    std::uint64_t lo = appReg(kRegKeyLo);
+    std::uint64_t hi = appReg(kRegKeyHi);
+    std::memcpy(key.data(), &lo, 8);
+    std::memcpy(key.data() + 8, &hi, 8);
+    _cipher.emplace(key);
+}
+
+void
+AesAccel::consumeLine(std::uint64_t offset, const std::uint8_t *data,
+                      std::uint32_t bytes)
+{
+    std::uint8_t out[sim::kCacheLineBytes];
+    std::memcpy(out, data, bytes);
+    _cipher->encryptEcb(out, bytes - bytes % 16);
+    emit(dst() + offset, out, bytes);
+}
+
+// ------------------------------------------------------------------ MD5
+
+Md5Accel::Md5Accel(sim::EventQueue &eq,
+                   const sim::PlatformParams &params, std::string name,
+                   sim::StatGroup *stats)
+    : StreamingAccelerator(eq, params, std::move(name), 100,
+                           Tuning{64, 3}, stats)
+{
+}
+
+void
+Md5Accel::consumeLine(std::uint64_t offset, const std::uint8_t *data,
+                      std::uint32_t bytes)
+{
+    (void)offset;
+    _md5.update(data, bytes);
+}
+
+void
+Md5Accel::streamEnd()
+{
+    algo::Md5::Digest digest = _md5.finish();
+    std::memcpy(&_result8, digest.data(), 8);
+    if (dst().value() != 0)
+        emit(dst(), digest.data(),
+             static_cast<std::uint32_t>(digest.size()));
+}
+
+// ------------------------------------------------------------------ SHA
+
+ShaAccel::ShaAccel(sim::EventQueue &eq,
+                   const sim::PlatformParams &params, std::string name,
+                   sim::StatGroup *stats)
+    : StreamingAccelerator(eq, params, std::move(name), 200,
+                           Tuning{64, 6}, stats)
+{
+}
+
+void
+ShaAccel::consumeLine(std::uint64_t offset, const std::uint8_t *data,
+                      std::uint32_t bytes)
+{
+    (void)offset;
+    _sha.update(data, bytes);
+}
+
+void
+ShaAccel::streamEnd()
+{
+    algo::Sha512::Digest digest = _sha.finish();
+    std::memcpy(&_result8, digest.data(), 8);
+    if (dst().value() != 0)
+        emit(dst(), digest.data(),
+             static_cast<std::uint32_t>(digest.size()));
+}
+
+// ------------------------------------------------------------------ BTC
+
+BtcAccel::BtcAccel(sim::EventQueue &eq,
+                   const sim::PlatformParams &params, std::string name,
+                   sim::StatGroup *stats)
+    : Accelerator(eq, params, std::move(name), 100, stats)
+{
+    dma().setMaxOutstanding(4);
+}
+
+void
+BtcAccel::onStart()
+{
+    _headerLoaded = false;
+    _headerLinesLoaded = 0;
+    _nonce = static_cast<std::uint32_t>(appReg(kRegStartNonce));
+    loadHeader();
+}
+
+void
+BtcAccel::onSoftReset()
+{
+    _headerLoaded = false;
+    _headerLinesLoaded = 0;
+    _nonce = 0;
+}
+
+void
+BtcAccel::loadHeader()
+{
+    mem::Gva base(appReg(kRegSrc));
+    for (std::uint32_t line = 0; line < 2; ++line) {
+        std::uint32_t bytes = line == 0 ? 64 : 16;
+        dma().read(base + line * 64ULL, bytes,
+                   [this, line, bytes](ccip::DmaTxn &t) {
+                       if (t.error) {
+                           fail();
+                           return;
+                       }
+                       std::memcpy(_header.data() + line * 64,
+                                   t.data.data(), bytes);
+                       if (++_headerLinesLoaded == 2) {
+                           _headerLoaded = true;
+                           mineBatch();
+                       }
+                   });
+    }
+}
+
+bool
+BtcAccel::hasLeadingZeroBits(const algo::Sha256::Digest &d,
+                             std::uint32_t bits)
+{
+    for (std::uint32_t i = 0; i < bits; i += 8) {
+        std::uint8_t byte = d[i / 8];
+        std::uint32_t in_byte = bits - i >= 8 ? 8 : bits - i;
+        std::uint8_t mask = static_cast<std::uint8_t>(
+            0xff << (8 - in_byte));
+        if (byte & mask)
+            return false;
+    }
+    return true;
+}
+
+void
+BtcAccel::mineBatch()
+{
+    if (!running() || !_headerLoaded)
+        return;
+
+    auto zero_bits = static_cast<std::uint32_t>(appReg(kRegZeroBits));
+    std::array<std::uint8_t, 80> hdr = _header;
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+        std::memcpy(hdr.data() + 76, &_nonce, 4);
+        algo::Sha256::Digest d =
+            algo::Sha256::doubleHash(hdr.data(), hdr.size());
+        if (hasLeadingZeroBits(d, zero_bits)) {
+            finish(_nonce);
+            return;
+        }
+        ++_nonce;
+        bumpProgress();
+    }
+    // One nonce per cycle through the pipelined core.
+    scheduleGuarded(kBatch, [this]() { mineBatch(); });
+}
+
+std::vector<std::uint8_t>
+BtcAccel::saveArchState() const
+{
+    std::vector<std::uint8_t> blob(88);
+    std::memcpy(blob.data(), _header.data(), 80);
+    std::memcpy(blob.data() + 80, &_nonce, 4);
+    std::uint32_t loaded = _headerLoaded ? 1 : 0;
+    std::memcpy(blob.data() + 84, &loaded, 4);
+    return blob;
+}
+
+void
+BtcAccel::restoreArchState(const std::vector<std::uint8_t> &blob)
+{
+    OPTIMUS_ASSERT(blob.size() >= 88, "short BTC arch state");
+    std::memcpy(_header.data(), blob.data(), 80);
+    std::memcpy(&_nonce, blob.data() + 80, 4);
+    std::uint32_t loaded = 0;
+    std::memcpy(&loaded, blob.data() + 84, 4);
+    _headerLoaded = loaded != 0;
+    _headerLinesLoaded = _headerLoaded ? 2 : 0;
+}
+
+void
+BtcAccel::onResumed()
+{
+    if (_headerLoaded) {
+        mineBatch();
+    } else {
+        onStart();
+    }
+}
+
+} // namespace optimus::accel

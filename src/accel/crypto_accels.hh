@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cryptography and hashing benchmark accelerators: AES, MD5, SHA
+ * (SHA-512), and the Bitcoin miner (BTC).
+ */
+
+#ifndef OPTIMUS_ACCEL_CRYPTO_ACCELS_HH
+#define OPTIMUS_ACCEL_CRYPTO_ACCELS_HH
+
+#include <memory>
+#include <optional>
+
+#include "accel/algo/aes128.hh"
+#include "accel/algo/md5.hh"
+#include "accel/algo/sha.hh"
+#include "accel/streaming_accelerator.hh"
+
+namespace optimus::accel {
+
+/**
+ * AES-128 ECB encryptor: streams SRC..SRC+LEN, encrypts each 64-byte
+ * line (four blocks), and writes it to DST at the same offset.
+ * App registers: SRC, DST, LEN, APP3/APP4 = key low/high 8 bytes.
+ */
+class AesAccel : public StreamingAccelerator
+{
+  public:
+    static constexpr std::uint32_t kRegKeyLo = 3;
+    static constexpr std::uint32_t kRegKeyHi = 4;
+
+    AesAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
+             std::string name, sim::StatGroup *stats = nullptr);
+
+  protected:
+    void streamBegin() override;
+    void consumeLine(std::uint64_t offset, const std::uint8_t *data,
+                     std::uint32_t bytes) override;
+    void restoreTransformState(
+        const std::vector<std::uint8_t> &blob) override
+    {
+        (void)blob;
+        // The expanded key is derived state: rebuild it from the
+        // (already restored) key registers on resume.
+        streamBegin();
+    }
+    std::uint64_t transformStateCapacity() const override
+    {
+        return 0;
+    }
+
+  private:
+    std::optional<algo::Aes128> _cipher;
+};
+
+/**
+ * MD5 hasher: streams SRC..SRC+LEN through the digest; at the end
+ * writes the 16-byte digest to DST and latches its first 8 bytes
+ * into RESULT.
+ */
+class Md5Accel : public StreamingAccelerator
+{
+  public:
+    Md5Accel(sim::EventQueue &eq, const sim::PlatformParams &params,
+             std::string name, sim::StatGroup *stats = nullptr);
+
+  protected:
+    void streamBegin() override { _md5.reset(); }
+    void consumeLine(std::uint64_t offset, const std::uint8_t *data,
+                     std::uint32_t bytes) override;
+    void streamEnd() override;
+    std::uint64_t resultValue() const override { return _result8; }
+    std::vector<std::uint8_t> saveTransformState() const override
+    {
+        return _md5.serialize();
+    }
+    void restoreTransformState(
+        const std::vector<std::uint8_t> &blob) override
+    {
+        _md5.deserialize(blob);
+    }
+    std::uint64_t transformStateCapacity() const override
+    {
+        return 128;
+    }
+
+  private:
+    algo::Md5 _md5;
+    std::uint64_t _result8 = 0;
+};
+
+/** SHA-512 hasher: like MD5 but with a 64-byte digest. */
+class ShaAccel : public StreamingAccelerator
+{
+  public:
+    ShaAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
+             std::string name, sim::StatGroup *stats = nullptr);
+
+  protected:
+    void streamBegin() override { _sha.reset(); }
+    void consumeLine(std::uint64_t offset, const std::uint8_t *data,
+                     std::uint32_t bytes) override;
+    void streamEnd() override;
+    std::uint64_t resultValue() const override { return _result8; }
+    std::vector<std::uint8_t> saveTransformState() const override
+    {
+        return _sha.serialize();
+    }
+    void restoreTransformState(
+        const std::vector<std::uint8_t> &blob) override
+    {
+        _sha.deserialize(blob);
+    }
+    std::uint64_t transformStateCapacity() const override
+    {
+        return 256;
+    }
+
+  private:
+    algo::Sha512 _sha;
+    std::uint64_t _result8 = 0;
+};
+
+/**
+ * Bitcoin miner: reads an 80-byte block-header template at SRC
+ * (nonce field at bytes 76..79), then scans nonces from APP3 until
+ * double-SHA256(header) has at least APP4 leading zero bits. RESULT
+ * is the winning nonce. Almost no memory traffic — compute-bound,
+ * like the original.
+ */
+class BtcAccel : public Accelerator
+{
+  public:
+    static constexpr std::uint32_t kRegSrc = 0;
+    static constexpr std::uint32_t kRegStartNonce = 3;
+    static constexpr std::uint32_t kRegZeroBits = 4;
+
+    /** Nonces tried per scheduling quantum (and cycles it costs). */
+    static constexpr std::uint32_t kBatch = 256;
+
+    BtcAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
+             std::string name, sim::StatGroup *stats = nullptr);
+
+  protected:
+    void onStart() override;
+    void onSoftReset() override;
+    std::vector<std::uint8_t> saveArchState() const override;
+    void restoreArchState(
+        const std::vector<std::uint8_t> &blob) override;
+    void onResumed() override;
+    std::uint64_t archStateCapacity() const override { return 128; }
+
+  private:
+    void loadHeader();
+    void mineBatch();
+    static bool hasLeadingZeroBits(const algo::Sha256::Digest &d,
+                                   std::uint32_t bits);
+
+    std::array<std::uint8_t, 80> _header{};
+    std::uint32_t _headerLinesLoaded = 0;
+    std::uint32_t _nonce = 0;
+    bool _headerLoaded = false;
+};
+
+} // namespace optimus::accel
+
+#endif // OPTIMUS_ACCEL_CRYPTO_ACCELS_HH

@@ -1,0 +1,228 @@
+#include "accel/image_accels.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace optimus::accel {
+
+// ------------------------------------------------------------------ GRS
+
+GrsAccel::GrsAccel(sim::EventQueue &eq,
+                   const sim::PlatformParams &params, std::string name,
+                   sim::StatGroup *stats)
+    : StreamingAccelerator(eq, params, std::move(name), 200,
+                           Tuning{64, 4}, stats)
+{
+}
+
+void
+GrsAccel::streamBegin()
+{
+    _outLine.fill(0);
+    _outFill = 0;
+    _outOffset = 0;
+}
+
+void
+GrsAccel::consumeLine(std::uint64_t offset, const std::uint8_t *data,
+                      std::uint32_t bytes)
+{
+    (void)offset;
+    // 16 RGBX pixels per input line -> 16 luma bytes.
+    for (std::uint32_t px = 0; px + 4 <= bytes; px += 4) {
+        _outLine[_outFill++] = algo::rgbxLuma(data + px);
+        if (_outFill == sim::kCacheLineBytes)
+            flushOutLine();
+    }
+}
+
+void
+GrsAccel::flushOutLine()
+{
+    emit(dst() + _outOffset, _outLine.data(),
+         static_cast<std::uint32_t>(_outFill));
+    _outOffset += _outFill;
+    _outFill = 0;
+}
+
+void
+GrsAccel::streamEnd()
+{
+    if (_outFill > 0)
+        flushOutLine();
+}
+
+std::vector<std::uint8_t>
+GrsAccel::saveTransformState() const
+{
+    std::vector<std::uint8_t> blob(sim::kCacheLineBytes + 16);
+    std::memcpy(blob.data(), _outLine.data(), sim::kCacheLineBytes);
+    std::memcpy(blob.data() + sim::kCacheLineBytes, &_outFill, 8);
+    std::memcpy(blob.data() + sim::kCacheLineBytes + 8, &_outOffset,
+                8);
+    return blob;
+}
+
+void
+GrsAccel::restoreTransformState(const std::vector<std::uint8_t> &blob)
+{
+    OPTIMUS_ASSERT(blob.size() >= sim::kCacheLineBytes + 16,
+                   "short GRS state");
+    std::memcpy(_outLine.data(), blob.data(), sim::kCacheLineBytes);
+    std::memcpy(&_outFill, blob.data() + sim::kCacheLineBytes, 8);
+    std::memcpy(&_outOffset, blob.data() + sim::kCacheLineBytes + 8,
+                8);
+}
+
+// ---------------------------------------------------------- row filters
+
+RowFilterAccel::RowFilterAccel(sim::EventQueue &eq,
+                               const sim::PlatformParams &params,
+                               std::string name,
+                               std::uint32_t read_gap_cycles,
+                               sim::StatGroup *stats)
+    : StreamingAccelerator(eq, params, std::move(name), 200,
+                           Tuning{64, read_gap_cycles}, stats)
+{
+}
+
+void
+RowFilterAccel::streamBegin()
+{
+    OPTIMUS_ASSERT(width() > 0 &&
+                       width() % sim::kCacheLineBytes == 0 &&
+                       width() <= kMaxWidth,
+                   "row filter width must be a nonzero multiple of "
+                   "the line size");
+    OPTIMUS_ASSERT(streamLen() % width() == 0,
+                   "image length must be a whole number of rows");
+    _rowPrev.clear();
+    _rowPrev2.clear();
+    _rowCur.clear();
+    _rowCur.reserve(width());
+    _rowsCompleted = 0;
+}
+
+void
+RowFilterAccel::consumeLine(std::uint64_t offset,
+                            const std::uint8_t *data,
+                            std::uint32_t bytes)
+{
+    (void)offset;
+    _rowCur.insert(_rowCur.end(), data, data + bytes);
+    if (_rowCur.size() >= width())
+        rowCompleted();
+}
+
+void
+RowFilterAccel::rowCompleted()
+{
+    ++_rowsCompleted;
+    if (_rowsCompleted >= 2) {
+        // Row r just completed; output row r-1 uses rows r-2..r
+        // (the topmost row clamps to itself).
+        const std::vector<std::uint8_t> &above =
+            _rowsCompleted == 2 ? _rowPrev : _rowPrev2;
+        emitFilteredRow(above, _rowPrev, _rowCur, _rowsCompleted - 2);
+    }
+    _rowPrev2 = std::move(_rowPrev);
+    _rowPrev = std::move(_rowCur);
+    _rowCur.clear();
+    _rowCur.reserve(width());
+}
+
+void
+RowFilterAccel::streamEnd()
+{
+    // The bottom row clamps downward onto itself.
+    if (height() == 1) {
+        emitFilteredRow(_rowPrev, _rowPrev, _rowPrev, 0);
+    } else if (_rowsCompleted >= 2) {
+        emitFilteredRow(_rowPrev2, _rowPrev, _rowPrev,
+                        _rowsCompleted - 1);
+    }
+}
+
+void
+RowFilterAccel::emitFilteredRow(const std::vector<std::uint8_t> &above,
+                                const std::vector<std::uint8_t> &center,
+                                const std::vector<std::uint8_t> &below,
+                                std::uint64_t out_row)
+{
+    const std::uint64_t w = width();
+    algo::GrayImage window;
+    window.width = static_cast<std::uint32_t>(w);
+    window.height = 3;
+    window.pixels.resize(3 * w);
+    std::memcpy(window.pixels.data(), above.data(), w);
+    std::memcpy(window.pixels.data() + w, center.data(), w);
+    std::memcpy(window.pixels.data() + 2 * w, below.data(), w);
+
+    std::vector<std::uint8_t> out(w);
+    for (std::uint64_t x = 0; x < w; ++x)
+        out[x] = filterPixel(window, static_cast<std::int64_t>(x));
+
+    for (std::uint64_t off = 0; off < w; off += sim::kCacheLineBytes) {
+        emit(dst() + out_row * w + off, out.data() + off,
+             static_cast<std::uint32_t>(sim::kCacheLineBytes));
+    }
+}
+
+std::vector<std::uint8_t>
+RowFilterAccel::saveTransformState() const
+{
+    // Layout: [rowsCompleted][curFill][prev row][prev2 row][cur row].
+    std::uint64_t cur_fill = _rowCur.size();
+    std::vector<std::uint8_t> blob(16 + 3 * kMaxWidth, 0);
+    std::memcpy(blob.data(), &_rowsCompleted, 8);
+    std::memcpy(blob.data() + 8, &cur_fill, 8);
+    if (!_rowPrev.empty())
+        std::memcpy(blob.data() + 16, _rowPrev.data(),
+                    _rowPrev.size());
+    if (!_rowPrev2.empty())
+        std::memcpy(blob.data() + 16 + kMaxWidth, _rowPrev2.data(),
+                    _rowPrev2.size());
+    if (!_rowCur.empty())
+        std::memcpy(blob.data() + 16 + 2 * kMaxWidth, _rowCur.data(),
+                    _rowCur.size());
+    return blob;
+}
+
+void
+RowFilterAccel::restoreTransformState(
+    const std::vector<std::uint8_t> &blob)
+{
+    OPTIMUS_ASSERT(blob.size() >= 16 + 3 * kMaxWidth,
+                   "short row-filter state");
+    std::uint64_t cur_fill = 0;
+    std::memcpy(&_rowsCompleted, blob.data(), 8);
+    std::memcpy(&cur_fill, blob.data() + 8, 8);
+
+    const std::uint64_t w = width();
+    _rowPrev.assign(blob.data() + 16, blob.data() + 16 + w);
+    _rowPrev2.assign(blob.data() + 16 + kMaxWidth,
+                     blob.data() + 16 + kMaxWidth + w);
+    _rowCur.assign(blob.data() + 16 + 2 * kMaxWidth,
+                   blob.data() + 16 + 2 * kMaxWidth + cur_fill);
+    if (_rowsCompleted == 0)
+        _rowPrev.clear();
+    if (_rowsCompleted < 2)
+        _rowPrev2.clear();
+}
+
+GauAccel::GauAccel(sim::EventQueue &eq,
+                   const sim::PlatformParams &params, std::string name,
+                   sim::StatGroup *stats)
+    : RowFilterAccel(eq, params, std::move(name), 6, stats)
+{
+}
+
+SblAccel::SblAccel(sim::EventQueue &eq,
+                   const sim::PlatformParams &params, std::string name,
+                   sim::StatGroup *stats)
+    : RowFilterAccel(eq, params, std::move(name), 6, stats)
+{
+}
+
+} // namespace optimus::accel

@@ -1,0 +1,99 @@
+#include "accel/linkedlist_accel.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace optimus::accel {
+
+LinkedlistAccel::LinkedlistAccel(sim::EventQueue &eq,
+                                 const sim::PlatformParams &params,
+                                 std::string name,
+                                 sim::StatGroup *stats)
+    : Accelerator(eq, params, std::move(name), 400, stats)
+{
+    // Strictly serial: the next address is only known when the
+    // current node arrives.
+    dma().setMaxOutstanding(1);
+}
+
+void
+LinkedlistAccel::onStart()
+{
+    _current = appReg(kRegHead);
+    _walked = 0;
+    _checksum = 0;
+    dma().setChannel(
+        static_cast<ccip::VChannel>(appReg(kRegChannel)));
+    step();
+}
+
+void
+LinkedlistAccel::onSoftReset()
+{
+    _current = 0;
+    _walked = 0;
+    _checksum = 0;
+}
+
+void
+LinkedlistAccel::step()
+{
+    if (!running())
+        return;
+    if (_current == 0) {
+        finish(_checksum);
+        return;
+    }
+    const std::uint64_t count = appReg(kRegCount);
+    if (count != 0 && _walked >= count) {
+        finish(_checksum);
+        return;
+    }
+
+    dma().read(mem::Gva(_current), sim::kCacheLineBytes,
+               [this](ccip::DmaTxn &t) {
+                   if (t.error) {
+                       fail();
+                       return;
+                   }
+                   LinkedListNode node;
+                   std::memcpy(&node, t.data.data(), sizeof(node));
+                   _current = node.next;
+                   _checksum += node.payload[0];
+                   ++_walked;
+                   bumpProgress();
+                   step();
+               });
+}
+
+std::vector<std::uint8_t>
+LinkedlistAccel::saveArchState() const
+{
+    // The paper's canonical minimal state: the address of the next
+    // node (plus the running counters).
+    std::vector<std::uint8_t> blob(24);
+    std::memcpy(blob.data(), &_current, 8);
+    std::memcpy(blob.data() + 8, &_walked, 8);
+    std::memcpy(blob.data() + 16, &_checksum, 8);
+    return blob;
+}
+
+void
+LinkedlistAccel::restoreArchState(const std::vector<std::uint8_t> &blob)
+{
+    OPTIMUS_ASSERT(blob.size() >= 24, "short LinkedList state");
+    std::memcpy(&_current, blob.data(), 8);
+    std::memcpy(&_walked, blob.data() + 8, 8);
+    std::memcpy(&_checksum, blob.data() + 16, 8);
+}
+
+void
+LinkedlistAccel::onResumed()
+{
+    dma().setChannel(
+        static_cast<ccip::VChannel>(appReg(kRegChannel)));
+    step();
+}
+
+} // namespace optimus::accel

@@ -1,0 +1,142 @@
+#include "accel/membench_accel.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace optimus::accel {
+
+MembenchAccel::MembenchAccel(sim::EventQueue &eq,
+                             const sim::PlatformParams &params,
+                             std::string name, sim::StatGroup *stats)
+    : Accelerator(eq, params, std::move(name), 400, stats)
+{
+    dma().setMaxOutstanding(256);
+}
+
+void
+MembenchAccel::configure()
+{
+    dma().setChannel(
+        static_cast<ccip::VChannel>(appReg(kRegChannel)));
+}
+
+void
+MembenchAccel::onStart()
+{
+    _rng.reseed(appReg(kRegSeed) + 1);
+    _issued = 0;
+    _completed = 0;
+    _nextAllowed = 0;
+    configure();
+    pump();
+}
+
+void
+MembenchAccel::onSoftReset()
+{
+    _issued = 0;
+    _completed = 0;
+    _nextAllowed = 0;
+}
+
+void
+MembenchAccel::pump()
+{
+    if (!running())
+        return;
+
+    const std::uint64_t target = appReg(kRegTarget);
+    const std::uint64_t wset = appReg(kRegWset);
+    const std::uint64_t lines = wset / sim::kCacheLineBytes;
+    OPTIMUS_ASSERT(lines > 0, "MemBench working set too small");
+
+    while ((target == 0 || _issued < target) &&
+           dma().inFlight() < dma().maxOutstanding()) {
+        if (now() < _nextAllowed) {
+            if (!_pumpScheduled) {
+                _pumpScheduled = true;
+                std::uint64_t e = epoch();
+                eventq().scheduleAt(_nextAllowed, [this, e]() {
+                    _pumpScheduled = false;
+                    if (e == epoch())
+                        pump();
+                });
+            }
+            return;
+        }
+
+        mem::Gva addr = mem::Gva(appReg(kRegBase)) +
+                        _rng.below(lines) * sim::kCacheLineBytes;
+        auto mode = static_cast<Mode>(appReg(kRegMode));
+        bool is_write =
+            mode == kWrite || (mode == kMixed && (_issued & 1));
+
+        auto on_done = [this](ccip::DmaTxn &t) {
+            if (t.error) {
+                fail();
+                return;
+            }
+            ++_completed;
+            bumpProgress();
+            const std::uint64_t tgt = appReg(kRegTarget);
+            if (tgt != 0 && _completed >= tgt && running()) {
+                finish(_completed);
+                return;
+            }
+            pump();
+        };
+
+        if (is_write) {
+            std::uint8_t payload[sim::kCacheLineBytes];
+            std::memset(payload, static_cast<int>(_issued & 0xff),
+                        sizeof(payload));
+            dma().write(addr, payload, sim::kCacheLineBytes, on_done);
+        } else {
+            dma().read(addr, sim::kCacheLineBytes, on_done);
+        }
+        ++_issued;
+
+        std::uint64_t gap = appReg(kRegGap);
+        if (gap > 0) {
+            _nextAllowed = now() + cyclesToTicks(gap);
+        }
+    }
+}
+
+std::vector<std::uint8_t>
+MembenchAccel::saveArchState() const
+{
+    // The minimal state: the RNG and the operation counters.
+    auto rng_state = _rng.state();
+    std::vector<std::uint8_t> blob(sizeof(rng_state) + 16);
+    std::memcpy(blob.data(), rng_state.data(), sizeof(rng_state));
+    std::memcpy(blob.data() + sizeof(rng_state), &_issued, 8);
+    std::memcpy(blob.data() + sizeof(rng_state) + 8, &_completed, 8);
+    return blob;
+}
+
+void
+MembenchAccel::restoreArchState(const std::vector<std::uint8_t> &blob)
+{
+    OPTIMUS_ASSERT(blob.size() >= 48, "short MemBench state");
+    std::array<std::uint64_t, 4> rng_state;
+    std::memcpy(rng_state.data(), blob.data(), sizeof(rng_state));
+    _rng.setState(rng_state);
+    std::memcpy(&_issued, blob.data() + sizeof(rng_state), 8);
+    std::memcpy(&_completed, blob.data() + sizeof(rng_state) + 8, 8);
+    // In-flight requests were drained before the save; account for
+    // them as completed work.
+    _issued = _completed;
+    _nextAllowed = 0;
+    _pumpScheduled = false;
+}
+
+void
+MembenchAccel::onResumed()
+{
+    configure();
+    pump();
+}
+
+} // namespace optimus::accel

@@ -1,0 +1,84 @@
+#include "accel/registry.hh"
+
+#include "accel/crypto_accels.hh"
+#include "accel/image_accels.hh"
+#include "accel/linkedlist_accel.hh"
+#include "accel/membench_accel.hh"
+#include "accel/signal_accels.hh"
+#include "accel/sssp_accel.hh"
+#include "sim/logging.hh"
+
+namespace optimus::accel {
+
+const std::vector<std::string> &
+allAppNames()
+{
+    static const std::vector<std::string> names = {
+        "AES", "MD5", "SHA", "FIR", "GRN", "RSD", "SW",
+        "GAU", "GRS", "SBL", "SSSP", "BTC", "MB", "LL"};
+    return names;
+}
+
+std::unique_ptr<Accelerator>
+makeAccelerator(const std::string &app, sim::EventQueue &eq,
+                const sim::PlatformParams &params,
+                std::string instance_name, sim::StatGroup *stats)
+{
+    if (app == "AES")
+        return std::make_unique<AesAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "MD5")
+        return std::make_unique<Md5Accel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "SHA")
+        return std::make_unique<ShaAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "FIR")
+        return std::make_unique<FirAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "GRN")
+        return std::make_unique<GrnAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "RSD")
+        return std::make_unique<RsdAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "SW")
+        return std::make_unique<SwAccel>(eq, params,
+                                         std::move(instance_name),
+                                         stats);
+    if (app == "GAU")
+        return std::make_unique<GauAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "GRS")
+        return std::make_unique<GrsAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "SBL")
+        return std::make_unique<SblAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "SSSP")
+        return std::make_unique<SsspAccel>(eq, params,
+                                           std::move(instance_name),
+                                           stats);
+    if (app == "BTC")
+        return std::make_unique<BtcAccel>(eq, params,
+                                          std::move(instance_name),
+                                          stats);
+    if (app == "MB")
+        return std::make_unique<MembenchAccel>(
+            eq, params, std::move(instance_name), stats);
+    if (app == "LL")
+        return std::make_unique<LinkedlistAccel>(
+            eq, params, std::move(instance_name), stats);
+    OPTIMUS_FATAL("unknown accelerator '%s'", app.c_str());
+}
+
+} // namespace optimus::accel

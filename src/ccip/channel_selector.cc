@@ -1,0 +1,42 @@
+#include "ccip/channel_selector.hh"
+
+#include <algorithm>
+
+namespace optimus::ccip {
+
+Link &
+ChannelSelector::select(const DmaTxn &txn)
+{
+    switch (txn.vc) {
+      case VChannel::kUpi:
+        return *_links[0];
+      case VChannel::kPcie0:
+        return *_links[1];
+      case VChannel::kPcie1:
+        return *_links[2];
+      case VChannel::kAuto:
+        break;
+    }
+
+    const LinkDir data_dir =
+        txn.isWrite ? LinkDir::kToHost : LinkDir::kToFpga;
+    Link *best = nullptr;
+    sim::Tick best_done = 0;
+    for (std::uint32_t i = 0; i < _links.size(); ++i) {
+        // Rotate the probe order so that ties (idle links) spread
+        // packets across channels instead of always picking UPI.
+        Link *l = _links[(i + _rr) % _links.size()];
+        sim::Tick done =
+            std::max(l->nowTick(), l->nextFree(data_dir)) +
+            l->serialization(data_dir,
+                             l->pendingBytes(data_dir) + txn.bytes);
+        if (!best || done < best_done) {
+            best = l;
+            best_done = done;
+        }
+    }
+    _rr = (_rr + 1) % static_cast<std::uint32_t>(_links.size());
+    return *best;
+}
+
+} // namespace optimus::ccip

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Per-packet virtual-channel selection.
+ *
+ * HARP's shell picks an interconnect channel for each VA-channel
+ * packet, optimizing for throughput rather than latency — which is
+ * why the paper pins the latency-sensitive LinkedList benchmark to
+ * UPI-only or PCIe-only configurations (Section 6.1).
+ */
+
+#ifndef OPTIMUS_CCIP_CHANNEL_SELECTOR_HH
+#define OPTIMUS_CCIP_CHANNEL_SELECTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ccip/link.hh"
+#include "ccip/packet.hh"
+
+namespace optimus::ccip {
+
+/** Chooses a physical link for each DMA packet. */
+class ChannelSelector
+{
+  public:
+    ChannelSelector(Link &upi, Link &pcie0, Link &pcie1)
+        : _links{&upi, &pcie0, &pcie1}
+    {
+    }
+
+    /**
+     * Select the link for @p txn. Explicit channels map directly;
+     * kAuto picks the link whose data-carrying direction can finish
+     * the transfer earliest, breaking ties round-robin (throughput-
+     * optimized, latency-oblivious — deliberately so, matching the
+     * platform's channel selector).
+     */
+    Link &select(const DmaTxn &txn);
+
+  private:
+    std::array<Link *, 3> _links; // UPI, PCIe0, PCIe1
+    std::uint32_t _rr = 0;
+};
+
+} // namespace optimus::ccip
+
+#endif // OPTIMUS_CCIP_CHANNEL_SELECTOR_HH

@@ -1,0 +1,45 @@
+#include "ccip/link.hh"
+
+#include <algorithm>
+
+namespace optimus::ccip {
+
+Link::Link(sim::EventQueue &eq, std::string name, sim::Tick latency,
+           double read_gbps, double write_gbps, sim::StatGroup *stats)
+    : _eq(eq),
+      _name(std::move(name)),
+      _latency(latency),
+      // GB/s == bytes/ns == bytes per kTickNs ticks.
+      _toFpgaBytesPerTick(read_gbps / static_cast<double>(sim::kTickNs)),
+      _toHostBytesPerTick(write_gbps /
+                          static_cast<double>(sim::kTickNs)),
+      _bytesToHost(stats, _name + ".bytes_to_host",
+                   "bytes carried toward the host"),
+      _bytesToFpga(stats, _name + ".bytes_to_fpga",
+                   "bytes carried toward the FPGA")
+{
+}
+
+sim::Tick
+Link::serialization(LinkDir dir, std::uint64_t bytes) const
+{
+    double bpt = dir == LinkDir::kToHost ? _toHostBytesPerTick
+                                         : _toFpgaBytesPerTick;
+    return static_cast<sim::Tick>(static_cast<double>(bytes) / bpt);
+}
+
+void
+Link::transfer(LinkDir dir, std::uint64_t bytes,
+               std::function<void()> on_delivered)
+{
+    sim::Tick &free_at =
+        dir == LinkDir::kToHost ? _toHostFree : _toFpgaFree;
+    (dir == LinkDir::kToHost ? _bytesToHost : _bytesToFpga) += bytes;
+
+    sim::Tick start = std::max(_eq.now(), free_at);
+    sim::Tick depart = start + serialization(dir, bytes);
+    free_at = depart;
+    _eq.scheduleAt(depart + _latency, std::move(on_delivered));
+}
+
+} // namespace optimus::ccip

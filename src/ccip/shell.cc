@@ -1,0 +1,110 @@
+#include "ccip/shell.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace optimus::ccip {
+
+Shell::Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
+             mem::HostMemory &memory, mem::MemoryController &memctl,
+             iommu::Iommu &iommu, sim::StatGroup *stats)
+    : _eq(eq),
+      _memory(memory),
+      _memctl(memctl),
+      _iommu(iommu),
+      _upi(eq, "upi", params.upiLatency, params.upiReadGbps,
+           params.upiReadGbps * params.writeBwFactor, stats),
+      _pcie0(eq, "pcie0", params.pcieLatency, params.pcieReadGbps,
+             params.pcieReadGbps * params.writeBwFactor, stats),
+      _pcie1(eq, "pcie1", params.pcieLatency, params.pcieReadGbps,
+             params.pcieReadGbps * params.writeBwFactor, stats),
+      _selector(_upi, _pcie0, _pcie1),
+      _mmioLinkLatency(params.pcieLatency),
+      _dmaReads(stats, "shell.dma_reads", "DMA reads processed"),
+      _dmaWrites(stats, "shell.dma_writes", "DMA writes processed"),
+      _dmaFaults(stats, "shell.dma_faults",
+                 "DMAs rejected by IO page fault")
+{
+}
+
+void
+Shell::fromAfu(DmaTxnPtr txn)
+{
+    (txn->isWrite ? _dmaWrites : _dmaReads) += 1;
+    _iommu.translate(txn->iova, txn->isWrite,
+                     [this, txn](iommu::TranslationResult tr) {
+                         onTranslated(txn, tr);
+                     });
+}
+
+void
+Shell::onTranslated(DmaTxnPtr txn, iommu::TranslationResult tr)
+{
+    if (tr.fault) {
+        ++_dmaFaults;
+        txn->error = true;
+        respond(txn);
+        return;
+    }
+
+    Link &link = _selector.select(*txn);
+    mem::Hpa hpa = tr.hpa;
+
+    if (txn->isWrite) {
+        // Write data crosses toward the host, lands in DRAM, and a
+        // small ack returns. The data leg serializes immediately, so
+        // no pending accounting is needed.
+        link.transfer(LinkDir::kToHost, txn->bytes, [this, txn, &link,
+                                                     hpa]() {
+            _memctl.access(txn->bytes, true, [this, txn, &link, hpa]() {
+                _memory.write(hpa, txn->data.data(), txn->bytes);
+                link.transfer(LinkDir::kToFpga, kCtrlBytes,
+                              [this, txn]() { respond(txn); });
+            });
+        });
+    } else {
+        // A small request crosses toward the host; the data line
+        // returns toward the FPGA later. Commit the data leg now so
+        // the selector sees the link's true future load.
+        link.notePending(LinkDir::kToFpga, txn->bytes);
+        link.transfer(LinkDir::kToHost, kCtrlBytes, [this, txn, &link,
+                                                     hpa]() {
+            _memctl.access(txn->bytes, false, [this, txn, &link,
+                                               hpa]() {
+                _memory.read(hpa, txn->data.data(), txn->bytes);
+                link.clearPending(LinkDir::kToFpga, txn->bytes);
+                link.transfer(LinkDir::kToFpga, txn->bytes,
+                              [this, txn]() { respond(txn); });
+            });
+        });
+    }
+}
+
+void
+Shell::respond(DmaTxnPtr txn)
+{
+    OPTIMUS_ASSERT(_responseSink != nullptr,
+                   "shell has no AFU response sink");
+    if (_tracer)
+        _tracer(txn);
+    _responseSink(std::move(txn));
+}
+
+void
+Shell::mmioFromHost(MmioOp op)
+{
+    OPTIMUS_ASSERT(_mmioSink != nullptr, "shell has no AFU MMIO sink");
+    // The op crosses to the FPGA; the completion pays the return trip.
+    auto inner = std::move(op.onComplete);
+    op.onComplete = [this, inner = std::move(inner)](std::uint64_t v) {
+        if (inner)
+            _eq.scheduleIn(_mmioLinkLatency,
+                           [inner, v]() { inner(v); });
+    };
+    _eq.scheduleIn(_mmioLinkLatency, [this, op = std::move(op)]() mutable {
+        _mmioSink(std::move(op));
+    });
+}
+
+} // namespace optimus::ccip

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The FPGA shell: the manufacturer-provided IO interface.
+ *
+ * The shell terminates the package interconnect (one UPI link, two
+ * PCIe links), hosts the soft IOMMU, and presents the CCI-P style
+ * request/response interface to whatever is loaded onto the fabric —
+ * either a single pass-through accelerator or the OPTIMUS hardware
+ * monitor with its accelerators behind it.
+ */
+
+#ifndef OPTIMUS_CCIP_SHELL_HH
+#define OPTIMUS_CCIP_SHELL_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "ccip/channel_selector.hh"
+#include "ccip/link.hh"
+#include "ccip/packet.hh"
+#include "iommu/iommu.hh"
+#include "mem/host_memory.hh"
+#include "mem/memory_controller.hh"
+#include "sim/event_queue.hh"
+#include "sim/platform_params.hh"
+#include "sim/stats.hh"
+
+namespace optimus::ccip {
+
+/** The FPGA shell and its three package links. */
+class Shell
+{
+  public:
+    using DmaSink = std::function<void(DmaTxnPtr)>;
+    using MmioSink = std::function<void(MmioOp)>;
+
+    Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
+          mem::HostMemory &memory, mem::MemoryController &memctl,
+          iommu::Iommu &iommu, sim::StatGroup *stats = nullptr);
+
+    /**
+     * Submit a DMA from the AFU side. The transaction's iova and tag
+     * must already be final (the hardware monitor's auditors do this;
+     * pass-through uses identity).
+     */
+    void fromAfu(DmaTxnPtr txn);
+
+    /** Where completed DMA responses are delivered on the AFU side. */
+    void setResponseSink(DmaSink sink) { _responseSink = std::move(sink); }
+
+    /**
+     * Optional transaction tracer, invoked once per completed DMA
+     * (including faulted ones) at response time — the hook behind
+     * TraceWriter. Pass nullptr to disable.
+     */
+    void setTracer(DmaSink tracer) { _tracer = std::move(tracer); }
+
+    /** Submit an MMIO operation from the host/hypervisor side. */
+    void mmioFromHost(MmioOp op);
+
+    /** Where MMIO operations are delivered on the AFU side. */
+    void setMmioSink(MmioSink sink) { _mmioSink = std::move(sink); }
+
+    iommu::Iommu &iommu() { return _iommu; }
+    Link &upi() { return _upi; }
+    Link &pcie0() { return _pcie0; }
+    Link &pcie1() { return _pcie1; }
+
+    std::uint64_t dmaReads() const { return _dmaReads.value(); }
+    std::uint64_t dmaWrites() const { return _dmaWrites.value(); }
+
+  private:
+    void onTranslated(DmaTxnPtr txn, iommu::TranslationResult tr);
+    void respond(DmaTxnPtr txn);
+
+    /** Small header/ack size accompanying each transfer. */
+    static constexpr std::uint64_t kCtrlBytes = 16;
+
+    sim::EventQueue &_eq;
+    mem::HostMemory &_memory;
+    mem::MemoryController &_memctl;
+    iommu::Iommu &_iommu;
+
+    Link _upi;
+    Link _pcie0;
+    Link _pcie1;
+    ChannelSelector _selector;
+    sim::Tick _mmioLinkLatency;
+
+    DmaSink _responseSink;
+    DmaSink _tracer;
+    MmioSink _mmioSink;
+
+    sim::Counter _dmaReads;
+    sim::Counter _dmaWrites;
+    sim::Counter _dmaFaults;
+};
+
+} // namespace optimus::ccip
+
+#endif // OPTIMUS_CCIP_SHELL_HH

@@ -1,0 +1,121 @@
+#include "fpga/auditor.hh"
+
+#include <utility>
+
+#include "fpga/mmio_layout.hh"
+#include "sim/logging.hh"
+
+namespace optimus::fpga {
+
+Auditor::Auditor(sim::EventQueue &eq, std::uint64_t freq_mhz,
+                 ccip::AccelTag tag, std::uint32_t latency_cycles,
+                 sim::StatGroup *stats)
+    : sim::Clocked(eq, freq_mhz),
+      _tag(tag),
+      _latencyCycles(latency_cycles),
+      _rejected(stats, sim::strprintf("auditor%u.rejected_dmas", tag),
+                "DMA requests outside the allowed window"),
+      _discarded(stats,
+                 sim::strprintf("auditor%u.discarded_responses", tag),
+                 "downstream packets dropped by tag check"),
+      _forwarded(stats, sim::strprintf("auditor%u.forwarded", tag),
+                 "DMA requests translated and forwarded")
+{
+}
+
+void
+Auditor::dmaFromAccel(ccip::DmaTxnPtr txn)
+{
+    const std::uint64_t gva = txn->gva.value();
+    const bool in_window =
+        _entry.valid && gva >= _entry.gvaBase &&
+        gva + txn->bytes <= _entry.gvaBase + _entry.window;
+
+    if (!in_window) {
+        // Page table slicing's enforcement point: the access never
+        // reaches the interconnect. Respond with a bus error so the
+        // accelerator does not hang (and tests can observe it).
+        ++_rejected;
+        txn->error = true;
+        scheduleCycles(_latencyCycles, [txn]() {
+            if (txn->onComplete)
+                txn->onComplete(*txn);
+        });
+        return;
+    }
+
+    // Linear address mapping: a single-cycle add (Section 4.1).
+    txn->iova = mem::Iova(gva + _entry.offset);
+    txn->tag = _tag;
+    ++_forwarded;
+    _outQueue.push_back(std::move(txn));
+    pumpUpstream();
+}
+
+void
+Auditor::pumpUpstream()
+{
+    if (_pumpScheduled || _outQueue.empty())
+        return;
+    // One packet per cycle into the tree, gated by the leaf credit.
+    if (_upstreamHasSpace && !_upstreamHasSpace())
+        return; // the leaf wakes us when a slot frees up
+    _pumpScheduled = true;
+    sim::Tick when = std::max(nextEdge(), _busyUntil);
+    eventq().scheduleAt(when, [this]() {
+        _pumpScheduled = false;
+        if (_outQueue.empty())
+            return;
+        if (_upstreamHasSpace && !_upstreamHasSpace())
+            return;
+        ccip::DmaTxnPtr txn = std::move(_outQueue.front());
+        _outQueue.pop_front();
+        if (_upstreamReserve)
+            _upstreamReserve();
+        _busyUntil = now() + clockPeriod();
+        scheduleCycles(_latencyCycles,
+                       [this, txn = std::move(txn)]() mutable {
+                           _upstream(std::move(txn));
+                       });
+        pumpUpstream();
+    });
+}
+
+void
+Auditor::deliverDown(const ccip::DmaTxnPtr &txn)
+{
+    if (txn->tag != _tag) {
+        ++_discarded;
+        return;
+    }
+    OPTIMUS_ASSERT(_device != nullptr,
+                   "auditor %u has no attached accelerator", _tag);
+    ccip::DmaTxnPtr copy = txn;
+    scheduleCycles(_latencyCycles,
+                   [this, copy = std::move(copy)]() mutable {
+                       _device->dmaResponse(std::move(copy));
+                   });
+}
+
+bool
+Auditor::mmioDown(ccip::MmioOp &op, std::uint64_t my_base)
+{
+    if (op.offset < my_base || op.offset >= my_base + kAccelMmioBytes)
+        return false;
+    OPTIMUS_ASSERT(_device != nullptr,
+                   "auditor %u has no attached accelerator", _tag);
+
+    const std::uint64_t reg = op.offset - my_base;
+    if (op.isWrite) {
+        _device->mmioWrite(reg, op.value);
+        if (op.onComplete)
+            op.onComplete(op.value);
+    } else {
+        std::uint64_t v = _device->mmioRead(reg);
+        if (op.onComplete)
+            op.onComplete(v);
+    }
+    return true;
+}
+
+} // namespace optimus::fpga

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MMIO address-space slicing (Section 5, "MMIO Slicing").
+ *
+ * The FPGA's MMIO space is carved into three portions: a region
+ * reserved for the HARP shell, one 4 KB page for the virtualization
+ * control unit's accelerator-management interface, and one 4 KB page
+ * of private MMIO state per physical accelerator (isolation enforced
+ * by that accelerator's auditor).
+ */
+
+#ifndef OPTIMUS_FPGA_MMIO_LAYOUT_HH
+#define OPTIMUS_FPGA_MMIO_LAYOUT_HH
+
+#include <cstdint>
+
+namespace optimus::fpga {
+
+/** Bytes reserved at the bottom of MMIO space for the shell. */
+constexpr std::uint64_t kShellMmioBytes = 16 * 1024;
+
+/** The VCU management page follows the shell region. */
+constexpr std::uint64_t kVcuMmioBase = kShellMmioBytes;
+constexpr std::uint64_t kVcuMmioBytes = 4 * 1024;
+
+/** Each physical accelerator owns one 4 KB MMIO page. */
+constexpr std::uint64_t kAccelMmioBytes = 4 * 1024;
+
+/** Base of accelerator @p idx's MMIO page in device MMIO space. */
+constexpr std::uint64_t
+accelMmioBase(std::uint32_t idx)
+{
+    return kVcuMmioBase + kVcuMmioBytes +
+           static_cast<std::uint64_t>(idx) * kAccelMmioBytes;
+}
+
+/** VCU management-register offsets (within the VCU page). */
+namespace vcu_reg {
+/** Read-only identification magic ("OPTIMUS!" little endian). */
+constexpr std::uint64_t kMagic = 0x00;
+/** Number of physical accelerators configured. */
+constexpr std::uint64_t kNumAccels = 0x08;
+/** Nonzero when the bitstream is OPTIMUS-compatible. */
+constexpr std::uint64_t kCompat = 0x10;
+/** Select which accelerator's offset-table entry to program. */
+constexpr std::uint64_t kOffsetIndex = 0x18;
+/** Guest-virtual base of the selected accelerator's DMA window. */
+constexpr std::uint64_t kOffsetGvaBase = 0x20;
+/** IOVA offset (iova = gva + offset) for the selected accelerator. */
+constexpr std::uint64_t kOffsetValue = 0x28;
+/** Size of the selected accelerator's DMA window (slice size). */
+constexpr std::uint64_t kOffsetWindow = 0x30;
+/** Commit the staged entry for the selected accelerator. */
+constexpr std::uint64_t kOffsetCommit = 0x38;
+/** Write a bitmask of accelerators to reset. */
+constexpr std::uint64_t kResetTable = 0x40;
+
+constexpr std::uint64_t kMagicValue = 0x2153554d4954504fULL;
+} // namespace vcu_reg
+
+} // namespace optimus::fpga
+
+#endif // OPTIMUS_FPGA_MMIO_LAYOUT_HH

@@ -1,0 +1,140 @@
+#include "fpga/resources.hh"
+
+#include "sim/logging.hh"
+
+namespace optimus::fpga {
+
+const std::vector<AppResources> &
+ResourceModel::apps()
+{
+    // Columns: name, description, Verilog LoC, freq (MHz),
+    // ALM/BRAM %% pass-through (1 instance), ALM/BRAM %% OPTIMUS (8).
+    static const std::vector<AppResources> table = {
+        {"AES", "AES128 Encryption Algorithm", 1965, 200,
+         3.62, 2.82, 27.80, 23.01},
+        {"MD5", "MD5 Hashing Algorithm", 1266, 100,
+         4.35, 2.82, 34.27, 23.01},
+        {"SHA", "SHA512 Hashing Algorithm", 2218, 200,
+         2.16, 2.82, 18.16, 22.46},
+        {"FIR", "Finite Impulse Response Filter", 1090, 200,
+         1.92, 2.82, 15.77, 22.46},
+        {"GRN", "Gaussian Random Number Generator", 1238, 200,
+         1.76, 1.02, 12.53, 7.98},
+        {"RSD", "Reed Solomon Decoder", 5324, 200,
+         2.21, 2.87, 17.93, 22.87},
+        {"SW", "Smith Waterman Algorithm", 1265, 100,
+         1.42, 1.47, 10.34, 11.67},
+        {"GAU", "Gaussian Image Filter", 2406, 200,
+         3.41, 2.60, 25.28, 21.24},
+        {"GRS", "Grayscale Image Filter", 2266, 200,
+         1.32, 2.28, 9.92, 18.15},
+        {"SBL", "Sobel Image Filter", 2451, 200,
+         2.39, 2.55, 18.49, 20.30},
+        {"SSSP", "Single Source Shortest Path", 3140, 200,
+         1.96, 2.82, 15.73, 22.47},
+        {"BTC", "Bitcoin Miner", 1009, 100,
+         1.32, 0.48, 8.99, 4.16},
+        {"MB", "Random Memory Accesses", 1020, 400,
+         0.83, 0.00, 4.84, 0.00},
+        {"LL", "Linked List Walker", 695, 400,
+         0.15, 0.00, -0.24, 0.00},
+    };
+    return table;
+}
+
+const AppResources &
+ResourceModel::lookup(const std::string &name)
+{
+    for (const auto &a : apps()) {
+        if (name == a.name)
+            return a;
+    }
+    OPTIMUS_FATAL("unknown benchmark accelerator '%s'", name.c_str());
+}
+
+namespace {
+// Monitor component costs (%% of device), calibrated so the default
+// configuration (8 accelerators, 7 binary mux nodes) totals the
+// 6.16 %% ALM / 0.48 %% BRAM the paper reports.
+constexpr double kVcuAlm = 1.20;
+constexpr double kMuxNodeAlm = 0.28;
+constexpr double kAuditorAlm = 0.375;
+constexpr double kVcuBram = 0.16;
+constexpr double kMuxNodeBram = 0.02;
+constexpr double kAuditorBram = 0.0225;
+} // namespace
+
+std::uint32_t
+ResourceModel::treeNodes(std::uint32_t leaves, std::uint32_t arity)
+{
+    OPTIMUS_ASSERT(arity >= 2, "arity must be >= 2");
+    std::uint32_t nodes = 0;
+    std::uint32_t width = leaves;
+    while (width > 1) {
+        width = (width + arity - 1) / arity;
+        nodes += width;
+    }
+    return nodes == 0 ? 1 : nodes;
+}
+
+double
+ResourceModel::monitorAlm(std::uint32_t num_accels, std::uint32_t arity)
+{
+    return kVcuAlm + kMuxNodeAlm * treeNodes(num_accels, arity) +
+           kAuditorAlm * num_accels;
+}
+
+double
+ResourceModel::monitorBram(std::uint32_t num_accels,
+                           std::uint32_t arity)
+{
+    return kVcuBram + kMuxNodeBram * treeNodes(num_accels, arity) +
+           kAuditorBram * num_accels;
+}
+
+namespace {
+/**
+ * Interpolate utilization between the measured single-instance and
+ * eight-instance calibration points: util(n) = n * pt * scale(n),
+ * where scale grows linearly from 1 at n=1 to the measured
+ * opt8 / (8 * pt) at n=8.
+ */
+double
+interpolate(double pt, double at8, std::uint32_t n)
+{
+    if (n == 0)
+        return 0.0;
+    if (pt == 0.0) {
+        // Apps with no BRAM at one instance have none at eight.
+        return at8 * static_cast<double>(n) / 8.0;
+    }
+    double scale8 = at8 / (8.0 * pt);
+    double t = static_cast<double>(n - 1) / 7.0;
+    double scale = 1.0 + (scale8 - 1.0) * t;
+    return static_cast<double>(n) * pt * scale;
+}
+} // namespace
+
+double
+ResourceModel::appAlm(const AppResources &app, std::uint32_t n)
+{
+    return interpolate(app.almPt, app.almOpt8, n);
+}
+
+double
+ResourceModel::appBram(const AppResources &app, std::uint32_t n)
+{
+    return interpolate(app.bramPt, app.bramOpt8, n);
+}
+
+double
+ResourceModel::maxMuxFreqMhz(std::uint32_t fan_in)
+{
+    OPTIMUS_ASSERT(fan_in >= 2, "fan-in must be >= 2");
+    // Wider multiplexers need deeper select logic and longer routes;
+    // empirically the achievable clock falls off roughly as the
+    // reciprocal of fan-in beyond 2.
+    return 480.0 / (1.0 + 0.25 * static_cast<double>(fan_in - 2));
+}
+
+} // namespace optimus::fpga

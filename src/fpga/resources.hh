@@ -1,0 +1,89 @@
+/**
+ * @file
+ * FPGA resource and timing model.
+ *
+ * Replaces the Quartus synthesis reports the paper relies on: an
+ * analytic accounting of Adaptive Logic Modules (ALMs) and Block RAM,
+ * calibrated per benchmark against Table 2, plus a timing feasibility
+ * model for multiplexer fan-in that captures why a flat 8-way
+ * multiplexer cannot close timing at 400 MHz (Sections 5 and 7.2).
+ */
+
+#ifndef OPTIMUS_FPGA_RESOURCES_HH
+#define OPTIMUS_FPGA_RESOURCES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optimus::fpga {
+
+/** Static description of one benchmark accelerator (Tables 1 and 2). */
+struct AppResources
+{
+    const char *name;
+    const char *description;
+    /** Lines of Verilog in the original implementation (Table 1). */
+    std::uint32_t verilogLoc;
+    /** Synthesized accelerator frequency in MHz (Table 1). */
+    std::uint32_t freqMhz;
+    /** Single-instance (pass-through) utilization, % of device. */
+    double almPt;
+    double bramPt;
+    /** Eight-instance (OPTIMUS) utilization, % of device (Table 2). */
+    double almOpt8;
+    double bramOpt8;
+};
+
+/** Analytic resource/timing model of the Arria 10 style device. */
+class ResourceModel
+{
+  public:
+    /** All fourteen benchmark accelerators. */
+    static const std::vector<AppResources> &apps();
+
+    /** Look up an app by short name; fatal() if unknown. */
+    static const AppResources &lookup(const std::string &name);
+
+    /** Shell utilization (%); present in every configuration. */
+    static double shellAlm() { return 23.44; }
+    static double shellBram() { return 6.57; }
+
+    /**
+     * Hardware monitor utilization for a given configuration:
+     * VCU + one mux node per tree position + one auditor per
+     * accelerator. Calibrated so the paper's default (8 accelerators,
+     * binary tree) costs 6.16 % ALM / 0.48 % BRAM.
+     */
+    static double monitorAlm(std::uint32_t num_accels,
+                             std::uint32_t arity = 2);
+    static double monitorBram(std::uint32_t num_accels,
+                              std::uint32_t arity = 2);
+
+    /**
+     * Aggregate accelerator utilization with @p n instances.
+     * Interpolates between the measured 1-instance and 8-instance
+     * points: replication is roughly linear, with a per-app
+     * deviation term capturing extra routing pressure (positive) or
+     * synthesizer cross-instance optimization (negative — LinkedList
+     * famously synthesizes *smaller* in aggregate, Table 2).
+     */
+    static double appAlm(const AppResources &app, std::uint32_t n);
+    static double appBram(const AppResources &app, std::uint32_t n);
+
+    /**
+     * Maximum frequency (MHz) at which a multiplexer with the given
+     * fan-in closes timing. A binary node comfortably exceeds the
+     * 400 MHz interface clock; a flat 8-way multiplexer does not,
+     * which is why OPTIMUS requires a tree (Section 5).
+     */
+    static double maxMuxFreqMhz(std::uint32_t fan_in);
+
+    /** Number of internal nodes in a tree of @p leaves / @p arity. */
+    static std::uint32_t treeNodes(std::uint32_t leaves,
+                                   std::uint32_t arity);
+};
+
+} // namespace optimus::fpga
+
+#endif // OPTIMUS_FPGA_RESOURCES_HH

@@ -1,0 +1,85 @@
+#include "guest/process.hh"
+
+#include <algorithm>
+
+#include "guest/vm.hh"
+#include "sim/logging.hh"
+
+namespace optimus::guest {
+
+Process::Process(Vm &vm, std::string name)
+    : _vm(vm), _name(std::move(name))
+{
+}
+
+mem::Gva
+Process::mmapNoReserve(std::uint64_t bytes)
+{
+    // Align reservations to 2 MB pages (the DMA page size).
+    std::uint64_t aligned =
+        (bytes + mem::kPage2M - 1) & ~(mem::kPage2M - 1);
+    mem::Gva base(_nextMmap);
+    _nextMmap += aligned;
+    return base;
+}
+
+mem::Gpa
+Process::backPage(mem::Gva gva)
+{
+    mem::Gva page = gva.pageBase(mem::kPage2M);
+    if (auto entry = _pt.lookup(page))
+        return entry->base;
+    mem::Gpa gpa = _vm.allocGpa(mem::kPage2M, mem::kPage2M);
+    _pt.map(page, gpa);
+    return gpa;
+}
+
+bool
+Process::isBacked(mem::Gva gva) const
+{
+    return _pt.lookup(gva.pageBase(mem::kPage2M)).has_value();
+}
+
+mem::Gpa
+Process::toGpa(mem::Gva gva) const
+{
+    auto gpa = _pt.translate(gva);
+    OPTIMUS_ASSERT(gpa.has_value(),
+                   "unbacked GVA 0x%llx in process %s",
+                   static_cast<unsigned long long>(gva.value()),
+                   _name.c_str());
+    return *gpa;
+}
+
+void
+Process::write(mem::Gva gva, const void *data, std::uint64_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        backPage(gva);
+        std::uint64_t in_page =
+            mem::kPage2M - gva.pageOffset(mem::kPage2M);
+        std::uint64_t chunk = std::min(len, in_page);
+        _vm.hostMemory().write(_vm.toHpa(toGpa(gva)), src, chunk);
+        gva += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+}
+
+void
+Process::read(mem::Gva gva, void *data, std::uint64_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(data);
+    while (len > 0) {
+        std::uint64_t in_page =
+            mem::kPage2M - gva.pageOffset(mem::kPage2M);
+        std::uint64_t chunk = std::min(len, in_page);
+        _vm.hostMemory().read(_vm.toHpa(toGpa(gva)), dst, chunk);
+        gva += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace optimus::guest

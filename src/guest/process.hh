@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A guest process: a virtual address space (GVA -> GPA at 2 MB
+ * granularity) with an mmap(MAP_NORESERVE)-style reservation
+ * primitive, which is how the OPTIMUS guest library reserves each
+ * 64 GB DMA slice without allocating physical memory (Section 5).
+ */
+
+#ifndef OPTIMUS_GUEST_PROCESS_HH
+#define OPTIMUS_GUEST_PROCESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/address.hh"
+#include "mem/page_table.hh"
+
+namespace optimus::guest {
+
+class Vm;
+
+/** One process inside a guest VM. */
+class Process
+{
+  public:
+    Process(Vm &vm, std::string name);
+
+    Vm &vm() { return _vm; }
+    const std::string &name() const { return _name; }
+
+    /**
+     * Reserve @p bytes of virtual address space without backing it
+     * (mmap with MAP_NORESERVE). Returns the base GVA.
+     */
+    mem::Gva mmapNoReserve(std::uint64_t bytes);
+
+    /**
+     * Back the 2 MB virtual page containing @p gva with fresh
+     * guest-physical memory if it is not already backed.
+     * @return the GPA of the page base.
+     */
+    mem::Gpa backPage(mem::Gva gva);
+
+    /** Whether the page holding @p gva is backed. */
+    bool isBacked(mem::Gva gva) const;
+
+    /** Translate; fatal() on unbacked addresses. */
+    mem::Gpa toGpa(mem::Gva gva) const;
+
+    const mem::ProcessPageTable &pageTable() const { return _pt; }
+
+    /**
+     * CPU-side access to process memory (through GVA -> GPA -> HPA),
+     * backing pages on demand for writes. This is what guest
+     * software does when it touches its heap.
+     */
+    void write(mem::Gva gva, const void *data, std::uint64_t len);
+    void read(mem::Gva gva, void *data, std::uint64_t len) const;
+
+    template <typename T>
+    void
+    writeValue(mem::Gva gva, const T &v)
+    {
+        write(gva, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    readValue(mem::Gva gva) const
+    {
+        T v{};
+        read(gva, &v, sizeof(T));
+        return v;
+    }
+
+  private:
+    Vm &_vm;
+    std::string _name;
+    mem::ProcessPageTable _pt{mem::kPage2M};
+    std::uint64_t _nextMmap = 0x100000000000ULL; // grows upward
+};
+
+} // namespace optimus::guest
+
+#endif // OPTIMUS_GUEST_PROCESS_HH

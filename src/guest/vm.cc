@@ -1,0 +1,52 @@
+#include "guest/vm.hh"
+
+#include "guest/process.hh"
+#include "sim/logging.hh"
+
+namespace optimus::guest {
+
+Vm::Vm(std::string name, mem::HostMemory &memory,
+       mem::FrameAllocator &frames, std::uint64_t ram_bytes)
+    : _name(std::move(name)), _memory(memory), _ramBytes(ram_bytes)
+{
+    OPTIMUS_ASSERT(ram_bytes % mem::kPage2M == 0,
+                   "guest RAM must be huge-page aligned");
+    // Contiguous host backing, mapped with 2 MB EPT pages (as KVM
+    // does for pinned, device-assigned guests backed by hugetlbfs).
+    _hpaBase = frames.allocateContiguous(ram_bytes / mem::kPage4K);
+    for (std::uint64_t off = 0; off < ram_bytes;
+         off += mem::kPage2M) {
+        _ept.map(mem::Gpa(off), _hpaBase + off);
+    }
+}
+
+mem::Hpa
+Vm::toHpa(mem::Gpa gpa) const
+{
+    auto hpa = _ept.translate(gpa);
+    OPTIMUS_ASSERT(hpa.has_value(), "EPT miss for GPA 0x%llx in %s",
+                   static_cast<unsigned long long>(gpa.value()),
+                   _name.c_str());
+    return *hpa;
+}
+
+mem::Gpa
+Vm::allocGpa(std::uint64_t bytes, std::uint64_t align)
+{
+    _nextGpa = (_nextGpa + align - 1) & ~(align - 1);
+    OPTIMUS_ASSERT(_nextGpa + bytes <= _ramBytes,
+                   "guest %s out of RAM", _name.c_str());
+    mem::Gpa g(_nextGpa);
+    _nextGpa += bytes;
+    return g;
+}
+
+Process &
+Vm::createProcess(std::string name)
+{
+    _processes.push_back(
+        std::make_unique<Process>(*this, std::move(name)));
+    return *_processes.back();
+}
+
+} // namespace optimus::guest

@@ -1,0 +1,109 @@
+#include "hostcentric/sssp_runner.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace optimus::hostcentric {
+
+SsspRunResult
+runHostCentricSssp(const algo::CsrGraph &g, std::uint32_t source,
+                   Strategy strategy, bool virtualized,
+                   const sim::PlatformParams &params,
+                   const HostCosts &costs)
+{
+    const std::uint32_t n = g.numVertices();
+    sim::EventQueue eq;
+    DmaEngine engine(eq, params, virtualized);
+
+    auto advance_cpu = [&eq](sim::Tick cost) {
+        eq.runUntil(eq.now() + cost);
+    };
+
+    SsspRunResult out;
+    out.dist.assign(n, algo::kDistInf);
+    out.dist[source] = 0;
+
+    std::vector<std::uint32_t> frontier = {source};
+    std::vector<bool> in_next(n, false);
+
+    while (!frontier.empty()) {
+        ++out.rounds;
+
+        // 1. Deliver the distance array to the accelerator's local
+        //    buffer (contiguous: a single engine invocation).
+        engine.transfer(4ULL * n, []() {});
+
+        // 2. Deliver the frontier's edge segments.
+        std::uint64_t edge_bytes = 0;
+        for (std::uint32_t v : frontier)
+            edge_bytes += 8ULL * (g.rowptr[v + 1] - g.rowptr[v]);
+
+        if (strategy == Strategy::kConfig) {
+            // One engine configuration per non-contiguous segment:
+            // the pointer-chasing penalty.
+            for (std::uint32_t v : frontier) {
+                std::uint64_t seg =
+                    8ULL * (g.rowptr[v + 1] - g.rowptr[v]);
+                if (seg > 0)
+                    engine.transfer(seg, []() {});
+            }
+        } else {
+            // Marshal every segment into a staging buffer with CPU
+            // copies, then one bulk transfer.
+            sim::Tick marshal = static_cast<sim::Tick>(
+                static_cast<double>(edge_bytes) / costs.copyGbps *
+                static_cast<double>(sim::kTickNs));
+            marshal += costs.gatherOverhead * frontier.size();
+            advance_cpu(marshal);
+            if (edge_bytes > 0)
+                engine.transfer(edge_bytes, []() {});
+        }
+        eq.runAll();
+
+        // 3. The accelerator relaxes the delivered edges.
+        std::uint64_t edges_processed = edge_bytes / 8;
+        advance_cpu(static_cast<sim::Tick>(
+            static_cast<double>(edges_processed) / costs.edgesPerUs *
+            static_cast<double>(sim::kTickUs)));
+
+        // Functional relaxation (what the accelerator computes).
+        std::vector<std::uint32_t> next;
+        std::uint64_t updates = 0;
+        for (std::uint32_t v : frontier) {
+            std::uint32_t dv = out.dist[v];
+            if (dv == algo::kDistInf)
+                continue;
+            for (std::uint32_t e = g.rowptr[v]; e < g.rowptr[v + 1];
+                 ++e) {
+                std::uint32_t nd = dv + g.weight[e];
+                std::uint32_t dst = g.dest[e];
+                if (nd < out.dist[dst]) {
+                    out.dist[dst] = nd;
+                    ++updates;
+                    if (!in_next[dst]) {
+                        in_next[dst] = true;
+                        next.push_back(dst);
+                    }
+                }
+            }
+        }
+
+        // 4. Collect the produced updates from the FPGA and apply.
+        if (updates > 0)
+            engine.transfer(8ULL * updates, []() {});
+        eq.runAll();
+        advance_cpu(costs.applyOverhead * updates);
+
+        for (std::uint32_t v : next)
+            in_next[v] = false;
+        frontier = std::move(next);
+    }
+
+    out.elapsed = eq.now();
+    out.engineTransfers = engine.transfers();
+    out.bytesMoved = engine.bytesMoved();
+    return out;
+}
+
+} // namespace optimus::hostcentric

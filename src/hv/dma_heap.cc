@@ -1,0 +1,124 @@
+#include "hv/dma_heap.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace optimus::hv {
+
+DmaHeap::DmaHeap(OptimusHv &hv, VirtualAccel &v) : _hv(hv), _v(v) {}
+
+void
+DmaHeap::insertFree(std::uint64_t addr, std::uint64_t size)
+{
+    // Coalesce with the preceding and following free ranges.
+    auto next = _free.lower_bound(addr);
+    if (next != _free.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            addr = prev->first;
+            size += prev->second;
+            _free.erase(prev);
+        }
+    }
+    if (next != _free.end() && addr + size == next->first) {
+        size += next->second;
+        _free.erase(next);
+    }
+    _free[addr] = size;
+}
+
+std::uint64_t
+DmaHeap::tryCarve(std::uint64_t bytes, std::uint64_t align)
+{
+    for (auto it = _free.begin(); it != _free.end(); ++it) {
+        std::uint64_t start = it->first;
+        std::uint64_t aligned = (start + align - 1) & ~(align - 1);
+        std::uint64_t pad = aligned - start;
+        if (it->second < pad + bytes)
+            continue;
+
+        std::uint64_t range_size = it->second;
+        _free.erase(it);
+        if (pad > 0)
+            insertFree(start, pad);
+        if (range_size > pad + bytes)
+            insertFree(aligned + bytes, range_size - pad - bytes);
+        _allocated[aligned] = bytes;
+        return aligned;
+    }
+    return ~std::uint64_t(0);
+}
+
+void
+DmaHeap::alloc(std::uint64_t bytes, std::uint64_t align,
+               std::function<void(mem::Gva)> done)
+{
+    align = std::max<std::uint64_t>(align, 64);
+    bytes = (bytes + 63) & ~63ULL; // cache-line granules
+
+    std::uint64_t off = tryCarve(bytes, align);
+    if (off != ~std::uint64_t(0)) {
+        done(_v.windowBase() + off);
+        return;
+    }
+
+    // Grow: register enough new pages to satisfy the request even
+    // in the worst alignment case.
+    std::uint64_t need = _brk + bytes + align;
+    std::uint64_t target =
+        (need + mem::kPage2M - 1) & ~(mem::kPage2M - 1);
+    grow(target, [this, bytes, align,
+                  done = std::move(done)](bool ok) mutable {
+        if (!ok) {
+            done(mem::Gva(0));
+            return;
+        }
+        std::uint64_t off2 = tryCarve(bytes, align);
+        OPTIMUS_ASSERT(off2 != ~std::uint64_t(0),
+                       "heap grow did not satisfy allocation");
+        done(_v.windowBase() + off2);
+    });
+}
+
+void
+DmaHeap::grow(std::uint64_t up_to, std::function<void(bool)> done)
+{
+    if (_brk >= up_to) {
+        done(true);
+        return;
+    }
+    if (up_to > _v.windowBytes()) {
+        done(false);
+        return;
+    }
+
+    mem::Gva page = _v.windowBase() + _brk;
+    // Fault the page in (guest touches it), then register it with
+    // the hypervisor so the accelerator can reach it.
+    _v.process().backPage(page);
+    _hv.registerDmaPage(
+        _v, page,
+        [this, up_to, done = std::move(done)](bool ok) mutable {
+            if (!ok) {
+                done(false);
+                return;
+            }
+            insertFree(_brk, mem::kPage2M);
+            _brk += mem::kPage2M;
+            grow(up_to, std::move(done));
+        });
+}
+
+void
+DmaHeap::free(mem::Gva addr)
+{
+    std::uint64_t off = addr - _v.windowBase();
+    auto it = _allocated.find(off);
+    OPTIMUS_ASSERT(it != _allocated.end(),
+                   "freeing an unallocated DMA block");
+    insertFree(off, it->second);
+    _allocated.erase(it);
+}
+
+} // namespace optimus::hv

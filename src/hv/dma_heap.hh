@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The guest library's DMA memory allocator.
+ *
+ * Manages the 64 GB reserved slice: a classic free-list heap (in the
+ * original, a ported dlmalloc) whose backing grows one 2 MB huge
+ * page at a time — each new page is faulted in by the guest and then
+ * registered with the hypervisor via the shadow-paging hypercall, so
+ * only FPGA-accessible pages are ever pinned.
+ */
+
+#ifndef OPTIMUS_HV_DMA_HEAP_HH
+#define OPTIMUS_HV_DMA_HEAP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "hv/optimus.hh"
+
+namespace optimus::hv {
+
+/** Free-list allocator over a virtual accelerator's DMA window. */
+class DmaHeap
+{
+  public:
+    DmaHeap(OptimusHv &hv, VirtualAccel &v);
+
+    /**
+     * Allocate @p bytes (aligned to @p align, min 64). Grows the
+     * registered window as needed; @p done receives the address, or
+     * GVA 0 on failure.
+     */
+    void alloc(std::uint64_t bytes, std::uint64_t align,
+               std::function<void(mem::Gva)> done);
+
+    /** Return a block to the heap (coalescing with neighbours). */
+    void free(mem::Gva addr);
+
+    /** Bytes of the window currently registered with the IOPT. */
+    std::uint64_t registeredBytes() const { return _brk; }
+
+    std::uint64_t allocatedBlocks() const
+    {
+        return _allocated.size();
+    }
+
+  private:
+    void grow(std::uint64_t up_to, std::function<void(bool)> done);
+    std::uint64_t tryCarve(std::uint64_t bytes, std::uint64_t align);
+    void insertFree(std::uint64_t addr, std::uint64_t size);
+
+    OptimusHv &_hv;
+    VirtualAccel &_v;
+    /** Free ranges keyed by start offset (window-relative). */
+    std::map<std::uint64_t, std::uint64_t> _free;
+    /** Allocated block sizes keyed by start offset. */
+    std::unordered_map<std::uint64_t, std::uint64_t> _allocated;
+    /** Window-relative end of the registered region. */
+    std::uint64_t _brk = 0;
+};
+
+} // namespace optimus::hv
+
+#endif // OPTIMUS_HV_DMA_HEAP_HH

@@ -1,0 +1,78 @@
+#include "hv/guest_api.hh"
+
+#include "sim/logging.hh"
+
+namespace optimus::hv {
+
+AccelHandle::AccelHandle(OptimusHv &hv, VirtualAccel &v)
+    : _hv(hv), _v(v), _heap(hv, v)
+{
+}
+
+void
+AccelHandle::pumpUntil(const std::function<bool()> &pred)
+{
+    sim::EventQueue &eq = _hv.eventq();
+    while (!pred()) {
+        if (!eq.runOne()) {
+            OPTIMUS_FATAL("guest library deadlock: event queue "
+                          "drained while waiting");
+        }
+    }
+}
+
+mem::Gva
+AccelHandle::dmaAlloc(std::uint64_t bytes, std::uint64_t align)
+{
+    bool done = false;
+    mem::Gva out(0);
+    _heap.alloc(bytes, align, [&](mem::Gva g) {
+        out = g;
+        done = true;
+    });
+    pumpUntil([&]() { return done; });
+    OPTIMUS_ASSERT(out.value() != 0, "DMA allocation failed");
+    return out;
+}
+
+void
+AccelHandle::mmioWrite(std::uint64_t reg, std::uint64_t value)
+{
+    bool done = false;
+    _hv.mmioWrite(_v, reg, value, [&]() { done = true; });
+    pumpUntil([&]() { return done; });
+}
+
+std::uint64_t
+AccelHandle::mmioRead(std::uint64_t reg)
+{
+    bool done = false;
+    std::uint64_t out = 0;
+    _hv.mmioRead(_v, reg, [&](std::uint64_t v) {
+        out = v;
+        done = true;
+    });
+    pumpUntil([&]() { return done; });
+    return out;
+}
+
+void
+AccelHandle::setupStateBuffer()
+{
+    std::uint64_t size = mmioRead(accel::reg::kStateSize);
+    mem::Gva buf = dmaAlloc(size, 64);
+    mmioWrite(accel::reg::kStateBuf, buf.value());
+}
+
+accel::Status
+AccelHandle::wait()
+{
+    pumpUntil([&]() {
+        accel::Status st = _hv.peekStatus(_v);
+        return st == accel::Status::kDone ||
+               st == accel::Status::kError;
+    });
+    return _hv.peekStatus(_v);
+}
+
+} // namespace optimus::hv

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The simplified userspace API the paper provides to application
+ * developers (Section 4.3): connect to a virtual accelerator, manage
+ * DMA memory, program it through MMIO, start jobs, and wait for
+ * completion.
+ *
+ * The methods are synchronous from the caller's point of view: each
+ * pumps the shared event queue until its own (timed) operation
+ * completes, so guest "software time" is naturally charged to the
+ * simulation clock while other agents keep running.
+ */
+
+#ifndef OPTIMUS_HV_GUEST_API_HH
+#define OPTIMUS_HV_GUEST_API_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "hv/dma_heap.hh"
+#include "hv/optimus.hh"
+
+namespace optimus::hv {
+
+/** Userspace handle to one virtual accelerator. */
+class AccelHandle
+{
+  public:
+    /** "Connect" to a virtual accelerator. */
+    AccelHandle(OptimusHv &hv, VirtualAccel &v);
+
+    VirtualAccel &vaccel() { return _v; }
+    guest::Process &process() { return _v.process(); }
+    DmaHeap &heap() { return _heap; }
+
+    /** Allocate DMA-able memory in this accelerator's window. */
+    mem::Gva dmaAlloc(std::uint64_t bytes, std::uint64_t align = 64);
+    void dmaFree(mem::Gva addr) { _heap.free(addr); }
+
+    /** CPU writes/reads of DMA memory (shared-memory view). */
+    void
+    memWrite(mem::Gva gva, const void *data, std::uint64_t len)
+    {
+        process().write(gva, data, len);
+    }
+    void
+    memRead(mem::Gva gva, void *data, std::uint64_t len)
+    {
+        process().read(gva, data, len);
+    }
+
+    /** Program a device register (trapped under OPTIMUS). */
+    void mmioWrite(std::uint64_t reg, std::uint64_t value);
+    std::uint64_t mmioRead(std::uint64_t reg);
+
+    void
+    writeAppReg(std::uint32_t idx, std::uint64_t value)
+    {
+        mmioWrite(accel::reg::appReg(idx), value);
+    }
+
+    /**
+     * Allocate and install the preemption state buffer (reads
+     * STATE_SIZE, allocates, writes STATE_BUF). Call after the
+     * application registers are programmed.
+     */
+    void setupStateBuffer();
+
+    /** Issue the START command. */
+    void start() { mmioWrite(accel::reg::kCtrl, accel::ctrl::kStart); }
+
+    /** Issue a soft reset. */
+    void
+    reset()
+    {
+        mmioWrite(accel::reg::kCtrl, accel::ctrl::kSoftReset);
+    }
+
+    /** Block (pumping simulated time) until DONE or ERROR. */
+    accel::Status wait();
+
+    std::uint64_t result() { return mmioRead(accel::reg::kResult); }
+    std::uint64_t progress()
+    {
+        return mmioRead(accel::reg::kProgress);
+    }
+
+    /** Run the event loop until @p pred holds (library internal). */
+    void pumpUntil(const std::function<bool()> &pred);
+
+  private:
+    OptimusHv &_hv;
+    VirtualAccel &_v;
+    DmaHeap _heap;
+};
+
+} // namespace optimus::hv
+
+#endif // OPTIMUS_HV_GUEST_API_HH

@@ -1,0 +1,809 @@
+#include "hv/optimus.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "fpga/mmio_layout.hh"
+#include "sim/logging.hh"
+
+namespace optimus::hv {
+
+using accel::Status;
+namespace reg = accel::reg;
+namespace ctrl = accel::ctrl;
+
+OptimusHv::OptimusHv(Platform &platform)
+    : _platform(platform),
+      _slots(platform.numAccels()),
+      _traps(&platform.stats(), "hv.traps",
+             "MMIO traps taken (trap-and-emulate)"),
+      _hypercalls(&platform.stats(), "hv.hypercalls",
+                  "shadow-paging page registrations"),
+      _ctxSwitches(&platform.stats(), "hv.context_switches",
+                   "temporal-multiplexing context switches"),
+      _forcedResets(&platform.stats(), "hv.forced_resets",
+                    "accelerators reset after preempt timeout"),
+      _rejectedPages(&platform.stats(), "hv.rejected_pages",
+                     "page registrations outside the DMA window"),
+      _migrations(&platform.stats(), "hv.migrations",
+                  "virtual accelerators migrated between slots")
+{
+    for (std::uint32_t i = 0; i < platform.numAccels(); ++i) {
+        platform.accel(i).setDoorbell(
+            [this, i](accel::Accelerator &a) { onDoorbell(i, a); });
+    }
+    _platform.iommu().setFaultHandler(
+        [](mem::Iova iova, bool is_write) {
+            OPTIMUS_WARN("IO page fault at IOVA 0x%llx (%s)",
+                         static_cast<unsigned long long>(
+                             iova.value()),
+                         is_write ? "write" : "read");
+        });
+}
+
+guest::Vm &
+OptimusHv::createVm(std::string name, std::uint64_t ram_bytes)
+{
+    _vms.push_back(std::make_unique<guest::Vm>(
+        std::move(name), _platform.memory(), _platform.frames(),
+        ram_bytes));
+    return *_vms.back();
+}
+
+std::uint64_t
+OptimusHv::sliceStride() const
+{
+    const auto &p = _platform.params();
+    if (!p.iotlbConflictMitigation)
+        return p.sliceBytes;
+    // The conflict-mitigation gap shifts each slice's IOTLB set
+    // index by entries/8 sets — one eighth of the direct-mapped
+    // IOTLB per accelerator. At the default 2 MB pages this is
+    // exactly the paper's 128 MB gap (512/8 * 2 MB); it scales with
+    // the configured page size so mitigation also works in 4 KB
+    // mode.
+    return p.sliceBytes +
+           (p.iotlbEntries / 8) * _platform.iommu().pageBytes();
+}
+
+VirtualAccel &
+OptimusHv::createVirtualAccel(guest::Process &proc,
+                              std::uint32_t slot_idx)
+{
+    OPTIMUS_ASSERT(slot_idx < _slots.size(), "bad physical slot");
+    Slot &slot = _slots[slot_idx];
+    if (!optimusMode()) {
+        OPTIMUS_ASSERT(slot.vaccels.empty(),
+                       "pass-through cannot oversubscribe");
+    }
+
+    auto v = std::make_unique<VirtualAccel>();
+    v->_id = _nextVaccelId++;
+    v->_slot = slot_idx;
+    v->_proc = &proc;
+    if (optimusMode()) {
+        v->_windowBytes = _platform.params().sliceBytes;
+        v->_windowBase = proc.mmapNoReserve(v->_windowBytes);
+        v->_sliceIovaBase =
+            sliceStride() * (static_cast<std::uint64_t>(v->_id) + 1);
+    } else {
+        // Pass-through with vIOMMU: the device sees guest virtual
+        // addresses directly (identity IOVA), but the guest library
+        // still reserves a DMA region to allocate from.
+        v->_windowBytes = _platform.params().sliceBytes;
+        v->_windowBase = proc.mmapNoReserve(v->_windowBytes);
+        v->_sliceIovaBase = v->_windowBase.value();
+    }
+    _occupancy.push_back(0);
+
+    VirtualAccel *raw = v.get();
+    slot.vaccels.push_back(std::move(v));
+
+    if (slot.scheduled == nullptr && !slot.switching) {
+        slot.scheduled = raw;
+        slot.scheduledAt = eventq().now();
+        scheduleVaccel(slot, *raw, []() {});
+    }
+    if (slot.vaccels.size() == 2)
+        armSliceTimer(slot_idx);
+    return *raw;
+}
+
+// --------------------------------------------------------- MMIO plumbing
+
+std::uint64_t
+OptimusHv::accelRegOffset(std::uint32_t slot, std::uint64_t r) const
+{
+    return optimusMode() ? fpga::accelMmioBase(slot) + r : r;
+}
+
+void
+OptimusHv::deviceMmio(bool is_write, std::uint64_t offset,
+                      std::uint64_t value,
+                      std::function<void(std::uint64_t)> done)
+{
+    ccip::MmioOp op;
+    op.isWrite = is_write;
+    op.offset = offset;
+    op.value = value;
+    op.onComplete = std::move(done);
+    _platform.shell().mmioFromHost(std::move(op));
+}
+
+void
+OptimusHv::deviceMmioSeq(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> writes,
+    std::function<void()> done)
+{
+    if (writes.empty()) {
+        done();
+        return;
+    }
+    auto rest = std::make_shared<
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>>(
+        writes.begin() + 1, writes.end());
+    deviceMmio(true, writes[0].first, writes[0].second,
+               [this, rest, done = std::move(done)](
+                   std::uint64_t) mutable {
+                   deviceMmioSeq(std::move(*rest), std::move(done));
+               });
+}
+
+void
+OptimusHv::mmioWrite(VirtualAccel &v, std::uint64_t r,
+                     std::uint64_t value, std::function<void()> done)
+{
+    const auto &p = _platform.params();
+    sim::Tick cost =
+        optimusMode() ? p.trapEmulateCost : p.mmioNative;
+    if (optimusMode())
+        ++_traps;
+    if (!done)
+        done = []() {};
+
+    eventq().scheduleIn(cost, [this, &v, r, value,
+                               done = std::move(done)]() mutable {
+        const bool sched = isScheduled(v);
+        auto forward = [this, &v, r, done](std::uint64_t val) {
+            deviceMmio(true, accelRegOffset(v._slot, r), val,
+                       [done](std::uint64_t) { done(); });
+        };
+
+        if (r == reg::kCtrl) {
+            std::uint64_t bits = value;
+            // PREEMPT/RESUME are privileged control-register
+            // operations; guests may not issue them directly.
+            bits &= ~(ctrl::kPreempt | ctrl::kResume);
+            if (bits & ctrl::kStart) {
+                v._visibleStatus = Status::kRunning;
+                v._cachedResult = 0;
+                v._cachedProgress = 0;
+                v._savedContext = false;
+                if (!sched) {
+                    v._pendingStart = true;
+                    armSliceTimer(v._slot);
+                    done();
+                    return;
+                }
+            }
+            if (bits & ctrl::kSoftReset) {
+                v._visibleStatus = Status::kIdle;
+                v._pendingStart = false;
+                v._savedContext = false;
+                if (!sched) {
+                    done();
+                    return;
+                }
+            }
+            if (bits == 0) {
+                done();
+                return;
+            }
+            forward(bits);
+            return;
+        }
+        if (r == reg::kStateBuf) {
+            v._stateBufGva = value;
+            if (sched) {
+                forward(value);
+            } else {
+                done();
+            }
+            return;
+        }
+        if (r >= reg::kApp0 &&
+            r < reg::kApp0 + 8ULL * reg::kNumAppRegs && r % 8 == 0) {
+            auto idx =
+                static_cast<std::uint32_t>((r - reg::kApp0) / 8);
+            v._regCache[idx] = value;
+            if (std::find(v._touchedRegs.begin(),
+                          v._touchedRegs.end(),
+                          idx) == v._touchedRegs.end()) {
+                v._touchedRegs.push_back(idx);
+            }
+            if (sched) {
+                forward(value);
+            } else {
+                done();
+            }
+            return;
+        }
+        // Read-only or unknown register: ignored.
+        done();
+    });
+}
+
+void
+OptimusHv::mmioRead(VirtualAccel &v, std::uint64_t r,
+                    std::function<void(std::uint64_t)> done)
+{
+    const auto &p = _platform.params();
+    sim::Tick cost =
+        optimusMode() ? p.trapEmulateCost : p.mmioNative;
+    if (optimusMode())
+        ++_traps;
+
+    eventq().scheduleIn(cost, [this, &v, r,
+                               done = std::move(done)]() mutable {
+        const bool sched = isScheduled(v);
+
+        if (r == reg::kStatus) {
+            // The hypervisor hides the physical accelerator's
+            // status (it may be running someone else's job).
+            done(static_cast<std::uint64_t>(v._visibleStatus));
+            return;
+        }
+        if ((r == reg::kResult || r == reg::kProgress) && !sched) {
+            done(r == reg::kResult ? v._cachedResult
+                                   : v._cachedProgress);
+            return;
+        }
+        if (r >= reg::kApp0 &&
+            r < reg::kApp0 + 8ULL * reg::kNumAppRegs && r % 8 == 0) {
+            done(v._regCache[(r - reg::kApp0) / 8]);
+            return;
+        }
+        if (!sched) {
+            // STATE_SIZE and friends: consult the device model
+            // directly (conservative; documented approximation).
+            done(_platform.accel(v._slot).mmioRead(r));
+            return;
+        }
+        deviceMmio(false, accelRegOffset(v._slot, r), 0,
+                   std::move(done));
+    });
+}
+
+// --------------------------------------------------------- shadow paging
+
+void
+OptimusHv::registerDmaPage(VirtualAccel &v, mem::Gva page_base,
+                           std::function<void(bool)> done)
+{
+    ++_hypercalls;
+    const auto &p = _platform.params();
+
+    eventq().scheduleIn(p.hypercallCost, [this, &v, page_base,
+                                          done = std::move(
+                                              done)]() mutable {
+        if (page_base.pageOffset(mem::kPage2M) != 0) {
+            ++_rejectedPages;
+            done(false);
+            return;
+        }
+        // Window check: the page must fall inside this virtual
+        // accelerator's DMA slice.
+        if (optimusMode()) {
+            std::uint64_t off = page_base - v._windowBase;
+            if (page_base < v._windowBase ||
+                off + mem::kPage2M > v._windowBytes) {
+                ++_rejectedPages;
+                done(false);
+                return;
+            }
+        }
+        if (!v._proc->isBacked(page_base)) {
+            ++_rejectedPages;
+            done(false);
+            return;
+        }
+
+        mem::Gpa gpa = v._proc->toGpa(page_base);
+        mem::Hpa hpa = v._proc->vm().toHpa(gpa);
+        _platform.frames().pin(hpa);
+
+        std::uint64_t offset =
+            v._sliceIovaBase - v._windowBase.value(); // mod 2^64
+        mem::Iova iova(page_base.value() + offset);
+
+        iommu::Iommu &iommu = _platform.iommu();
+        if (iommu.pageBytes() == mem::kPage2M) {
+            iommu.pageTable().map(iova, hpa);
+        } else {
+            // 4 KB IOPT mode: one entry per small page.
+            for (std::uint64_t o = 0; o < mem::kPage2M;
+                 o += mem::kPage4K) {
+                iommu.pageTable().map(iova + o, hpa + o);
+            }
+        }
+        done(true);
+    });
+}
+
+// ------------------------------------------------------------ scheduling
+
+void
+OptimusHv::vcuSeq(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> writes,
+    std::function<void()> done)
+{
+    _vcuQueue.emplace_back(std::move(writes), std::move(done));
+    drainVcuQueue();
+}
+
+void
+OptimusHv::drainVcuQueue()
+{
+    if (_vcuBusy || _vcuQueue.empty())
+        return;
+    _vcuBusy = true;
+    auto [writes, done] = std::move(_vcuQueue.front());
+    _vcuQueue.pop_front();
+    deviceMmioSeq(std::move(writes),
+                  [this, done = std::move(done)]() {
+                      _vcuBusy = false;
+                      done();
+                      drainVcuQueue();
+                  });
+}
+
+void
+OptimusHv::programOffsetEntry(VirtualAccel &v,
+                              std::function<void()> done)
+{
+    if (!optimusMode()) {
+        done();
+        return;
+    }
+    namespace vr = fpga::vcu_reg;
+    const std::uint64_t base = fpga::kVcuMmioBase;
+    std::uint64_t offset =
+        v._sliceIovaBase - v._windowBase.value(); // mod 2^64
+    vcuSeq(
+        {{base + vr::kOffsetIndex, v._slot},
+         {base + vr::kOffsetGvaBase, v._windowBase.value()},
+         {base + vr::kOffsetValue, offset},
+         {base + vr::kOffsetWindow, v._windowBytes},
+         {base + vr::kOffsetCommit, 1}},
+        std::move(done));
+}
+
+void
+OptimusHv::scheduleVaccel(Slot &slot, VirtualAccel &v,
+                          std::function<void()> done)
+{
+    // 1. Reset the physical accelerator (isolation: clear the
+    //    previous tenant's state), via the VCU reset table.
+    auto after_reset = [this, &slot, &v,
+                        done = std::move(done)]() mutable {
+        // 2. Install v's offset-table entry (page table slicing).
+        programOffsetEntry(v, [this, &slot, &v,
+                               done = std::move(done)]() mutable {
+            // 3. Synchronize cached application registers and the
+            //    state buffer pointer.
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> w;
+            for (std::uint32_t idx : v._touchedRegs) {
+                w.emplace_back(
+                    accelRegOffset(v._slot, reg::appReg(idx)),
+                    v._regCache[idx]);
+            }
+            if (v._stateBufGva != 0) {
+                w.emplace_back(
+                    accelRegOffset(v._slot, reg::kStateBuf),
+                    v._stateBufGva);
+            }
+            // 4. Kick the job: resume a saved context, or start a
+            //    job the guest requested while descheduled.
+            if (v._savedContext) {
+                w.emplace_back(accelRegOffset(v._slot, reg::kCtrl),
+                               ctrl::kResume);
+                v._savedContext = false;
+            } else if (v._pendingStart) {
+                w.emplace_back(accelRegOffset(v._slot, reg::kCtrl),
+                               ctrl::kStart);
+                v._pendingStart = false;
+            }
+            (void)slot;
+            deviceMmioSeq(std::move(w), std::move(done));
+        });
+    };
+
+    if (optimusMode()) {
+        deviceMmio(true,
+                   fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
+                   1ULL << v._slot,
+                   [after_reset =
+                        std::move(after_reset)](std::uint64_t) mutable {
+                       after_reset();
+                   });
+    } else {
+        after_reset();
+    }
+}
+
+sim::Tick
+OptimusHv::sliceFor(const Slot &slot, const VirtualAccel &v) const
+{
+    sim::Tick base = slot.baseSlice != 0
+                         ? slot.baseSlice
+                         : _platform.params().timeSlice;
+    if (slot.policy == SchedPolicy::kWeighted) {
+        return static_cast<sim::Tick>(static_cast<double>(base) *
+                                      v._weight);
+    }
+    return base;
+}
+
+void
+OptimusHv::setPolicy(std::uint32_t slot_idx, SchedPolicy policy,
+                     sim::Tick base_slice)
+{
+    Slot &slot = _slots[slot_idx];
+    slot.policy = policy;
+    slot.baseSlice = base_slice;
+    armSliceTimer(slot_idx);
+}
+
+void
+OptimusHv::armSliceTimer(std::uint32_t slot_idx)
+{
+    Slot &slot = _slots[slot_idx];
+    std::uint64_t epoch = ++slot.timerEpoch;
+    if (slot.vaccels.size() < 2 || slot.scheduled == nullptr)
+        return;
+    eventq().scheduleIn(sliceFor(slot, *slot.scheduled),
+                        [this, slot_idx, epoch]() {
+                            sliceExpired(slot_idx, epoch);
+                        });
+}
+
+namespace {
+bool
+eligible(const VirtualAccel *v)
+{
+    return v->visibleStatus() == Status::kRunning;
+}
+} // namespace
+
+VirtualAccel *
+OptimusHv::pickNext(Slot &slot)
+{
+    const auto n = static_cast<std::uint32_t>(slot.vaccels.size());
+    if (n == 0)
+        return nullptr;
+
+    if (slot.policy == SchedPolicy::kPriority) {
+        VirtualAccel *best = nullptr;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            VirtualAccel *v =
+                slot.vaccels[(slot.rrNext + i) % n].get();
+            if (!eligible(v))
+                continue;
+            if (!best || v->_priority > best->_priority)
+                best = v;
+        }
+        if (best) {
+            slot.rrNext = (slot.rrNext + 1) % n;
+        }
+        return best;
+    }
+
+    // Round-robin (optionally weighted): next eligible in order.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t idx = (slot.rrNext + i) % n;
+        VirtualAccel *v = slot.vaccels[idx].get();
+        if (eligible(v)) {
+            slot.rrNext = (idx + 1) % n;
+            return v;
+        }
+    }
+    return nullptr;
+}
+
+void
+OptimusHv::sliceExpired(std::uint32_t slot_idx, std::uint64_t epoch)
+{
+    Slot &slot = _slots[slot_idx];
+    if (epoch != slot.timerEpoch || slot.switching)
+        return;
+
+    VirtualAccel *next = pickNext(slot);
+    if (next == nullptr || next == slot.scheduled) {
+        // Re-arm only if someone else could become schedulable by
+        // pure time passage; otherwise the timer goes dormant and a
+        // postponed START re-arms it.
+        bool other_eligible = false;
+        for (const auto &v : slot.vaccels) {
+            if (v.get() != slot.scheduled && eligible(v.get()))
+                other_eligible = true;
+        }
+        if (other_eligible)
+            armSliceTimer(slot_idx);
+        return;
+    }
+    performSwitch(slot_idx, next);
+}
+
+void
+OptimusHv::performSwitch(std::uint32_t slot_idx, VirtualAccel *to)
+{
+    Slot &slot = _slots[slot_idx];
+    OPTIMUS_ASSERT(optimusMode(),
+                   "temporal multiplexing requires OPTIMUS mode");
+    slot.switching = true;
+    ++slot.timerEpoch; // cancel any pending slice timer
+
+    VirtualAccel *from = slot.scheduled;
+    const auto &p = _platform.params();
+
+    auto proceed = [this, slot_idx, to]() {
+        Slot &s = _slots[slot_idx];
+        ++_ctxSwitches;
+        // Software cost: trap handling, table updates, register
+        // synchronization bookkeeping.
+        eventq().scheduleIn(
+            _platform.params().contextSwitchSwCost,
+            [this, slot_idx, to]() {
+                Slot &s2 = _slots[slot_idx];
+                scheduleVaccel(s2, *to, [this, slot_idx, to]() {
+                    Slot &s3 = _slots[slot_idx];
+                    s3.scheduled = to;
+                    s3.scheduledAt = eventq().now();
+                    s3.switching = false;
+                    armSliceTimer(slot_idx);
+                });
+            });
+        (void)s;
+    };
+
+    if (from == nullptr) {
+        proceed();
+        return;
+    }
+
+    _occupancy[from->_id] += eventq().now() - slot.scheduledAt;
+
+    if (from->_stateBufGva == 0 &&
+        from->_visibleStatus == Status::kRunning) {
+        // The accelerator does not implement the preemption
+        // interface (no state buffer): forcibly reset it.
+        ++_forcedResets;
+        from->_visibleStatus = Status::kError;
+        from->_savedContext = false;
+        deviceMmio(true,
+                   fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
+                   1ULL << slot_idx,
+                   [proceed](std::uint64_t) { proceed(); });
+        return;
+    }
+
+    // Ask the accelerator to save its context; continue on the
+    // SAVED doorbell, or force a reset after the timeout.
+    std::uint64_t token = ++slot.preemptToken;
+    slot.onSaved = [this, slot_idx, from, proceed]() {
+        Slot &s = _slots[slot_idx];
+        from->_savedContext = true;
+        // The hardware registers still hold from's values; cache
+        // the guest-visible ones before they are clobbered.
+        from->_cachedResult = _platform.accel(slot_idx).result();
+        from->_cachedProgress =
+            _platform.accel(slot_idx).progress();
+        (void)s;
+        proceed();
+    };
+
+    eventq().scheduleIn(p.preemptTimeout, [this, slot_idx, token,
+                                           from, proceed]() {
+        Slot &s = _slots[slot_idx];
+        if (s.preemptToken != token || !s.onSaved)
+            return; // save completed in time
+        s.onSaved = nullptr;
+        ++_forcedResets;
+        from->_visibleStatus = Status::kError;
+        from->_savedContext = false;
+        deviceMmio(true,
+                   fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
+                   1ULL << slot_idx,
+                   [proceed](std::uint64_t) { proceed(); });
+    });
+
+    deviceMmio(true, accelRegOffset(slot_idx, reg::kCtrl),
+               ctrl::kPreempt, nullptr);
+}
+
+void
+OptimusHv::onDoorbell(std::uint32_t slot_idx, accel::Accelerator &a)
+{
+    Slot &slot = _slots[slot_idx];
+    VirtualAccel *v = slot.scheduled;
+    if (v == nullptr)
+        return;
+
+    Status st = a.status();
+    if (st == Status::kSaved) {
+        if (slot.onSaved) {
+            ++slot.preemptToken; // cancel the timeout
+            auto cb = std::move(slot.onSaved);
+            slot.onSaved = nullptr;
+            cb();
+        }
+        return;
+    }
+    if (st == Status::kDone || st == Status::kError) {
+        v->_visibleStatus = st;
+        v->_cachedResult = a.result();
+        v->_cachedProgress = a.progress();
+        if (v->_completion)
+            v->_completion(st);
+    }
+}
+
+void
+OptimusHv::migrate(VirtualAccel &v, std::uint32_t dst_idx,
+                   std::function<void(bool)> done)
+{
+    OPTIMUS_ASSERT(dst_idx < _slots.size(), "bad destination slot");
+    if (!optimusMode() || dst_idx == v._slot) {
+        done(false);
+        return;
+    }
+    // Both slots must host the same accelerator configuration:
+    // migration moves state, not bitstreams.
+    const auto &apps = _platform.config().apps;
+    if (apps[v._slot] != apps[dst_idx]) {
+        done(false);
+        return;
+    }
+    Slot &src = _slots[v._slot];
+    Slot &dst = _slots[dst_idx];
+    if (src.switching || dst.switching) {
+        done(false); // a context switch is already in flight
+        return;
+    }
+
+    auto move_and_resume = [this, &v, dst_idx,
+                            done = std::move(done)]() mutable {
+        Slot &src2 = _slots[v._slot];
+        Slot &dst2 = _slots[dst_idx];
+
+        // Detach from the source slot's tenant list.
+        std::unique_ptr<VirtualAccel> owned;
+        for (auto it = src2.vaccels.begin();
+             it != src2.vaccels.end(); ++it) {
+            if (it->get() == &v) {
+                owned = std::move(*it);
+                src2.vaccels.erase(it);
+                break;
+            }
+        }
+        OPTIMUS_ASSERT(owned != nullptr,
+                       "migrating an unknown virtual accelerator");
+        if (!src2.vaccels.empty())
+            src2.rrNext %= static_cast<std::uint32_t>(
+                src2.vaccels.size());
+
+        v._slot = dst_idx;
+        dst2.vaccels.push_back(std::move(owned));
+        ++_migrations;
+
+        // Hand the vacated source slot to its next tenant.
+        if (src2.scheduled == nullptr) {
+            if (VirtualAccel *next = pickNext(src2)) {
+                performSwitch(
+                    static_cast<std::uint32_t>(&src2 - &_slots[0]),
+                    next);
+            }
+        }
+
+        // Schedule on the destination, or let its timer pick v up.
+        if (dst2.scheduled == nullptr && !dst2.switching) {
+            dst2.scheduled = &v;
+            dst2.scheduledAt = eventq().now();
+            scheduleVaccel(dst2, v,
+                           [done = std::move(done)]() mutable {
+                               done(true);
+                           });
+        } else {
+            done(true);
+        }
+        if (dst2.vaccels.size() >= 2)
+            armSliceTimer(dst_idx);
+    };
+
+    if (src.scheduled != &v) {
+        // Descheduled: the cached registers and saved context (if
+        // any) move with the vaccel.
+        move_and_resume();
+        return;
+    }
+
+    // Scheduled: preempt first.
+    if (v._visibleStatus == Status::kRunning &&
+        v._stateBufGva == 0) {
+        done(false); // cannot cede without a state buffer
+        return;
+    }
+    std::uint32_t src_idx = v._slot;
+    src.switching = true;
+    ++src.timerEpoch;
+    _occupancy[v._id] += eventq().now() - src.scheduledAt;
+
+    std::uint64_t token = ++src.preemptToken;
+    src.onSaved = [this, src_idx, &v,
+                   move_and_resume =
+                       std::move(move_and_resume)]() mutable {
+        Slot &s = _slots[src_idx];
+        v._savedContext = true;
+        v._cachedResult = _platform.accel(src_idx).result();
+        v._cachedProgress = _platform.accel(src_idx).progress();
+        s.scheduled = nullptr;
+        s.switching = false;
+        move_and_resume();
+    };
+    eventq().scheduleIn(
+        _platform.params().preemptTimeout,
+        [this, src_idx, token, &v]() {
+            Slot &s = _slots[src_idx];
+            if (s.preemptToken != token || !s.onSaved)
+                return;
+            // The accelerator failed to cede: reset it and abandon
+            // the migration (the vaccel stays, errored, on src).
+            s.onSaved = nullptr;
+            ++_forcedResets;
+            v._visibleStatus = Status::kError;
+            v._savedContext = false;
+            deviceMmio(
+                true,
+                fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
+                1ULL << src_idx, [this, src_idx](std::uint64_t) {
+                    Slot &s2 = _slots[src_idx];
+                    s2.scheduled = nullptr;
+                    s2.switching = false;
+                    if (VirtualAccel *next = pickNext(s2))
+                        performSwitch(src_idx, next);
+                });
+        });
+    deviceMmio(true, accelRegOffset(src_idx, reg::kCtrl),
+               ctrl::kPreempt, nullptr);
+}
+
+// -------------------------------------------------------- introspection
+
+bool
+OptimusHv::isScheduled(const VirtualAccel &v) const
+{
+    return _slots[v._slot].scheduled == &v;
+}
+
+std::uint64_t
+OptimusHv::peekProgress(const VirtualAccel &v) const
+{
+    if (isScheduled(v)) {
+        return const_cast<Platform &>(_platform)
+            .accel(v._slot)
+            .progress();
+    }
+    return v._cachedProgress;
+}
+
+sim::Tick
+OptimusHv::occupancy(const VirtualAccel &v) const
+{
+    sim::Tick t = _occupancy[v._id];
+    const Slot &slot = _slots[v._slot];
+    if (slot.scheduled == &v)
+        t += _platform.eventq().now() - slot.scheduledAt;
+    return t;
+}
+
+} // namespace optimus::hv

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The OPTIMUS hypervisor.
+ *
+ * Mediated pass-through (Section 4): all control-plane (MMIO) guest
+ * accesses trap here and are emulated or redirected; the data plane
+ * (accelerator DMA) never touches the hypervisor. The hypervisor
+ * owns page table slicing (per-virtual-accelerator IOVA slices with
+ * the IOTLB conflict-mitigation gap), shadow paging (hypercall-based
+ * page registration into the single IO page table), and preemptive
+ * temporal multiplexing with round-robin, weighted, and priority
+ * schedulers.
+ *
+ * The same object also drives a pass-through platform (the paper's
+ * baseline): identity slicing, no traps on MMIO, vIOMMU-backed
+ * identity IOVAs.
+ */
+
+#ifndef OPTIMUS_HV_OPTIMUS_HH
+#define OPTIMUS_HV_OPTIMUS_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/regs.hh"
+#include "guest/process.hh"
+#include "guest/vm.hh"
+#include "hv/platform.hh"
+
+namespace optimus::hv {
+
+class OptimusHv;
+
+/** Temporal multiplexing policies (Section 5). */
+enum class SchedPolicy
+{
+    kRoundRobin, ///< unweighted, equal time slices (default)
+    kWeighted,   ///< time slice scaled by per-vaccel weight
+    kPriority,   ///< highest-priority runnable job gets every slice
+};
+
+/** One virtual accelerator, as exposed to a guest. */
+class VirtualAccel
+{
+  public:
+    using CompletionHandler = std::function<void(accel::Status)>;
+
+    std::uint32_t id() const { return _id; }
+    std::uint32_t slot() const { return _slot; }
+    guest::Process &process() const { return *_proc; }
+
+    /** Base of the guest-virtual DMA window (the 64 GB slice). */
+    mem::Gva windowBase() const { return _windowBase; }
+    std::uint64_t windowBytes() const { return _windowBytes; }
+
+    /** The hypervisor-maintained job status the guest observes. */
+    accel::Status visibleStatus() const { return _visibleStatus; }
+    std::uint64_t cachedResult() const { return _cachedResult; }
+    std::uint64_t cachedProgress() const { return _cachedProgress; }
+
+    /** Invoked (like an interrupt) on job DONE / ERROR. */
+    void setCompletionHandler(CompletionHandler h)
+    {
+        _completion = std::move(h);
+    }
+
+  private:
+    friend class OptimusHv;
+
+    std::uint32_t _id = 0;
+    std::uint32_t _slot = 0;
+    guest::Process *_proc = nullptr;
+    mem::Gva _windowBase{};
+    std::uint64_t _windowBytes = 0;
+    /** IOVA base of this vaccel's slice (page table slicing). */
+    std::uint64_t _sliceIovaBase = 0;
+
+    std::array<std::uint64_t, accel::reg::kNumAppRegs> _regCache{};
+    std::vector<std::uint32_t> _touchedRegs;
+    std::uint64_t _stateBufGva = 0;
+
+    bool _pendingStart = false;
+    bool _savedContext = false;
+    accel::Status _visibleStatus = accel::Status::kIdle;
+    std::uint64_t _cachedResult = 0;
+    std::uint64_t _cachedProgress = 0;
+
+    double _weight = 1.0;
+    std::int32_t _priority = 0;
+
+    CompletionHandler _completion;
+};
+
+/** The hypervisor. */
+class OptimusHv
+{
+  public:
+    explicit OptimusHv(Platform &platform);
+
+    Platform &platform() { return _platform; }
+    sim::EventQueue &eventq() { return _platform.eventq(); }
+
+    /** Create a guest VM (KVM would do this in the original). */
+    guest::Vm &createVm(std::string name,
+                        std::uint64_t ram_bytes = 10ULL << 30);
+
+    /**
+     * Create (mdev-style) a virtual accelerator for @p proc on
+     * physical slot @p slot. Reserves the process's DMA window,
+     * assigns the IOVA slice, and schedules it if the slot is free.
+     */
+    VirtualAccel &createVirtualAccel(guest::Process &proc,
+                                     std::uint32_t slot);
+
+    // ------------------------------------------------ driver interface
+    /**
+     * Guest MMIO write to a virtual accelerator register (BAR0).
+     * Trapped and emulated under OPTIMUS; direct under pass-through.
+     */
+    void mmioWrite(VirtualAccel &v, std::uint64_t reg,
+                   std::uint64_t value,
+                   std::function<void()> done = nullptr);
+
+    /** Guest MMIO read from a virtual accelerator register. */
+    void mmioRead(VirtualAccel &v, std::uint64_t reg,
+                  std::function<void(std::uint64_t)> done);
+
+    /**
+     * Shadow-paging hypercall (BAR2 register in the original):
+     * make one 2 MB guest page FPGA-accessible. Validates the
+     * window, translates GVA -> GPA -> HPA, pins the frames, and
+     * installs the IOVA -> HPA mapping(s) in the IO page table.
+     * @param done receives false if the page was rejected.
+     */
+    void registerDmaPage(VirtualAccel &v, mem::Gva page_base,
+                         std::function<void(bool)> done);
+
+    /**
+     * Migrate a virtual accelerator to a different physical slot
+     * (Section 7.1: "OPTIMUS's virtual accelerators can
+     * theoretically be migrated" — implemented here as an
+     * extension). The destination must host the same accelerator
+     * configuration. A scheduled vaccel is preempted first; its
+     * saved context resumes on the destination. @p done receives
+     * false if the migration could not start (mismatched app types,
+     * a context switch already in flight, or a vaccel that cannot
+     * cede).
+     */
+    void migrate(VirtualAccel &v, std::uint32_t dst_slot,
+                 std::function<void(bool)> done);
+
+    std::uint64_t migrations() const { return _migrations.value(); }
+
+    // ------------------------------------------------ scheduling policy
+    void setPolicy(std::uint32_t slot, SchedPolicy policy,
+                   sim::Tick base_slice = 0);
+    void setWeight(VirtualAccel &v, double w) { v._weight = w; }
+    void setPriority(VirtualAccel &v, std::int32_t p)
+    {
+        v._priority = p;
+    }
+
+    // ------------------------------------------------- instrumentation
+    /** Untimed progress peek for measurement harnesses. */
+    std::uint64_t peekProgress(const VirtualAccel &v) const;
+    accel::Status peekStatus(const VirtualAccel &v) const
+    {
+        return v._visibleStatus;
+    }
+    /** Whether @p v currently owns its physical accelerator. */
+    bool isScheduled(const VirtualAccel &v) const;
+
+    std::uint64_t contextSwitches() const
+    {
+        return _ctxSwitches.value();
+    }
+    std::uint64_t forcedResets() const { return _forcedResets.value(); }
+    std::uint64_t traps() const { return _traps.value(); }
+    std::uint64_t hypercalls() const { return _hypercalls.value(); }
+
+    /** Cumulative time each vaccel has held its physical slot. */
+    sim::Tick occupancy(const VirtualAccel &v) const;
+
+  private:
+    struct Slot
+    {
+        std::vector<std::unique_ptr<VirtualAccel>> vaccels;
+        SchedPolicy policy = SchedPolicy::kRoundRobin;
+        sim::Tick baseSlice = 0;
+        std::uint32_t rrNext = 0;
+        VirtualAccel *scheduled = nullptr;
+        bool switching = false;
+        std::uint64_t timerEpoch = 0;
+        std::uint64_t preemptToken = 0;
+        std::function<void()> onSaved;
+        sim::Tick scheduledAt = 0;
+    };
+
+    bool optimusMode() const
+    {
+        return _platform.config().mode == FabricMode::kOptimus;
+    }
+
+    /** Issue one MMIO to the device (absolute device offset). */
+    void deviceMmio(bool is_write, std::uint64_t offset,
+                    std::uint64_t value,
+                    std::function<void(std::uint64_t)> done);
+
+    /** Issue a sequence of register writes, then call @p done. */
+    void deviceMmioSeq(
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> writes,
+        std::function<void()> done);
+
+    /**
+     * Issue a VCU management sequence. The VCU's staged offset-table
+     * registers are shared state, so concurrent programming (e.g.,
+     * two virtual accelerators being scheduled at once) must be
+     * serialized by the hypervisor.
+     */
+    void vcuSeq(
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> writes,
+        std::function<void()> done);
+    void drainVcuQueue();
+
+    std::uint64_t accelRegOffset(std::uint32_t slot,
+                                 std::uint64_t reg) const;
+
+    void programOffsetEntry(VirtualAccel &v,
+                            std::function<void()> done);
+    void scheduleVaccel(Slot &slot, VirtualAccel &v,
+                        std::function<void()> done);
+    void armSliceTimer(std::uint32_t slot_idx);
+    void sliceExpired(std::uint32_t slot_idx, std::uint64_t epoch);
+    VirtualAccel *pickNext(Slot &slot);
+    void performSwitch(std::uint32_t slot_idx, VirtualAccel *to);
+    void onDoorbell(std::uint32_t slot_idx, accel::Accelerator &a);
+    sim::Tick sliceFor(const Slot &slot, const VirtualAccel &v) const;
+    std::uint64_t sliceStride() const;
+
+    Platform &_platform;
+    std::vector<Slot> _slots;
+    std::deque<std::pair<
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>,
+        std::function<void()>>>
+        _vcuQueue;
+    bool _vcuBusy = false;
+    std::vector<std::unique_ptr<guest::Vm>> _vms;
+    std::uint32_t _nextVaccelId = 0;
+
+    /** Per-vaccel accumulated occupancy, indexed by vaccel id. */
+    std::vector<sim::Tick> _occupancy;
+
+    sim::Counter _traps;
+    sim::Counter _hypercalls;
+    sim::Counter _ctxSwitches;
+    sim::Counter _forcedResets;
+    sim::Counter _rejectedPages;
+    sim::Counter _migrations;
+};
+
+} // namespace optimus::hv
+
+#endif // OPTIMUS_HV_OPTIMUS_HH

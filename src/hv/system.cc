@@ -1,0 +1,27 @@
+#include "hv/system.hh"
+
+namespace optimus::hv {
+
+PlatformConfig
+makeOptimusConfig(const std::string &app, std::uint32_t n,
+                  sim::PlatformParams params)
+{
+    PlatformConfig cfg;
+    cfg.params = params;
+    cfg.mode = FabricMode::kOptimus;
+    cfg.apps.assign(n, app);
+    return cfg;
+}
+
+PlatformConfig
+makePassthroughConfig(const std::string &app,
+                      sim::PlatformParams params)
+{
+    PlatformConfig cfg;
+    cfg.params = params;
+    cfg.mode = FabricMode::kPassthrough;
+    cfg.apps = {app};
+    return cfg;
+}
+
+} // namespace optimus::hv

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Whole-system convenience wrapper: event queue + platform +
+ * hypervisor + per-slot guest VMs, processes, and userspace handles.
+ * Used by the examples, tests, and benchmark harnesses; a downstream
+ * user embedding the library can also start here.
+ */
+
+#ifndef OPTIMUS_HV_SYSTEM_HH
+#define OPTIMUS_HV_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/guest_api.hh"
+#include "hv/optimus.hh"
+#include "hv/platform.hh"
+
+namespace optimus::hv {
+
+/** A fully assembled simulated machine. */
+class System
+{
+  public:
+    explicit System(PlatformConfig config)
+        : platform(eq, std::move(config)), hv(platform)
+    {
+    }
+
+    /**
+     * Create a VM (with one process) and attach a virtual
+     * accelerator on @p slot; returns the userspace handle.
+     */
+    AccelHandle &
+    attach(std::uint32_t slot, std::uint64_t vm_ram = 10ULL << 30)
+    {
+        auto &vm = hv.createVm(
+            sim::strprintf("vm%zu", _handles.size()), vm_ram);
+        auto &proc = vm.createProcess("app");
+        auto &vaccel = hv.createVirtualAccel(proc, slot);
+        _handles.push_back(
+            std::make_unique<AccelHandle>(hv, vaccel));
+        return *_handles.back();
+    }
+
+    /**
+     * Attach another virtual accelerator for an existing handle's
+     * process-mate: a fresh process in a fresh VM sharing @p slot
+     * (temporal multiplexing).
+     */
+    AccelHandle &
+    attachShared(std::uint32_t slot)
+    {
+        return attach(slot);
+    }
+
+    AccelHandle &handle(std::size_t i) { return *_handles[i]; }
+    std::size_t numHandles() const { return _handles.size(); }
+
+    sim::EventQueue eq;
+    Platform platform;
+    OptimusHv hv;
+
+  private:
+    std::vector<std::unique_ptr<AccelHandle>> _handles;
+};
+
+/** Config helper: OPTIMUS mode with @p n copies of @p app. */
+PlatformConfig makeOptimusConfig(const std::string &app,
+                                 std::uint32_t n,
+                                 sim::PlatformParams params =
+                                     sim::PlatformParams::
+                                         harpDefaults());
+
+/** Config helper: pass-through mode with a single @p app. */
+PlatformConfig makePassthroughConfig(
+    const std::string &app,
+    sim::PlatformParams params =
+        sim::PlatformParams::harpDefaults());
+
+} // namespace optimus::hv
+
+#endif // OPTIMUS_HV_SYSTEM_HH

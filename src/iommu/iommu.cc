@@ -1,0 +1,121 @@
+#include "iommu/iommu.hh"
+
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace optimus::iommu {
+
+Iommu::Iommu(sim::EventQueue &eq, const sim::PlatformParams &params,
+             sim::StatGroup *stats)
+    : _eq(eq),
+      _hitLatency(params.iotlbHitCycles *
+                  sim::periodFromMhz(params.fpgaIfaceMhz)),
+      _walkLatency(params.pageWalkLatency),
+      // The soft walker services translations one at a time; queued
+      // walks are what turn IOTLB thrash into rapidly growing latency
+      // as job counts rise (Fig 5a at 4G/8G working sets).
+      _maxConcurrentWalks(2),
+      _pageBytes(params.pageBytes),
+      _iopt(std::make_unique<mem::IoPageTable>(params.pageBytes)),
+      _iotlb(params.iotlbEntries, params.pageBytes, stats),
+      _walks(stats, "iommu.walks", "IO page table walks"),
+      _faults(stats, "iommu.faults", "IO page faults"),
+      _coalesced(stats, "iommu.coalesced_walks",
+                 "misses that merged onto an in-flight walk")
+{
+}
+
+void
+Iommu::setPageBytes(std::uint64_t page_bytes)
+{
+    OPTIMUS_ASSERT(page_bytes == mem::kPage4K ||
+                       page_bytes == mem::kPage2M,
+                   "unsupported IOMMU page size");
+    _pageBytes = page_bytes;
+    _iopt = std::make_unique<mem::IoPageTable>(page_bytes);
+    _iotlb = Iotlb(_iotlb.entries(), page_bytes, nullptr);
+}
+
+void
+Iommu::translate(mem::Iova iova, bool is_write, TranslateCallback cb)
+{
+    if (auto hpa = _iotlb.lookup(iova)) {
+        // Fast path: permissions were validated at insert time by the
+        // hypervisor; the hardware only rechecks writability.
+        auto entry = _iopt->lookup(iova.pageBase(_pageBytes));
+        if (is_write && entry && !entry->perms.writable) {
+            fault(PendingWalk{iova, is_write, std::move(cb)});
+            return;
+        }
+        _eq.scheduleIn(_hitLatency,
+                       [hpa = *hpa, cb = std::move(cb)]() {
+                           cb(TranslationResult{false, hpa});
+                       });
+        return;
+    }
+
+    // Coalesce: if a walk for this page is already queued or in
+    // flight, attach to it instead of issuing another (as a hardware
+    // walker's MSHRs would).
+    mem::Iova page = iova.pageBase(_pageBytes);
+    auto [it, fresh] = _walkWaiters.try_emplace(page.value());
+    it->second.push_back(PendingWalk{iova, is_write, std::move(cb)});
+    if (!fresh) {
+        ++_coalesced;
+        return;
+    }
+    if (_activeWalks < _maxConcurrentWalks) {
+        startWalk(page);
+    } else {
+        _walkQueue.push_back(page);
+    }
+}
+
+void
+Iommu::startWalk(mem::Iova page)
+{
+    ++_activeWalks;
+    ++_walks;
+    _eq.scheduleIn(_walkLatency,
+                   [this, page]() { finishWalk(page); });
+}
+
+void
+Iommu::finishWalk(mem::Iova page)
+{
+    --_activeWalks;
+    if (!_walkQueue.empty()) {
+        mem::Iova next = _walkQueue.front();
+        _walkQueue.pop_front();
+        startWalk(next);
+    }
+
+    auto node = _walkWaiters.extract(page.value());
+    OPTIMUS_ASSERT(!node.empty(), "walk completion without waiters");
+    auto entry = _iopt->lookup(page);
+    if (entry) {
+        _iotlb.insert(page, entry->base);
+    }
+    for (PendingWalk &w : node.mapped()) {
+        auto translated = _iopt->translate(w.iova, w.isWrite);
+        if (!translated) {
+            fault(w);
+            continue;
+        }
+        w.cb(TranslationResult{false, *translated});
+    }
+}
+
+void
+Iommu::fault(const PendingWalk &w)
+{
+    ++_faults;
+    if (_faultHandler)
+        _faultHandler(w.iova, w.isWrite);
+    w.cb(TranslationResult{true, mem::Hpa(0)});
+}
+
+} // namespace optimus::iommu

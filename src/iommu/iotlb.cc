@@ -1,0 +1,78 @@
+#include "iommu/iotlb.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace optimus::iommu {
+
+Iotlb::Iotlb(std::uint32_t entries, std::uint64_t page_bytes,
+             sim::StatGroup *stats)
+    : _pageBytes(page_bytes),
+      _offsetBits(static_cast<std::uint64_t>(
+          std::countr_zero(page_bytes))),
+      _sets(entries),
+      _hits(stats, "iotlb.hits", "IOTLB hits"),
+      _misses(stats, "iotlb.misses", "IOTLB misses"),
+      _conflictEvictions(stats, "iotlb.conflict_evictions",
+                         "valid entries displaced by a different page")
+{
+    OPTIMUS_ASSERT(std::has_single_bit(page_bytes),
+                   "IOTLB page size must be a power of two");
+    OPTIMUS_ASSERT(std::has_single_bit(entries),
+                   "IOTLB entry count must be a power of two");
+}
+
+std::uint32_t
+Iotlb::setIndex(mem::Iova iova) const
+{
+    // Virtual page number bits immediately above the page offset:
+    // bits [21, 30) for 2 MB pages, [12, 21) for 4 KB pages with the
+    // default 512 entries.
+    std::uint64_t vpn = iova.value() >> _offsetBits;
+    return static_cast<std::uint32_t>(vpn & (_sets.size() - 1));
+}
+
+std::optional<mem::Hpa>
+Iotlb::lookup(mem::Iova iova)
+{
+    std::uint64_t vpn = iova.value() >> _offsetBits;
+    Set &s = _sets[setIndex(iova)];
+    if (s.valid && s.vpn == vpn) {
+        ++_hits;
+        return mem::Hpa(s.hpaBase +
+                        iova.pageOffset(_pageBytes));
+    }
+    ++_misses;
+    return std::nullopt;
+}
+
+void
+Iotlb::insert(mem::Iova iova, mem::Hpa hpa_page_base)
+{
+    std::uint64_t vpn = iova.value() >> _offsetBits;
+    Set &s = _sets[setIndex(iova)];
+    if (s.valid && s.vpn != vpn)
+        ++_conflictEvictions;
+    s.valid = true;
+    s.vpn = vpn;
+    s.hpaBase = hpa_page_base.value();
+}
+
+void
+Iotlb::invalidateAll()
+{
+    for (auto &s : _sets)
+        s.valid = false;
+}
+
+void
+Iotlb::invalidate(mem::Iova iova)
+{
+    std::uint64_t vpn = iova.value() >> _offsetBits;
+    Set &s = _sets[setIndex(iova)];
+    if (s.valid && s.vpn == vpn)
+        s.valid = false;
+}
+
+} // namespace optimus::iommu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Strongly-typed addresses for the four address spaces the paper's
+ * design juggles (Fig 2):
+ *
+ *   GVA  guest virtual address  — used by guest apps and accelerators
+ *   GPA  guest physical address — guest kernel's view
+ *   IOVA IO virtual address     — GVA plus the page-table-slicing offset
+ *   HPA  host physical address  — backing DRAM
+ *
+ * Using distinct types makes it a compile error to, e.g., hand a GVA
+ * to the IOMMU, which is exactly the class of bug page table slicing
+ * exists to prevent at runtime.
+ */
+
+#ifndef OPTIMUS_MEM_ADDRESS_HH
+#define OPTIMUS_MEM_ADDRESS_HH
+
+#include <compare>
+#include <cstdint>
+
+namespace optimus::mem {
+
+/** A tagged 64-bit address in a specific address space. */
+template <typename Tag>
+class Addr
+{
+  public:
+    constexpr Addr() = default;
+    constexpr explicit Addr(std::uint64_t v) : _v(v) {}
+
+    constexpr std::uint64_t value() const { return _v; }
+
+    constexpr auto operator<=>(const Addr &) const = default;
+
+    constexpr Addr operator+(std::uint64_t off) const
+    {
+        return Addr(_v + off);
+    }
+    constexpr Addr operator-(std::uint64_t off) const
+    {
+        return Addr(_v - off);
+    }
+    constexpr std::uint64_t operator-(const Addr &o) const
+    {
+        return _v - o._v;
+    }
+    Addr &operator+=(std::uint64_t off)
+    {
+        _v += off;
+        return *this;
+    }
+
+    /** The address rounded down to a @p page_bytes boundary. */
+    constexpr Addr pageBase(std::uint64_t page_bytes) const
+    {
+        return Addr(_v & ~(page_bytes - 1));
+    }
+    /** Offset within a @p page_bytes page. */
+    constexpr std::uint64_t pageOffset(std::uint64_t page_bytes) const
+    {
+        return _v & (page_bytes - 1);
+    }
+
+  private:
+    std::uint64_t _v = 0;
+};
+
+using Gva = Addr<struct GvaTag>;
+using Gpa = Addr<struct GpaTag>;
+using Iova = Addr<struct IovaTag>;
+using Hpa = Addr<struct HpaTag>;
+
+/** Smallest page granularity used anywhere in the system. */
+constexpr std::uint64_t kPage4K = 4096;
+/** Huge-page granularity used for DMA memory (Section 5). */
+constexpr std::uint64_t kPage2M = 2ULL << 20;
+
+} // namespace optimus::mem
+
+#endif // OPTIMUS_MEM_ADDRESS_HH

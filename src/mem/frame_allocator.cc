@@ -1,0 +1,74 @@
+#include "mem/frame_allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace optimus::mem {
+
+FrameAllocator::FrameAllocator(Hpa base, Hpa limit,
+                               std::uint64_t frame_bytes)
+    : _frameBytes(frame_bytes), _base(base), _limit(limit), _next(base)
+{
+    OPTIMUS_ASSERT((frame_bytes & (frame_bytes - 1)) == 0,
+                   "frame size must be a power of two");
+    OPTIMUS_ASSERT(base.value() % frame_bytes == 0 &&
+                       limit.value() % frame_bytes == 0,
+                   "allocator range must be frame aligned");
+    OPTIMUS_ASSERT(limit > base, "empty allocator range");
+}
+
+Hpa
+FrameAllocator::allocate()
+{
+    if (!_freeList.empty()) {
+        Hpa f(_freeList.back());
+        _freeList.pop_back();
+        ++_allocated;
+        return f;
+    }
+    if (_next >= _limit) {
+        OPTIMUS_FATAL("out of host physical frames");
+    }
+    Hpa f = _next;
+    _next += _frameBytes;
+    ++_allocated;
+    return f;
+}
+
+Hpa
+FrameAllocator::allocateContiguous(std::uint64_t n)
+{
+    OPTIMUS_ASSERT(n > 0, "zero-length contiguous allocation");
+    if (_next + n * _frameBytes - _base > _limit - _base) {
+        OPTIMUS_FATAL("out of contiguous host physical frames");
+    }
+    Hpa f = _next;
+    _next += n * _frameBytes;
+    _allocated += n;
+    return f;
+}
+
+void
+FrameAllocator::free(Hpa frame)
+{
+    OPTIMUS_ASSERT(frame >= _base && frame < _limit,
+                   "freeing frame outside allocator range");
+    OPTIMUS_ASSERT(!isPinned(frame), "freeing a pinned frame");
+    OPTIMUS_ASSERT(_allocated > 0, "double free");
+    _freeList.push_back(frame.value());
+    --_allocated;
+}
+
+void
+FrameAllocator::pin(Hpa frame)
+{
+    _pinned.insert(frame.value());
+}
+
+void
+FrameAllocator::unpin(Hpa frame)
+{
+    auto n = _pinned.erase(frame.value());
+    OPTIMUS_ASSERT(n == 1, "unpinning a frame that was not pinned");
+}
+
+} // namespace optimus::mem

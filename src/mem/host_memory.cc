@@ -1,0 +1,74 @@
+#include "mem/host_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace optimus::mem {
+
+HostMemory::Frame &
+HostMemory::frameFor(std::uint64_t frame_number)
+{
+    OPTIMUS_ASSERT(frame_number * kFrameBytes < _capacity,
+                   "physical address beyond DRAM capacity");
+    auto &slot = _frames[frame_number];
+    if (!slot) {
+        slot = std::make_unique<Frame>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const HostMemory::Frame *
+HostMemory::frameForConst(std::uint64_t frame_number) const
+{
+    auto it = _frames.find(frame_number);
+    return it == _frames.end() ? nullptr : it->second.get();
+}
+
+void
+HostMemory::read(Hpa addr, void *dst, std::uint64_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    std::uint64_t a = addr.value();
+    while (len > 0) {
+        std::uint64_t frame = a / kFrameBytes;
+        std::uint64_t off = a % kFrameBytes;
+        std::uint64_t chunk = std::min(len, kFrameBytes - off);
+        OPTIMUS_ASSERT(frame * kFrameBytes < _capacity,
+                       "physical read beyond DRAM capacity");
+        const Frame *f = frameForConst(frame);
+        if (f) {
+            std::memcpy(out, f->data() + off, chunk);
+        } else {
+            std::memset(out, 0, chunk); // untouched DRAM reads as zero
+        }
+        out += chunk;
+        a += chunk;
+        len -= chunk;
+    }
+}
+
+void
+HostMemory::write(Hpa addr, const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    std::uint64_t a = addr.value();
+    while (len > 0) {
+        std::uint64_t frame = a / kFrameBytes;
+        std::uint64_t off = a % kFrameBytes;
+        std::uint64_t chunk = std::min(len, kFrameBytes - off);
+        if (_scratchWrites && _frames.find(frame) == _frames.end()) {
+            // Scratch mode: drop writes to untouched frames.
+        } else {
+            Frame &f = frameFor(frame);
+            std::memcpy(f.data() + off, in, chunk);
+        }
+        in += chunk;
+        a += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace optimus::mem

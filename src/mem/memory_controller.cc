@@ -1,0 +1,33 @@
+#include "mem/memory_controller.hh"
+
+#include <algorithm>
+
+namespace optimus::mem {
+
+MemoryController::MemoryController(sim::EventQueue &eq,
+                                   const sim::PlatformParams &params,
+                                   sim::StatGroup *stats)
+    : _eq(eq),
+      _latency(params.dramLatency),
+      // GB/s == bytes per ns == bytes per 1000 ticks.
+      _bytesPerTick(params.dramGbps / static_cast<double>(sim::kTickNs)),
+      _accesses(stats, "mem.accesses", "DRAM accesses"),
+      _bytes(stats, "mem.bytes", "DRAM bytes transferred")
+{
+}
+
+void
+MemoryController::access(std::uint64_t bytes, bool is_write,
+                         std::function<void()> on_done)
+{
+    (void)is_write; // symmetric service time at the controller
+    ++_accesses;
+    _bytes += bytes;
+    auto ser = static_cast<sim::Tick>(
+        static_cast<double>(bytes) / _bytesPerTick);
+    sim::Tick start = std::max(_eq.now(), _nextFree);
+    _nextFree = start + ser;
+    _eq.scheduleAt(_nextFree + _latency, std::move(on_done));
+}
+
+} // namespace optimus::mem

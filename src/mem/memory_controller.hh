@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Timed DRAM controller.
+ *
+ * Models a fixed access latency plus a sustained-bandwidth
+ * serialization constraint. The controller sits behind the package
+ * links, so on this platform it is never the first-order bottleneck —
+ * but it provides back-pressure realism and shows up in page walks.
+ */
+
+#ifndef OPTIMUS_MEM_MEMORY_CONTROLLER_HH
+#define OPTIMUS_MEM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/platform_params.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace optimus::mem {
+
+/**
+ * Bandwidth/latency model for the host memory system.
+ *
+ * access() returns (via callback) when the data would be available;
+ * the functional data movement itself is done by the caller against
+ * HostMemory, keeping timing and function decoupled.
+ */
+class MemoryController
+{
+  public:
+    MemoryController(sim::EventQueue &eq,
+                     const sim::PlatformParams &params,
+                     sim::StatGroup *stats = nullptr);
+
+    /**
+     * Schedule a timed access of @p bytes.
+     * @param on_done invoked when the access completes.
+     */
+    void access(std::uint64_t bytes, bool is_write,
+                std::function<void()> on_done);
+
+    std::uint64_t accesses() const { return _accesses.value(); }
+
+  private:
+    sim::EventQueue &_eq;
+    sim::Tick _latency;
+    double _bytesPerTick;
+    sim::Tick _nextFree = 0;
+    sim::Counter _accesses;
+    sim::Counter _bytes;
+};
+
+} // namespace optimus::mem
+
+#endif // OPTIMUS_MEM_MEMORY_CONTROLLER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A generic single-level functional page table template.
+ *
+ * Instantiated three ways across the system:
+ *   - guest process page tables (GVA -> GPA),
+ *   - per-VM extended page tables (GPA -> HPA),
+ *   - the single IO page table (IOVA -> HPA) that page table slicing
+ *     partitions among virtual accelerators.
+ */
+
+#ifndef OPTIMUS_MEM_PAGE_TABLE_HH
+#define OPTIMUS_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/address.hh"
+#include "sim/logging.hh"
+
+namespace optimus::mem {
+
+/** Access permissions attached to each mapping. */
+struct PagePerms
+{
+    bool readable = true;
+    bool writable = true;
+};
+
+/** Functional page table from address space From to address space To. */
+template <typename From, typename To>
+class PageTable
+{
+  public:
+    struct Entry
+    {
+        To base;
+        PagePerms perms;
+    };
+
+    explicit PageTable(std::uint64_t page_bytes = kPage4K)
+        : _pageBytes(page_bytes)
+    {
+        OPTIMUS_ASSERT((page_bytes & (page_bytes - 1)) == 0,
+                       "page size must be a power of two");
+    }
+
+    std::uint64_t pageBytes() const { return _pageBytes; }
+
+    /** Install a mapping; both addresses must be page aligned. */
+    void
+    map(From from, To to, PagePerms perms = PagePerms{})
+    {
+        OPTIMUS_ASSERT(from.pageOffset(_pageBytes) == 0 &&
+                           to.pageOffset(_pageBytes) == 0,
+                       "unaligned page mapping");
+        _entries[from.value() / _pageBytes] = Entry{to, perms};
+    }
+
+    /** Remove a mapping if present. */
+    void
+    unmap(From from)
+    {
+        _entries.erase(from.value() / _pageBytes);
+    }
+
+    /** Look up the entry covering @p addr; nullopt on fault. */
+    std::optional<Entry>
+    lookup(From addr) const
+    {
+        auto it = _entries.find(addr.value() / _pageBytes);
+        if (it == _entries.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /**
+     * Translate a full address; nullopt on fault or (when @p write)
+     * on a read-only mapping.
+     */
+    std::optional<To>
+    translate(From addr, bool write = false) const
+    {
+        auto e = lookup(addr);
+        if (!e)
+            return std::nullopt;
+        if (write && !e->perms.writable)
+            return std::nullopt;
+        if (!write && !e->perms.readable)
+            return std::nullopt;
+        return e->base + addr.pageOffset(_pageBytes);
+    }
+
+    std::size_t size() const { return _entries.size(); }
+
+  private:
+    std::uint64_t _pageBytes;
+    std::unordered_map<std::uint64_t, Entry> _entries;
+};
+
+using ProcessPageTable = PageTable<Gva, Gpa>;
+using ExtendedPageTable = PageTable<Gpa, Hpa>;
+using IoPageTable = PageTable<Iova, Hpa>;
+
+} // namespace optimus::mem
+
+#endif // OPTIMUS_MEM_PAGE_TABLE_HH

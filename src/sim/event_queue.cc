@@ -1,0 +1,57 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace optimus::sim {
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    OPTIMUS_ASSERT(when >= _now,
+                   "event scheduled in the past (%llu < %llu)",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(_now));
+    _events.push(Event{when, _nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_events.empty())
+        return false;
+    // priority_queue::top() is const; move the callback out via a
+    // const_cast-free copy of the small fields and a swap of the
+    // closure.
+    Event ev = std::move(const_cast<Event &>(_events.top()));
+    _events.pop();
+    _now = ev.when;
+    ++_executed;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!_events.empty() && _events.top().when <= limit) {
+        runOne();
+        ++n;
+    }
+    if (_now < limit)
+        _now = limit;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+} // namespace optimus::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * Every timed component in the platform model (links, multiplexers,
+ * IOMMU, accelerators, hypervisor timers) schedules closures on a
+ * shared EventQueue. Events at the same tick execute in scheduling
+ * order (FIFO), which keeps the simulation deterministic.
+ */
+
+#ifndef OPTIMUS_SIM_EVENT_QUEUE_HH
+#define OPTIMUS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace optimus::sim {
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Ties are broken by insertion order so that components scheduled
+ * earlier in program order run earlier in simulated time.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb at absolute tick @p when (>= now()). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb)
+    {
+        scheduleAt(_now + delay, std::move(cb));
+    }
+
+    /** Whether any events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _events.size(); }
+
+    /** Tick of the next pending event; kTickForever if none. */
+    Tick nextEventTick() const
+    {
+        return _events.empty() ? kTickForever : _events.top().when;
+    }
+
+    /**
+     * Execute the single next event, advancing time to it.
+     * @retval true an event ran; false the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run all events with tick <= @p limit, then advance time to
+     * @p limit. Events scheduled during execution are honored.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /**
+     * Run until the queue drains or @p max_events have executed.
+     * @return number of events executed.
+     */
+    std::uint64_t runAll(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+};
+
+} // namespace optimus::sim
+
+#endif // OPTIMUS_SIM_EVENT_QUEUE_HH

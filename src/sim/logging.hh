@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ *  - panic():  an internal invariant was violated (simulator bug);
+ *              aborts so a core dump / debugger can be used.
+ *  - fatal():  the user asked for something impossible (bad config);
+ *              exits with an error code.
+ *  - warn():   something works but deserves attention.
+ *  - inform(): plain status output.
+ */
+
+#ifndef OPTIMUS_SIM_LOGGING_HH
+#define OPTIMUS_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace optimus::sim {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message; for simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Exit with a message; for user/configuration errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Print a warning to stderr. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stdout. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace optimus::sim
+
+#define OPTIMUS_PANIC(...) \
+    ::optimus::sim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define OPTIMUS_FATAL(...) \
+    ::optimus::sim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define OPTIMUS_WARN(...) ::optimus::sim::warnImpl(__VA_ARGS__)
+#define OPTIMUS_INFORM(...) ::optimus::sim::informImpl(__VA_ARGS__)
+
+/** panic() unless the given invariant holds. */
+#define OPTIMUS_ASSERT(cond, ...)                                       \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::optimus::sim::panicImpl(__FILE__, __LINE__, __VA_ARGS__); \
+        }                                                               \
+    } while (0)
+
+#endif // OPTIMUS_SIM_LOGGING_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Uses xoshiro256** seeded through splitmix64 so that every benchmark
+ * run is reproducible given the same seed, independent of the C++
+ * standard library implementation.
+ */
+
+#ifndef OPTIMUS_SIM_RNG_HH
+#define OPTIMUS_SIM_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace optimus::sim {
+
+/** xoshiro256** deterministic generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x0541f0b05ULL) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the full state.
+        std::uint64_t x = seed;
+        for (auto &word : _s) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation; bias is
+        // negligible for simulation workloads.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Raw state access (for accelerator preemption save/restore). */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {_s[0], _s[1], _s[2], _s[3]};
+    }
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            _s[i] = s[static_cast<std::size_t>(i)];
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4] = {};
+};
+
+} // namespace optimus::sim
+
+#endif // OPTIMUS_SIM_RNG_HH

@@ -1,0 +1,112 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace optimus::sim {
+
+Stat::Stat(StatGroup *group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (group)
+        group->registerStat(this);
+}
+
+void
+Counter::print(std::ostream &os) const
+{
+    os << name() << " " << _value << " # " << desc() << "\n";
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << name() << " mean=" << mean() << " min=" << min()
+       << " max=" << max() << " n=" << _count << " # " << desc()
+       << "\n";
+}
+
+Histogram::Histogram(StatGroup *group, std::string name,
+                     std::string desc, double lo, double hi,
+                     std::size_t buckets)
+    : Stat(group, std::move(name), std::move(desc)),
+      _lo(lo),
+      _hi(hi),
+      _bucketWidth((hi - lo) / static_cast<double>(buckets)),
+      _bkts(buckets, 0)
+{
+    OPTIMUS_ASSERT(hi > lo && buckets > 0, "bad histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    if (v < _lo) {
+        ++_under;
+    } else if (v >= _hi) {
+        ++_over;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
+        idx = std::min(idx, _bkts.size() - 1);
+        ++_bkts[idx];
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0;
+    double target = p / 100.0 * static_cast<double>(_count);
+    double cum = static_cast<double>(_under);
+    if (cum >= target)
+        return _lo;
+    for (std::size_t i = 0; i < _bkts.size(); ++i) {
+        double next = cum + static_cast<double>(_bkts[i]);
+        if (next >= target && _bkts[i] > 0) {
+            double frac = (target - cum) / static_cast<double>(_bkts[i]);
+            return _lo + (static_cast<double>(i) + frac) * _bucketWidth;
+        }
+        cum = next;
+    }
+    return _hi;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << name() << " mean=" << mean() << " p50=" << percentile(50)
+       << " p99=" << percentile(99) << " n=" << _count << " # "
+       << desc() << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_bkts.begin(), _bkts.end(), 0);
+    _under = 0;
+    _over = 0;
+    _count = 0;
+    _sum = 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---------- " << _name << " ----------\n";
+    for (const Stat *s : _stats)
+        s->print(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : _stats)
+        s->reset();
+}
+
+} // namespace optimus::sim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A small statistics package: counters, averages, and histograms that
+ * register themselves with a StatGroup so harnesses can dump them.
+ */
+
+#ifndef OPTIMUS_SIM_STATS_HH
+#define OPTIMUS_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optimus::sim {
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class Stat
+{
+  public:
+    Stat(StatGroup *group, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    virtual void print(std::ostream &os) const = 0;
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically increasing event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator+=(std::uint64_t n)
+    {
+        _value += n;
+        return *this;
+    }
+    Counter &operator++()
+    {
+        ++_value;
+        return *this;
+    }
+    std::uint64_t value() const { return _value; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+        if (_count == 1 || v < _min)
+            _min = v;
+        if (_count == 1 || v > _max)
+            _max = v;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    void print(std::ostream &os) const override;
+    void
+    reset() override
+    {
+        _sum = 0;
+        _count = 0;
+        _min = 0;
+        _max = 0;
+    }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/** Fixed-bucket histogram over [lo, hi). */
+class Histogram : public Stat
+{
+  public:
+    Histogram(StatGroup *group, std::string name, std::string desc,
+              double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return _bkts; }
+    std::uint64_t underflows() const { return _under; }
+    std::uint64_t overflows() const { return _over; }
+
+    /** Linear-interpolated percentile in [0, 100]. */
+    double percentile(double p) const;
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double _lo;
+    double _hi;
+    double _bucketWidth;
+    std::vector<std::uint64_t> _bkts;
+    std::uint64_t _under = 0;
+    std::uint64_t _over = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0;
+};
+
+/** A named collection of statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    void registerStat(Stat *s) { _stats.push_back(s); }
+    const std::vector<Stat *> &stats() const { return _stats; }
+
+    void dump(std::ostream &os) const;
+    void resetAll();
+
+  private:
+    std::string _name;
+    std::vector<Stat *> _stats;
+};
+
+} // namespace optimus::sim
+
+#endif // OPTIMUS_SIM_STATS_HH

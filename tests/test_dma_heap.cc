@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DMA heap allocator tests: alignment, growth-by-registration,
+ * coalescing, and a randomized property sweep asserting that live
+ * allocations never overlap and freed memory is reused.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "hv/system.hh"
+#include "sim/rng.hh"
+
+using namespace optimus;
+using namespace optimus::hv;
+
+namespace {
+
+class HeapFixture : public ::testing::Test
+{
+  protected:
+    HeapFixture()
+        : sys(makeOptimusConfig("LL", 1)),
+          handle(sys.attach(0, 1ULL << 30))
+    {
+    }
+
+    System sys;
+    AccelHandle &handle;
+};
+
+TEST_F(HeapFixture, AllocationsAreCacheLineAligned)
+{
+    for (std::uint64_t size : {1ULL, 63ULL, 64ULL, 65ULL, 4097ULL}) {
+        mem::Gva g = handle.dmaAlloc(size);
+        EXPECT_EQ(g.value() % 64, 0u) << size;
+    }
+}
+
+TEST_F(HeapFixture, CustomAlignmentRespected)
+{
+    mem::Gva g = handle.dmaAlloc(100, 4096);
+    EXPECT_EQ(g.value() % 4096, 0u);
+    mem::Gva h2 = handle.dmaAlloc(100, 1ULL << 20);
+    EXPECT_EQ(h2.value() % (1ULL << 20), 0u);
+}
+
+TEST_F(HeapFixture, GrowthRegistersWholePages)
+{
+    EXPECT_EQ(handle.heap().registeredBytes(), 0u);
+    handle.dmaAlloc(100);
+    EXPECT_EQ(handle.heap().registeredBytes(), mem::kPage2M);
+    handle.dmaAlloc(3ULL << 20); // forces growth past one page
+    EXPECT_GE(handle.heap().registeredBytes(), 3 * mem::kPage2M);
+    EXPECT_EQ(handle.heap().registeredBytes() % mem::kPage2M, 0u);
+}
+
+TEST_F(HeapFixture, FreeCoalescesAndReuses)
+{
+    mem::Gva a = handle.dmaAlloc(64);
+    mem::Gva b = handle.dmaAlloc(64);
+    mem::Gva c = handle.dmaAlloc(64);
+    (void)c;
+    handle.dmaFree(a);
+    handle.dmaFree(b); // coalesces with a
+    mem::Gva d = handle.dmaAlloc(128);
+    EXPECT_EQ(d.value(), a.value()); // the merged hole fits 128
+}
+
+TEST_F(HeapFixture, RandomizedAllocFreeNeverOverlaps)
+{
+    sim::Rng rng(2026);
+    std::map<std::uint64_t, std::uint64_t> live; // start -> size
+    std::vector<mem::Gva> handles_vec;
+
+    for (int step = 0; step < 400; ++step) {
+        bool do_alloc = live.empty() || rng.below(100) < 60;
+        if (do_alloc) {
+            std::uint64_t size = 64 + rng.below(32768);
+            mem::Gva g = handle.dmaAlloc(size);
+            // No overlap with any live allocation.
+            auto it = live.upper_bound(g.value());
+            if (it != live.begin()) {
+                auto prev = std::prev(it);
+                ASSERT_LE(prev->first + prev->second, g.value());
+            }
+            if (it != live.end()) {
+                std::uint64_t rounded = (size + 63) & ~63ULL;
+                ASSERT_LE(g.value() + rounded, it->first);
+            }
+            live[g.value()] = (size + 63) & ~63ULL;
+            handles_vec.push_back(g);
+        } else {
+            std::uint64_t pick = rng.below(handles_vec.size());
+            mem::Gva victim = handles_vec[pick];
+            handles_vec.erase(handles_vec.begin() +
+                              static_cast<std::ptrdiff_t>(pick));
+            live.erase(victim.value());
+            handle.dmaFree(victim);
+        }
+    }
+    EXPECT_EQ(handle.heap().allocatedBlocks(), handles_vec.size());
+}
+
+TEST_F(HeapFixture, FreeingUnknownBlockPanics)
+{
+    handle.dmaAlloc(64);
+    EXPECT_DEATH(handle.dmaFree(handle.vaccel().windowBase() + 640000),
+                 "unallocated");
+}
+
+TEST_F(HeapFixture, AllocatedMemoryIsFpgaVisible)
+{
+    // Every allocation's backing page is registered: the IOPT can
+    // translate the whole block.
+    mem::Gva g = handle.dmaAlloc(5ULL << 20);
+    const auto &hv = sys.hv;
+    (void)hv;
+    auto &iommu = sys.platform.iommu();
+    for (std::uint64_t off = 0; off < (5ULL << 20);
+         off += mem::kPage2M) {
+        // Compose the slicing offset exactly as the auditor would.
+        const auto &e =
+            sys.platform.monitor()->auditor(0).offsetEntry();
+        ASSERT_TRUE(e.valid);
+        mem::Iova iova(g.value() + off + e.offset);
+        EXPECT_TRUE(iommu.pageTable().translate(iova).has_value())
+            << off;
+    }
+}
+
+} // namespace

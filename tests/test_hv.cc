@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Hypervisor tests: page table slicing layout (64 GB slices + the
+ * conflict-mitigation gap), the shadow-paging hypercall (window
+ * validation, pinning, IOPT installation at both page sizes), MMIO
+ * trap-and-emulate semantics (privileged bits, deferred starts,
+ * register caching), and cross-tenant DMA isolation end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/linkedlist_accel.hh"
+#include "accel/membench_accel.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+
+using namespace optimus;
+using namespace optimus::hv;
+
+namespace {
+
+TEST(SlicingTest, SlicesAreDisjointAndGapped)
+{
+    System sys(makeOptimusConfig("LL", 8));
+    std::vector<VirtualAccel *> vas;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        vas.push_back(&sys.attach(i, 1ULL << 30).vaccel());
+
+    const auto &p = sys.platform.params();
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(vas[i]->windowBytes(), p.sliceBytes);
+
+    // Window GVAs may (and here do) alias across processes — the
+    // exact conflict page table slicing exists to resolve. The
+    // hardware view disambiguates: each auditor's committed offset
+    // entry maps the same GVA window to a disjoint IOVA slice.
+    std::uint64_t stride = p.sliceBytes + p.sliceGapBytes;
+    sys.handle(0).pumpUntil([&]() {
+        return sys.platform.monitor()
+            ->auditor(7)
+            .offsetEntry()
+            .valid;
+    });
+    std::vector<std::uint64_t> slice_bases;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        const auto &e = sys.platform.monitor()->auditor(i)
+                            .offsetEntry();
+        ASSERT_TRUE(e.valid) << i;
+        std::uint64_t slice_base = e.gvaBase + e.offset; // mod 2^64
+        slice_bases.push_back(slice_base);
+        EXPECT_EQ(slice_base % stride, 0u) << i;
+    }
+    std::sort(slice_bases.begin(), slice_bases.end());
+    for (std::uint32_t i = 1; i < 8; ++i)
+        EXPECT_GE(slice_bases[i] - slice_bases[i - 1], stride);
+}
+
+TEST(SlicingTest, ConflictMitigationTogglesGap)
+{
+    sim::PlatformParams with = sim::PlatformParams::harpDefaults();
+    sim::PlatformParams without = with;
+    without.iotlbConflictMitigation = false;
+
+    // Observe through the IOTLB set index of the first mapped page
+    // of two tenants.
+    for (int mode = 0; mode < 2; ++mode) {
+        System sys(makeOptimusConfig("LL", 2,
+                                     mode == 0 ? with : without));
+        AccelHandle &a = sys.attach(0, 1ULL << 30);
+        AccelHandle &b = sys.attach(1, 1ULL << 30);
+        a.dmaAlloc(4096);
+        b.dmaAlloc(4096);
+        auto &iopt = sys.platform.iommu().pageTable();
+        ASSERT_EQ(iopt.size(), 2u);
+        auto &tlb = sys.platform.iommu().iotlb();
+
+        const auto &p = sys.platform.params();
+        std::uint64_t stride =
+            p.sliceBytes +
+            (mode == 0 ? p.sliceGapBytes : 0);
+        std::uint32_t set0 = tlb.setIndex(mem::Iova(1 * stride));
+        std::uint32_t set1 = tlb.setIndex(mem::Iova(2 * stride));
+        if (mode == 0) {
+            EXPECT_NE(set0, set1) << "gap must separate sets";
+        } else {
+            EXPECT_EQ(set0, set1) << "no gap: sets collide";
+        }
+    }
+}
+
+TEST(ShadowPagingTest, RegistrationInstallsTranslationAndPins)
+{
+    System sys(makeOptimusConfig("LL", 1));
+    AccelHandle &h = sys.attach(0, 1ULL << 30);
+    EXPECT_EQ(sys.platform.iommu().pageTable().size(), 0u);
+
+    h.dmaAlloc(4096); // grows the heap by one 2 MB page
+    EXPECT_EQ(sys.platform.iommu().pageTable().size(), 1u);
+    EXPECT_EQ(sys.hv.hypercalls(), 1u);
+    EXPECT_GE(sys.platform.frames().framesPinned(), 1u);
+
+    // A second allocation within the same page does not re-register.
+    h.dmaAlloc(4096);
+    EXPECT_EQ(sys.hv.hypercalls(), 1u);
+    // Crossing into a new page does.
+    h.dmaAlloc(4ULL << 20);
+    EXPECT_GE(sys.hv.hypercalls(), 2u);
+}
+
+TEST(ShadowPagingTest, RejectsPagesOutsideTheWindow)
+{
+    System sys(makeOptimusConfig("LL", 2));
+    AccelHandle &a = sys.attach(0, 1ULL << 30);
+    AccelHandle &b = sys.attach(1, 1ULL << 30);
+    (void)b;
+
+    // Try to register a page of tenant B's window through tenant
+    // A's virtual accelerator: must be rejected.
+    mem::Gva foreign = b.vaccel().windowBase();
+    b.process().backPage(foreign);
+    bool result = true;
+    sys.hv.registerDmaPage(a.vaccel(), foreign,
+                           [&](bool ok) { result = ok; });
+    a.pumpUntil([&]() { return !result; });
+    EXPECT_FALSE(result);
+}
+
+TEST(ShadowPagingTest, RejectsUnalignedAndUnbackedPages)
+{
+    System sys(makeOptimusConfig("LL", 1));
+    AccelHandle &h = sys.attach(0, 1ULL << 30);
+
+    int done = 0;
+    bool ok_unaligned = true;
+    sys.hv.registerDmaPage(h.vaccel(),
+                           h.vaccel().windowBase() + 4096,
+                           [&](bool ok) {
+                               ok_unaligned = ok;
+                               ++done;
+                           });
+    bool ok_unbacked = true;
+    sys.hv.registerDmaPage(h.vaccel(),
+                           h.vaccel().windowBase() +
+                               (32ULL << 20), // reserved, untouched
+                           [&](bool ok) {
+                               ok_unbacked = ok;
+                               ++done;
+                           });
+    h.pumpUntil([&]() { return done == 2; });
+    EXPECT_FALSE(ok_unaligned);
+    EXPECT_FALSE(ok_unbacked);
+}
+
+TEST(ShadowPagingTest, FourKPageModeInstalls512Entries)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.pageBytes = mem::kPage4K;
+    System sys(makeOptimusConfig("LL", 1, p));
+    AccelHandle &h = sys.attach(0, 1ULL << 30);
+    h.dmaAlloc(4096);
+    EXPECT_EQ(sys.platform.iommu().pageTable().size(), 512u);
+}
+
+TEST(MmioEmulationTest, GuestCannotIssuePrivilegedCommands)
+{
+    System sys(makeOptimusConfig("MB", 1));
+    AccelHandle &h = sys.attach(0, 1ULL << 30);
+    auto wl = workload::Workload::create("MB", h, 64 * 1024, 1);
+    wl->program();
+    h.start();
+    // A guest PREEMPT must be masked off by the hypervisor: the
+    // accelerator keeps running.
+    h.mmioWrite(accel::reg::kCtrl, accel::ctrl::kPreempt);
+    EXPECT_EQ(sys.platform.accel(0).status(),
+              accel::Status::kRunning);
+    EXPECT_EQ(h.wait(), accel::Status::kDone);
+    EXPECT_TRUE(wl->verify());
+}
+
+TEST(MmioEmulationTest, TrapsAreCountedUnderOptimusOnly)
+{
+    {
+        System sys(makeOptimusConfig("LL", 1));
+        AccelHandle &h = sys.attach(0, 1ULL << 30);
+        h.mmioRead(accel::reg::kStatus);
+        EXPECT_GT(sys.hv.traps(), 0u);
+    }
+    {
+        System sys(makePassthroughConfig("LL"));
+        AccelHandle &h = sys.attach(0, 1ULL << 30);
+        h.mmioRead(accel::reg::kStatus);
+        EXPECT_EQ(sys.hv.traps(), 0u);
+    }
+}
+
+TEST(MmioEmulationTest, AppRegistersReadBackFromCache)
+{
+    System sys(makeOptimusConfig("LL", 1));
+    AccelHandle &h = sys.attach(0, 1ULL << 30);
+    h.writeAppReg(5, 0xabcdef);
+    EXPECT_EQ(h.mmioRead(accel::reg::appReg(5)), 0xabcdefu);
+    // And the hardware register received it too (scheduled vaccel).
+    EXPECT_EQ(sys.platform.accel(0).mmioRead(accel::reg::appReg(5)),
+              0xabcdefu);
+}
+
+TEST(MmioEmulationTest, StartWhileDescheduledIsPostponed)
+{
+    System sys(makeOptimusConfig("LL", 1));
+    AccelHandle &first = sys.attach(0, 1ULL << 30);
+    AccelHandle &second = sys.attachShared(0);
+
+    // Tenant 2 is not scheduled (tenant 1 holds the slot). Program
+    // and start a walk; the command must be postponed, with the
+    // guest-visible status already RUNNING.
+    auto layout = workload::buildLinkedList(second, 64, 3);
+    second.writeAppReg(accel::LinkedlistAccel::kRegHead,
+                       layout.head.value());
+    second.writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
+    second.setupStateBuffer();
+    second.start();
+    EXPECT_EQ(sys.hv.peekStatus(second.vaccel()),
+              accel::Status::kRunning);
+    EXPECT_FALSE(sys.hv.isScheduled(second.vaccel()));
+    // The physical accelerator is still idle (tenant 1 never
+    // started anything).
+    EXPECT_EQ(sys.platform.accel(0).status(), accel::Status::kIdle);
+
+    // Once the scheduler rotates, the postponed start executes and
+    // the job completes.
+    first.setupStateBuffer();
+    EXPECT_EQ(second.wait(), accel::Status::kDone);
+    EXPECT_EQ(second.result(), layout.checksum);
+}
+
+TEST(IsolationTest, OutOfWindowDmaIsRejectedByTheAuditor)
+{
+    // Layer 1 of DMA isolation: a guest-virtual address outside the
+    // accelerator's window never reaches the interconnect.
+    System sys(makeOptimusConfig("MB", 1));
+    AccelHandle &attacker = sys.attach(0, 1ULL << 30);
+
+    mem::Gva below = attacker.vaccel().windowBase() - (1ULL << 30);
+    attacker.writeAppReg(accel::MembenchAccel::kRegBase,
+                         below.value());
+    attacker.writeAppReg(accel::MembenchAccel::kRegWset, 1ULL << 20);
+    attacker.writeAppReg(accel::MembenchAccel::kRegMode,
+                         accel::MembenchAccel::kRead);
+    attacker.writeAppReg(accel::MembenchAccel::kRegTarget, 4);
+    attacker.start();
+    EXPECT_EQ(attacker.wait(), accel::Status::kError);
+    EXPECT_GT(sys.platform.monitor()->auditor(0).rejectedDmas(), 0u);
+}
+
+TEST(IsolationTest, UnregisteredInWindowDmaFaultsInTheIommu)
+{
+    // Layer 2: an address inside the window whose page the guest
+    // never registered translates into the tenant's own slice and
+    // faults in the IO page table — other tenants' mappings (in
+    // other slices) are unreachable by construction.
+    System sys(makeOptimusConfig("MB", 2));
+    AccelHandle &victim = sys.attach(1, 1ULL << 30);
+    AccelHandle &attacker = sys.attach(0, 1ULL << 30);
+
+    // The victim's buffer address is numerically inside the
+    // attacker's window too (identical per-process layouts) but is
+    // not registered in the attacker's slice.
+    mem::Gva victim_buf = victim.dmaAlloc(1ULL << 20);
+    std::uint64_t faults_before = sys.platform.iommu().faults();
+    attacker.writeAppReg(accel::MembenchAccel::kRegBase,
+                         victim_buf.value());
+    attacker.writeAppReg(accel::MembenchAccel::kRegWset, 1ULL << 20);
+    attacker.writeAppReg(accel::MembenchAccel::kRegMode,
+                         accel::MembenchAccel::kRead);
+    attacker.writeAppReg(accel::MembenchAccel::kRegTarget, 4);
+    attacker.start();
+    EXPECT_EQ(attacker.wait(), accel::Status::kError);
+    EXPECT_GT(sys.platform.iommu().faults(), faults_before);
+}
+
+TEST(IsolationTest, TenantsNeverObserveEachOthersData)
+{
+    // Both tenants use identical GVAs in their own address spaces
+    // (the hard case page table slicing must disambiguate): write
+    // distinct patterns and verify each accelerator reads its own.
+    System sys(makeOptimusConfig("LL", 2));
+    AccelHandle &a = sys.attach(0, 1ULL << 30);
+    AccelHandle &b = sys.attach(1, 1ULL << 30);
+
+    auto la = workload::buildLinkedList(a, 128, 1);
+    auto lb = workload::buildLinkedList(b, 128, 2);
+    ASSERT_NE(la.checksum, lb.checksum);
+
+    for (auto *h : {&a, &b}) {
+        auto &layout = h == &a ? la : lb;
+        h->writeAppReg(accel::LinkedlistAccel::kRegHead,
+                       layout.head.value());
+        h->writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
+        h->start();
+    }
+    EXPECT_EQ(a.wait(), accel::Status::kDone);
+    EXPECT_EQ(b.wait(), accel::Status::kDone);
+    EXPECT_EQ(a.result(), la.checksum);
+    EXPECT_EQ(b.result(), lb.checksum);
+}
+
+TEST(OccupancyTest, SoleTenantAccumulatesAllTime)
+{
+    System sys(makeOptimusConfig("LL", 1));
+    AccelHandle &h = sys.attach(0, 1ULL << 30);
+    sys.eq.runUntil(sys.eq.now() + sim::kTickMs);
+    EXPECT_NEAR(
+        static_cast<double>(sys.hv.occupancy(h.vaccel())),
+        static_cast<double>(sys.eq.now()),
+        static_cast<double>(sim::kTickUs));
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Preemption-interface tests (Section 4.2): drain-save-resume round
+ * trips preserve results for the conforming microbenchmarks (MB, LL)
+ * and the streaming accelerators; forced reset fires on accelerators
+ * that cannot cede; completion during a drain is handled; the state
+ * buffer lives in guest DMA memory and really receives the context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "accel/linkedlist_accel.hh"
+#include "accel/membench_accel.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+
+using namespace optimus;
+using namespace optimus::hv;
+
+namespace {
+
+/** Preempt/resume in the middle of any app's job: result intact. */
+class PreemptRoundTripTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PreemptRoundTripTest, JobSurvivesContextSwitches)
+{
+    const std::string app = GetParam();
+    // Two tenants on one physical accelerator with a short slice:
+    // the first runs a verifiable job across several context
+    // switches; the second idles (so switches still happen via the
+    // round-robin timer, exercising save AND restore).
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 200 * sim::kTickUs; // many switches per job
+    System sys(makeOptimusConfig(app, 1, p));
+
+    AccelHandle &h1 = sys.attach(0, 1ULL << 30);
+    AccelHandle &h2 = sys.attachShared(0);
+
+    auto wl = workload::Workload::create(app, h1, 512 * 1024, 17);
+    wl->program();
+    h1.setupStateBuffer();
+    h2.setupStateBuffer();
+
+    auto wl2 = workload::Workload::create(app, h2, 512 * 1024, 18);
+    wl2->program();
+
+    h1.start();
+    h2.start();
+    EXPECT_EQ(h1.wait(), accel::Status::kDone) << app;
+    EXPECT_EQ(h2.wait(), accel::Status::kDone) << app;
+    EXPECT_TRUE(wl->verify()) << app;
+    EXPECT_TRUE(wl2->verify()) << app;
+    EXPECT_GE(sys.hv.contextSwitches(), 1u) << app;
+    EXPECT_EQ(sys.hv.forcedResets(), 0u) << app;
+}
+
+// SW and SSSP restart on resume; BTC/MB/LL/streaming apps carry
+// their state. All of them must survive multiplexing.
+INSTANTIATE_TEST_SUITE_P(Apps, PreemptRoundTripTest,
+                         ::testing::Values("AES", "MD5", "SHA",
+                                           "FIR", "GRN", "GRS",
+                                           "LL", "MB", "BTC"));
+
+TEST(PreemptionTest, StateBufferReceivesTheContext)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 100 * sim::kTickUs;
+    System sys(makeOptimusConfig("LL", 1, p));
+    AccelHandle &h1 = sys.attach(0, 1ULL << 30);
+    AccelHandle &h2 = sys.attachShared(0);
+
+    auto layout = workload::buildLinkedList(h1, 100000, 5);
+    h1.writeAppReg(accel::LinkedlistAccel::kRegHead,
+                   layout.head.value());
+    h1.writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
+
+    // Remember where the state buffer landed.
+    h1.setupStateBuffer();
+    std::uint64_t buf_gva =
+        h1.mmioRead(accel::reg::kStateBuf);
+    ASSERT_NE(buf_gva, 0u);
+    h2.setupStateBuffer();
+
+    // Tenant 2 runs a long walk of its own so the round-robin timer
+    // actually has someone to switch to.
+    auto layout2 = workload::buildLinkedList(h2, 100000, 6);
+    h2.writeAppReg(accel::LinkedlistAccel::kRegHead,
+                   layout2.head.value());
+    h2.writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
+    h2.start();
+    h1.start();
+    // Run until at least one context switch has happened.
+    h1.pumpUntil(
+        [&]() { return sys.hv.contextSwitches() >= 1; });
+
+    // The saved blob's header is in guest memory: status RUNNING.
+    std::uint64_t saved_status =
+        h1.process().readValue<std::uint64_t>(mem::Gva(buf_gva));
+    EXPECT_EQ(saved_status,
+              static_cast<std::uint64_t>(accel::Status::kRunning));
+    EXPECT_EQ(h1.wait(), accel::Status::kDone);
+    EXPECT_EQ(h1.result(), layout.checksum);
+}
+
+TEST(PreemptionTest, AcceleratorWithoutStateBufferIsForciblyReset)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 100 * sim::kTickUs;
+    System sys(makeOptimusConfig("MB", 1, p));
+    AccelHandle &h1 = sys.attach(0, 1ULL << 30);
+    AccelHandle &h2 = sys.attachShared(0);
+
+    // h1 never sets a state buffer: it cannot cede on preempt.
+    auto wl1 = workload::Workload::create("MB", h1, 8ULL << 20, 1);
+    wl1->program();
+    h1.start();
+
+    auto wl2 = workload::Workload::create("MB", h2, 1ULL << 20, 2);
+    wl2->program();
+    h2.setupStateBuffer();
+    h2.start();
+
+    // The scheduler must recover: h2 completes, h1 was reset.
+    EXPECT_EQ(h2.wait(), accel::Status::kDone);
+    EXPECT_GT(sys.hv.forcedResets(), 0u);
+    EXPECT_EQ(sys.hv.peekStatus(h1.vaccel()),
+              accel::Status::kError);
+}
+
+TEST(PreemptionTest, CompletionDuringDrainYieldsDone)
+{
+    // A job that finishes exactly while a preempt is in flight must
+    // surface DONE (not lose the result).
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 50 * sim::kTickUs;
+    System sys(makeOptimusConfig("LL", 1, p));
+    AccelHandle &h1 = sys.attach(0, 1ULL << 30);
+    AccelHandle &h2 = sys.attachShared(0);
+    h2.setupStateBuffer();
+
+    // Short walks keep finishing near slice boundaries.
+    for (int trial = 0; trial < 5; ++trial) {
+        auto layout = workload::buildLinkedList(h1, 120, 50 + trial);
+        h1.writeAppReg(accel::LinkedlistAccel::kRegHead,
+                       layout.head.value());
+        h1.writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
+        h1.setupStateBuffer();
+        h1.start();
+        EXPECT_EQ(h1.wait(), accel::Status::kDone);
+        EXPECT_EQ(h1.result(), layout.checksum);
+    }
+}
+
+TEST(PreemptionTest, SixteenTenantsAllComplete)
+{
+    // Scalability of temporal multiplexing: 16 virtual accelerators
+    // on one physical LL, every job correct.
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 100 * sim::kTickUs;
+    System sys(makeOptimusConfig("LL", 1, p));
+
+    std::vector<AccelHandle *> handles;
+    std::vector<workload::LinkedListLayout> layouts;
+    for (int i = 0; i < 16; ++i) {
+        handles.push_back(&sys.attach(0, 1ULL << 30));
+        layouts.push_back(
+            workload::buildLinkedList(*handles.back(), 3000,
+                                      900 + i));
+        handles.back()->writeAppReg(
+            accel::LinkedlistAccel::kRegHead,
+            layouts.back().head.value());
+        handles.back()->writeAppReg(
+            accel::LinkedlistAccel::kRegCount, 0);
+        handles.back()->setupStateBuffer();
+        handles.back()->start();
+    }
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(handles[static_cast<std::size_t>(i)]->wait(),
+                  accel::Status::kDone)
+            << i;
+        EXPECT_EQ(handles[static_cast<std::size_t>(i)]->result(),
+                  layouts[static_cast<std::size_t>(i)].checksum)
+            << i;
+    }
+    EXPECT_EQ(sys.hv.forcedResets(), 0u);
+}
+
+} // namespace

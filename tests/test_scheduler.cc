@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Temporal-multiplexing scheduler tests (Section 6.8): the
+ * round-robin, weighted, and priority policies must hand each
+ * virtual accelerator its configured share of physical-accelerator
+ * time, within the ~1% tolerance the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/membench_accel.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+
+using namespace optimus;
+using namespace optimus::hv;
+
+namespace {
+
+/** Attach n endless MemBench tenants on slot 0 (small working set). */
+std::vector<AccelHandle *>
+attachTenants(System &sys, int n)
+{
+    std::vector<AccelHandle *> handles;
+    for (int i = 0; i < n; ++i) {
+        AccelHandle &h = sys.attach(0, 1ULL << 30);
+        mem::Gva buf = h.dmaAlloc(1ULL << 20, 64);
+        h.writeAppReg(accel::MembenchAccel::kRegBase, buf.value());
+        h.writeAppReg(accel::MembenchAccel::kRegWset, 1ULL << 20);
+        h.writeAppReg(accel::MembenchAccel::kRegMode,
+                      accel::MembenchAccel::kRead);
+        h.writeAppReg(accel::MembenchAccel::kRegSeed, 40 + i);
+        h.writeAppReg(accel::MembenchAccel::kRegTarget, 0);
+        h.writeAppReg(accel::MembenchAccel::kRegGap, 32); // gentle
+        h.setupStateBuffer();
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+    return handles;
+}
+
+/**
+ * Share of *occupied* time (context-switch overhead excluded, as in
+ * the paper's expected-vs-actual execution time comparison).
+ */
+double
+shareOf(System &sys, const std::vector<AccelHandle *> &handles,
+        AccelHandle &h)
+{
+    double total = 0;
+    for (auto *x : handles)
+        total += static_cast<double>(sys.hv.occupancy(x->vaccel()));
+    return static_cast<double>(sys.hv.occupancy(h.vaccel())) / total;
+}
+
+TEST(SchedulerTest, RoundRobinSharesTimeEqually)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 500 * sim::kTickUs;
+    System sys(makeOptimusConfig("MB", 1, p));
+    auto handles = attachTenants(sys, 4);
+
+    sys.eq.runUntil(sys.eq.now() + 40 * sim::kTickMs);
+    for (auto *h : handles) {
+        EXPECT_NEAR(shareOf(sys, handles, *h), 0.25, 0.02);
+    }
+}
+
+TEST(SchedulerTest, WeightedSharesFollowWeights)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    System sys(makeOptimusConfig("MB", 1, p));
+    auto handles = attachTenants(sys, 3);
+    // Weights 1 : 2 : 3.
+    sys.hv.setWeight(handles[0]->vaccel(), 1.0);
+    sys.hv.setWeight(handles[1]->vaccel(), 2.0);
+    sys.hv.setWeight(handles[2]->vaccel(), 3.0);
+    sys.hv.setPolicy(0, SchedPolicy::kWeighted,
+                     400 * sim::kTickUs);
+
+    sys.eq.runUntil(sys.eq.now() + 60 * sim::kTickMs);
+    EXPECT_NEAR(shareOf(sys, handles, *handles[0]), 1.0 / 6, 0.02);
+    EXPECT_NEAR(shareOf(sys, handles, *handles[1]), 2.0 / 6, 0.02);
+    EXPECT_NEAR(shareOf(sys, handles, *handles[2]), 3.0 / 6, 0.02);
+}
+
+TEST(SchedulerTest, PriorityRunsTheHighestRunnableJob)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    System sys(makeOptimusConfig("MB", 1, p));
+    auto handles = attachTenants(sys, 3);
+    sys.hv.setPriority(handles[0]->vaccel(), 1);
+    sys.hv.setPriority(handles[1]->vaccel(), 9);
+    sys.hv.setPriority(handles[2]->vaccel(), 5);
+    sys.hv.setPolicy(0, SchedPolicy::kPriority,
+                     300 * sim::kTickUs);
+
+    sys.eq.runUntil(sys.eq.now() + 20 * sim::kTickMs);
+    // The priority-9 job owns nearly the whole machine.
+    EXPECT_GT(shareOf(sys, handles, *handles[1]), 0.9);
+    EXPECT_LT(shareOf(sys, handles, *handles[0]), 0.1);
+    EXPECT_LT(shareOf(sys, handles, *handles[2]), 0.1);
+}
+
+TEST(SchedulerTest, ExecutionTimesWithinPaperTolerance)
+{
+    // The paper reports actual execution times within 0.32% of
+    // expectation on average, max 1.42%. With deterministic slices
+    // our shares land comfortably inside that.
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 1 * sim::kTickMs;
+    System sys(makeOptimusConfig("MB", 1, p));
+    auto handles = attachTenants(sys, 2);
+
+    sys.eq.runUntil(sys.eq.now() + 80 * sim::kTickMs);
+    double worst = 0;
+    for (auto *h : handles) {
+        worst = std::max(
+            worst, std::abs(shareOf(sys, handles, *h) - 0.5));
+    }
+    EXPECT_LT(worst, 0.0142 * 0.5 + 0.01);
+}
+
+TEST(SchedulerTest, FinishedJobsStopConsumingSlices)
+{
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.timeSlice = 300 * sim::kTickUs;
+    System sys(makeOptimusConfig("MB", 1, p));
+
+    // Tenant 0 has a tiny finite job; tenant 1 runs forever.
+    AccelHandle &h0 = sys.attach(0, 1ULL << 30);
+    auto wl = workload::Workload::create("MB", h0, 1ULL << 20, 1);
+    wl->program();
+    h0.setupStateBuffer();
+
+    AccelHandle &h1 = sys.attachShared(0);
+    mem::Gva buf = h1.dmaAlloc(1ULL << 20, 64);
+    h1.writeAppReg(accel::MembenchAccel::kRegBase, buf.value());
+    h1.writeAppReg(accel::MembenchAccel::kRegWset, 1ULL << 20);
+    h1.writeAppReg(accel::MembenchAccel::kRegTarget, 0);
+    h1.setupStateBuffer();
+
+    h0.start();
+    h1.start();
+    EXPECT_EQ(h0.wait(), accel::Status::kDone);
+
+    // After tenant 0 finishes, tenant 1 accumulates (almost) all
+    // subsequent occupancy.
+    sim::Tick t0 = sys.eq.now();
+    sim::Tick occ0_before = sys.hv.occupancy(h0.vaccel());
+    sys.eq.runUntil(t0 + 10 * sim::kTickMs);
+    sim::Tick occ0_after = sys.hv.occupancy(h0.vaccel());
+    // Tenant 0 may hold the slot for at most ~one more slice.
+    EXPECT_LT(occ0_after - occ0_before, 2 * p.timeSlice);
+    EXPECT_TRUE(wl->verify());
+}
+
+} // namespace

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Simulation-kernel tests: event ordering, clock domains, the stats
+ * package, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace optimus::sim;
+
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&]() { order.push_back(3); });
+    eq.scheduleAt(10, [&]() { order.push_back(1); });
+    eq.scheduleAt(20, [&]() { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, TiesBreakInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&order, i]() { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.scheduleIn(10, chain);
+    eq.runAll();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimitAndAdvancesTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&]() { ++fired; });
+    eq.scheduleAt(100, [&]() { ++fired; });
+    EXPECT_EQ(eq.runUntil(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunOneOnEmptyReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTick(), kTickForever);
+}
+
+TEST(EventQueueTest, ExecutedCountsAllEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleIn(static_cast<Tick>(i), []() {});
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(ClockedTest, PeriodsMatchTable1Frequencies)
+{
+    EventQueue eq;
+    // The paper's clock domains: 400/200/100 MHz.
+    EXPECT_EQ(Clocked(eq, 400).clockPeriod(), 2500u);
+    EXPECT_EQ(Clocked(eq, 200).clockPeriod(), 5000u);
+    EXPECT_EQ(Clocked(eq, 100).clockPeriod(), 10000u);
+}
+
+TEST(ClockedTest, NextEdgeAligns)
+{
+    EventQueue eq;
+    Clocked c(eq, 400); // 2500 ps period
+    eq.runUntil(3000);
+    EXPECT_EQ(c.nextEdge(), 5000u);
+    eq.runUntil(5000);
+    EXPECT_EQ(c.nextEdge(), 5000u); // exactly on an edge
+}
+
+TEST(ClockedTest, ScheduleCyclesLandsOnEdges)
+{
+    EventQueue eq;
+    Clocked c(eq, 400);
+    eq.runUntil(3100);
+    Tick fired_at = 0;
+    c.scheduleCycles(2, [&]() { fired_at = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(fired_at, 5000u + 2 * 2500u);
+}
+
+TEST(StatsTest, CounterAndAverage)
+{
+    StatGroup g("test");
+    Counter c(&g, "c", "a counter");
+    Average a(&g, "a", "an average");
+    c += 5;
+    ++c;
+    EXPECT_EQ(c.value(), 6u);
+    a.sample(1.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    EXPECT_EQ(g.stats().size(), 2u);
+
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(StatsTest, HistogramPercentiles)
+{
+    Histogram h(nullptr, "h", "latency", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.percentile(50), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(99), 99.0, 1.5);
+    EXPECT_EQ(h.underflows(), 0u);
+    h.sample(-1);
+    h.sample(1000);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+}
+
+TEST(StatsTest, DumpContainsNamesAndValues)
+{
+    StatGroup g("grp");
+    Counter c(&g, "my.counter", "desc");
+    c += 42;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("my.counter"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicAndSeedSensitive)
+{
+    Rng a(1);
+    Rng b(1);
+    Rng c(2);
+    bool saw_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            saw_diff = true;
+    }
+    EXPECT_TRUE(saw_diff);
+}
+
+TEST(RngTest, BelowIsInRangeAndRoughlyUniform)
+{
+    Rng rng(3);
+    std::vector<int> buckets(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        ++buckets[v];
+    }
+    for (int b : buckets) {
+        EXPECT_GT(b, n / 10 - n / 50);
+        EXPECT_LT(b, n / 10 + n / 50);
+    }
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, StateRoundTrip)
+{
+    Rng a(5);
+    for (int i = 0; i < 13; ++i)
+        a.next();
+    Rng b(99);
+    b.setState(a.state());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(TypesTest, FrequencyConversions)
+{
+    EXPECT_EQ(periodFromMhz(400), 2500u);
+    EXPECT_EQ(periodFromMhz(2800), 357u); // CPU clock, truncated
+    using namespace optimus::sim;
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(2_MiB, 2097152u);
+    EXPECT_EQ(64_GiB, 64ULL << 30);
+}
+
+} // namespace

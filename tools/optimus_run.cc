@@ -1,0 +1,235 @@
+/**
+ * @file
+ * optimus_run — command-line driver for ad-hoc experiments.
+ *
+ * Runs N instances of one benchmark accelerator under OPTIMUS or
+ * pass-through, with optional temporal oversubscription, and prints
+ * throughput, per-tenant fairness, and platform statistics. The same
+ * knobs the benchmark harnesses use, without writing C++.
+ *
+ * Examples:
+ *   optimus_run --app MB --jobs 8 --window-ms 2
+ *   optimus_run --app LL --mode passthrough --channel upi
+ *   optimus_run --app MD5 --jobs 1 --tenants 4 --slice-ms 5 --stats
+ *   optimus_run --app MB --jobs 4 --wset-mb 2048 --page-kb 4
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/linkedlist_accel.hh"
+#include "accel/membench_accel.hh"
+#include "bench/harness.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+
+using namespace optimus;
+
+namespace {
+
+struct Options
+{
+    std::string app = "MB";
+    std::string mode = "optimus";    // or "passthrough"
+    std::string channel = "auto";    // auto | upi | pcie
+    std::uint32_t jobs = 1;          // spatial instances
+    std::uint32_t tenants = 1;       // temporal tenants per slot
+    double windowMs = 1.0;           // measurement window
+    double sliceMs = 0.0;            // 0 = platform default
+    std::uint64_t wsetMb = 64;       // MB/LL working set per job
+    std::uint64_t pageKb = 2048;     // 2048 (2M) or 4 (4K)
+    std::uint32_t arity = 2;         // mux tree arity
+    bool noMitigation = false;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: optimus_run [--app NAME] [--mode optimus|passthrough]\n"
+        "                   [--jobs N] [--tenants N] [--window-ms X]\n"
+        "                   [--slice-ms X] [--wset-mb N] [--page-kb "
+        "2048|4]\n"
+        "                   [--arity N] [--channel auto|upi|pcie]\n"
+        "                   [--no-conflict-mitigation] [--stats]\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--app") {
+            o.app = need(i);
+        } else if (a == "--mode") {
+            o.mode = need(i);
+        } else if (a == "--channel") {
+            o.channel = need(i);
+        } else if (a == "--jobs") {
+            o.jobs = static_cast<std::uint32_t>(atoi(need(i)));
+        } else if (a == "--tenants") {
+            o.tenants = static_cast<std::uint32_t>(atoi(need(i)));
+        } else if (a == "--window-ms") {
+            o.windowMs = atof(need(i));
+        } else if (a == "--slice-ms") {
+            o.sliceMs = atof(need(i));
+        } else if (a == "--wset-mb") {
+            o.wsetMb = static_cast<std::uint64_t>(atoll(need(i)));
+        } else if (a == "--page-kb") {
+            o.pageKb = static_cast<std::uint64_t>(atoll(need(i)));
+        } else if (a == "--arity") {
+            o.arity = static_cast<std::uint32_t>(atoi(need(i)));
+        } else if (a == "--no-conflict-mitigation") {
+            o.noMitigation = true;
+        } else if (a == "--stats") {
+            o.stats = true;
+        } else {
+            usage();
+        }
+    }
+    if (o.jobs < 1 || o.jobs > 8 || o.tenants < 1 || o.windowMs <= 0)
+        usage();
+    return o;
+}
+
+ccip::VChannel
+channelOf(const std::string &name)
+{
+    if (name == "upi")
+        return ccip::VChannel::kUpi;
+    if (name == "pcie")
+        return ccip::VChannel::kPcie0;
+    return ccip::VChannel::kAuto;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    sim::PlatformParams params = sim::PlatformParams::harpDefaults();
+    params.pageBytes = o.pageKb * 1024;
+    params.iotlbConflictMitigation = !o.noMitigation;
+    if (o.sliceMs > 0) {
+        params.timeSlice =
+            static_cast<sim::Tick>(o.sliceMs * sim::kTickMs);
+    }
+
+    hv::PlatformConfig cfg =
+        o.mode == "passthrough"
+            ? hv::makePassthroughConfig(o.app, params)
+            : hv::makeOptimusConfig(o.app, o.jobs == 1 ? 1 : 8,
+                                    params);
+    cfg.treeArity = o.arity;
+    hv::System sys(cfg);
+
+    std::printf("optimus_run: %s x%u jobs x%u tenants, %s mode, "
+                "%s pages, window %.2f ms\n",
+                o.app.c_str(), o.jobs, o.tenants, o.mode.c_str(),
+                o.pageKb >= 1024 ? "2M" : "4K", o.windowMs);
+
+    std::vector<hv::AccelHandle *> handles;
+    std::vector<std::unique_ptr<hv::workload::Workload>> work;
+    for (std::uint32_t j = 0; j < o.jobs; ++j) {
+        for (std::uint32_t t = 0; t < o.tenants; ++t) {
+            hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
+            if (o.app == "MB") {
+                bench::setupMembench(
+                    h, o.wsetMb << 20,
+                    accel::MembenchAccel::kRead, 100 + j * 16 + t);
+            } else if (o.app == "LL") {
+                bench::setupLinkedList(
+                    h, o.wsetMb << 20,
+                    std::min<std::uint64_t>((o.wsetMb << 20) / 64,
+                                            6000),
+                    channelOf(o.channel), 200 + j * 16 + t);
+            } else {
+                work.push_back(hv::workload::Workload::create(
+                    o.app, h, 48ULL << 20, 300 + j * 16 + t));
+                work.back()->program();
+            }
+            if (o.tenants > 1)
+                h.setupStateBuffer();
+            handles.push_back(&h);
+        }
+    }
+    for (auto *h : handles)
+        h->start();
+
+    auto warm = static_cast<sim::Tick>(o.windowMs * sim::kTickMs / 3);
+    auto window = static_cast<sim::Tick>(o.windowMs * sim::kTickMs);
+    double ns = 0;
+    auto ops = bench::measureWindow(sys, handles, warm, window, &ns);
+
+    std::uint64_t total = 0;
+    std::uint64_t mn = ~0ULL;
+    std::uint64_t mx = 0;
+    for (auto v : ops) {
+        total += v;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+    }
+    std::printf("aggregate: %llu ops in %.3f ms",
+                static_cast<unsigned long long>(total), ns / 1e6);
+    if (o.app == "MB" || o.app == "LL") {
+        std::printf("  (%.2f GB/s; %.0f ns per op per tenant)",
+                    bench::gbps(total, ns),
+                    static_cast<double>(handles.size()) * ns /
+                        static_cast<double>(total ? total : 1));
+    }
+    std::printf("\nper-tenant ops:");
+    for (auto v : ops)
+        std::printf(" %llu", static_cast<unsigned long long>(v));
+    if (!ops.empty() && total > 0) {
+        std::printf("\nfairness range/mean: %.4f\n",
+                    static_cast<double>(mx - mn) /
+                        (static_cast<double>(total) /
+                         static_cast<double>(ops.size())));
+    } else {
+        std::printf("\n");
+    }
+
+    std::printf("hv: %llu traps, %llu hypercalls, %llu context "
+                "switches, %llu forced resets\n",
+                static_cast<unsigned long long>(sys.hv.traps()),
+                static_cast<unsigned long long>(sys.hv.hypercalls()),
+                static_cast<unsigned long long>(
+                    sys.hv.contextSwitches()),
+                static_cast<unsigned long long>(
+                    sys.hv.forcedResets()));
+    std::printf("iotlb: %llu hits, %llu misses, %llu conflict "
+                "evictions, %llu walks (%llu coalesced)\n",
+                static_cast<unsigned long long>(
+                    sys.platform.iommu().iotlb().hits()),
+                static_cast<unsigned long long>(
+                    sys.platform.iommu().iotlb().misses()),
+                static_cast<unsigned long long>(
+                    sys.platform.iommu().iotlb().conflictEvictions()),
+                static_cast<unsigned long long>(
+                    sys.platform.iommu().walks()),
+                static_cast<unsigned long long>(
+                    sys.platform.iommu().coalescedWalks()));
+
+    if (o.stats) {
+        std::ostringstream os;
+        sys.platform.stats().dump(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    return 0;
+}
