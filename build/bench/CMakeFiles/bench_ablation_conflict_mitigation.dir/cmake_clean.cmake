@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conflict_mitigation.dir/bench_ablation_conflict_mitigation.cc.o"
+  "CMakeFiles/bench_ablation_conflict_mitigation.dir/bench_ablation_conflict_mitigation.cc.o.d"
+  "bench_ablation_conflict_mitigation"
+  "bench_ablation_conflict_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conflict_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

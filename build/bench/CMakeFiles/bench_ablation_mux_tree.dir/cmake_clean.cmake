@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mux_tree.dir/bench_ablation_mux_tree.cc.o"
+  "CMakeFiles/bench_ablation_mux_tree.dir/bench_ablation_mux_tree.cc.o.d"
+  "bench_ablation_mux_tree"
+  "bench_ablation_mux_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mux_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

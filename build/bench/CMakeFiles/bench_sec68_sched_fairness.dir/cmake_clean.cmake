@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec68_sched_fairness.dir/bench_sec68_sched_fairness.cc.o"
+  "CMakeFiles/bench_sec68_sched_fairness.dir/bench_sec68_sched_fairness.cc.o.d"
+  "bench_sec68_sched_fairness"
+  "bench_sec68_sched_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec68_sched_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fairness_homo.dir/bench_table3_fairness_homo.cc.o"
+  "CMakeFiles/bench_table3_fairness_homo.dir/bench_table3_fairness_homo.cc.o.d"
+  "bench_table3_fairness_homo"
+  "bench_table3_fairness_homo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fairness_homo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

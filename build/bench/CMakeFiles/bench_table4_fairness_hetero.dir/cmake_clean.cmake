@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fairness_hetero.dir/bench_table4_fairness_hetero.cc.o"
+  "CMakeFiles/bench_table4_fairness_hetero.dir/bench_table4_fairness_hetero.cc.o.d"
+  "bench_table4_fairness_hetero"
+  "bench_table4_fairness_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fairness_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

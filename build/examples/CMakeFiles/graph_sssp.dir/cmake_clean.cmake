@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_sssp.dir/graph_sssp.cpp.o"
+  "CMakeFiles/graph_sssp.dir/graph_sssp.cpp.o.d"
+  "graph_sssp"
+  "graph_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

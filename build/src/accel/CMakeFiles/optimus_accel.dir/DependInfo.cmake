@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/accel/CMakeFiles/optimus_accel.dir/accelerator.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/accel/crypto_accels.cc" "src/accel/CMakeFiles/optimus_accel.dir/crypto_accels.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/crypto_accels.cc.o.d"
+  "/root/repo/src/accel/dma_port.cc" "src/accel/CMakeFiles/optimus_accel.dir/dma_port.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/dma_port.cc.o.d"
+  "/root/repo/src/accel/image_accels.cc" "src/accel/CMakeFiles/optimus_accel.dir/image_accels.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/image_accels.cc.o.d"
+  "/root/repo/src/accel/linkedlist_accel.cc" "src/accel/CMakeFiles/optimus_accel.dir/linkedlist_accel.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/linkedlist_accel.cc.o.d"
+  "/root/repo/src/accel/membench_accel.cc" "src/accel/CMakeFiles/optimus_accel.dir/membench_accel.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/membench_accel.cc.o.d"
+  "/root/repo/src/accel/registry.cc" "src/accel/CMakeFiles/optimus_accel.dir/registry.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/registry.cc.o.d"
+  "/root/repo/src/accel/signal_accels.cc" "src/accel/CMakeFiles/optimus_accel.dir/signal_accels.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/signal_accels.cc.o.d"
+  "/root/repo/src/accel/sssp_accel.cc" "src/accel/CMakeFiles/optimus_accel.dir/sssp_accel.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/sssp_accel.cc.o.d"
+  "/root/repo/src/accel/streaming_accelerator.cc" "src/accel/CMakeFiles/optimus_accel.dir/streaming_accelerator.cc.o" "gcc" "src/accel/CMakeFiles/optimus_accel.dir/streaming_accelerator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/optimus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/optimus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccip/CMakeFiles/optimus_ccip.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/optimus_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/optimus_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/optimus_iommu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

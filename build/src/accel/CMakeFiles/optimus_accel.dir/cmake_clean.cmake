@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_accel.dir/accelerator.cc.o"
+  "CMakeFiles/optimus_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/crypto_accels.cc.o"
+  "CMakeFiles/optimus_accel.dir/crypto_accels.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/dma_port.cc.o"
+  "CMakeFiles/optimus_accel.dir/dma_port.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/image_accels.cc.o"
+  "CMakeFiles/optimus_accel.dir/image_accels.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/linkedlist_accel.cc.o"
+  "CMakeFiles/optimus_accel.dir/linkedlist_accel.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/membench_accel.cc.o"
+  "CMakeFiles/optimus_accel.dir/membench_accel.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/registry.cc.o"
+  "CMakeFiles/optimus_accel.dir/registry.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/signal_accels.cc.o"
+  "CMakeFiles/optimus_accel.dir/signal_accels.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/sssp_accel.cc.o"
+  "CMakeFiles/optimus_accel.dir/sssp_accel.cc.o.d"
+  "CMakeFiles/optimus_accel.dir/streaming_accelerator.cc.o"
+  "CMakeFiles/optimus_accel.dir/streaming_accelerator.cc.o.d"
+  "liboptimus_accel.a"
+  "liboptimus_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

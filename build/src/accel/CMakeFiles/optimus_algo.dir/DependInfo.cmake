@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/algo/aes128.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/aes128.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/aes128.cc.o.d"
+  "/root/repo/src/accel/algo/graph.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/graph.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/graph.cc.o.d"
+  "/root/repo/src/accel/algo/image.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/image.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/image.cc.o.d"
+  "/root/repo/src/accel/algo/md5.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/md5.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/md5.cc.o.d"
+  "/root/repo/src/accel/algo/reed_solomon.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/reed_solomon.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/reed_solomon.cc.o.d"
+  "/root/repo/src/accel/algo/sha.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/sha.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/sha.cc.o.d"
+  "/root/repo/src/accel/algo/signal.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/signal.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/signal.cc.o.d"
+  "/root/repo/src/accel/algo/smith_waterman.cc" "src/accel/CMakeFiles/optimus_algo.dir/algo/smith_waterman.cc.o" "gcc" "src/accel/CMakeFiles/optimus_algo.dir/algo/smith_waterman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/optimus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

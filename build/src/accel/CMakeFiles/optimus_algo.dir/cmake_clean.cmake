@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_algo.dir/algo/aes128.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/aes128.cc.o.d"
+  "CMakeFiles/optimus_algo.dir/algo/graph.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/graph.cc.o.d"
+  "CMakeFiles/optimus_algo.dir/algo/image.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/image.cc.o.d"
+  "CMakeFiles/optimus_algo.dir/algo/md5.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/md5.cc.o.d"
+  "CMakeFiles/optimus_algo.dir/algo/reed_solomon.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/reed_solomon.cc.o.d"
+  "CMakeFiles/optimus_algo.dir/algo/sha.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/sha.cc.o.d"
+  "CMakeFiles/optimus_algo.dir/algo/signal.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/signal.cc.o.d"
+  "CMakeFiles/optimus_algo.dir/algo/smith_waterman.cc.o"
+  "CMakeFiles/optimus_algo.dir/algo/smith_waterman.cc.o.d"
+  "liboptimus_algo.a"
+  "liboptimus_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccip/channel_selector.cc" "src/ccip/CMakeFiles/optimus_ccip.dir/channel_selector.cc.o" "gcc" "src/ccip/CMakeFiles/optimus_ccip.dir/channel_selector.cc.o.d"
+  "/root/repo/src/ccip/link.cc" "src/ccip/CMakeFiles/optimus_ccip.dir/link.cc.o" "gcc" "src/ccip/CMakeFiles/optimus_ccip.dir/link.cc.o.d"
+  "/root/repo/src/ccip/shell.cc" "src/ccip/CMakeFiles/optimus_ccip.dir/shell.cc.o" "gcc" "src/ccip/CMakeFiles/optimus_ccip.dir/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/optimus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/optimus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/optimus_iommu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

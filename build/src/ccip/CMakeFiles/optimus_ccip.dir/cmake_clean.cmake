@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_ccip.dir/channel_selector.cc.o"
+  "CMakeFiles/optimus_ccip.dir/channel_selector.cc.o.d"
+  "CMakeFiles/optimus_ccip.dir/link.cc.o"
+  "CMakeFiles/optimus_ccip.dir/link.cc.o.d"
+  "CMakeFiles/optimus_ccip.dir/shell.cc.o"
+  "CMakeFiles/optimus_ccip.dir/shell.cc.o.d"
+  "liboptimus_ccip.a"
+  "liboptimus_ccip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_ccip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

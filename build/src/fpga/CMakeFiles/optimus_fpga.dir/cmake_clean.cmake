@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_fpga.dir/auditor.cc.o"
+  "CMakeFiles/optimus_fpga.dir/auditor.cc.o.d"
+  "CMakeFiles/optimus_fpga.dir/hardware_monitor.cc.o"
+  "CMakeFiles/optimus_fpga.dir/hardware_monitor.cc.o.d"
+  "CMakeFiles/optimus_fpga.dir/mux_tree.cc.o"
+  "CMakeFiles/optimus_fpga.dir/mux_tree.cc.o.d"
+  "CMakeFiles/optimus_fpga.dir/resources.cc.o"
+  "CMakeFiles/optimus_fpga.dir/resources.cc.o.d"
+  "liboptimus_fpga.a"
+  "liboptimus_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/process.cc" "src/guest/CMakeFiles/optimus_guest.dir/process.cc.o" "gcc" "src/guest/CMakeFiles/optimus_guest.dir/process.cc.o.d"
+  "/root/repo/src/guest/vm.cc" "src/guest/CMakeFiles/optimus_guest.dir/vm.cc.o" "gcc" "src/guest/CMakeFiles/optimus_guest.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/optimus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/optimus_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

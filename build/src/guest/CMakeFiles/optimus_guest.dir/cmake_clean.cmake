@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_guest.dir/process.cc.o"
+  "CMakeFiles/optimus_guest.dir/process.cc.o.d"
+  "CMakeFiles/optimus_guest.dir/vm.cc.o"
+  "CMakeFiles/optimus_guest.dir/vm.cc.o.d"
+  "liboptimus_guest.a"
+  "liboptimus_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hostcentric/dma_engine.cc" "src/hostcentric/CMakeFiles/optimus_hostcentric.dir/dma_engine.cc.o" "gcc" "src/hostcentric/CMakeFiles/optimus_hostcentric.dir/dma_engine.cc.o.d"
+  "/root/repo/src/hostcentric/sssp_runner.cc" "src/hostcentric/CMakeFiles/optimus_hostcentric.dir/sssp_runner.cc.o" "gcc" "src/hostcentric/CMakeFiles/optimus_hostcentric.dir/sssp_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/optimus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/optimus_algo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

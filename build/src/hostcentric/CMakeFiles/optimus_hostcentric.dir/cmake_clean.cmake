@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_hostcentric.dir/dma_engine.cc.o"
+  "CMakeFiles/optimus_hostcentric.dir/dma_engine.cc.o.d"
+  "CMakeFiles/optimus_hostcentric.dir/sssp_runner.cc.o"
+  "CMakeFiles/optimus_hostcentric.dir/sssp_runner.cc.o.d"
+  "liboptimus_hostcentric.a"
+  "liboptimus_hostcentric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_hostcentric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_hv.dir/dma_heap.cc.o"
+  "CMakeFiles/optimus_hv.dir/dma_heap.cc.o.d"
+  "CMakeFiles/optimus_hv.dir/guest_api.cc.o"
+  "CMakeFiles/optimus_hv.dir/guest_api.cc.o.d"
+  "CMakeFiles/optimus_hv.dir/optimus.cc.o"
+  "CMakeFiles/optimus_hv.dir/optimus.cc.o.d"
+  "CMakeFiles/optimus_hv.dir/platform.cc.o"
+  "CMakeFiles/optimus_hv.dir/platform.cc.o.d"
+  "CMakeFiles/optimus_hv.dir/system.cc.o"
+  "CMakeFiles/optimus_hv.dir/system.cc.o.d"
+  "CMakeFiles/optimus_hv.dir/workloads.cc.o"
+  "CMakeFiles/optimus_hv.dir/workloads.cc.o.d"
+  "liboptimus_hv.a"
+  "liboptimus_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_iommu.dir/iommu.cc.o"
+  "CMakeFiles/optimus_iommu.dir/iommu.cc.o.d"
+  "CMakeFiles/optimus_iommu.dir/iotlb.cc.o"
+  "CMakeFiles/optimus_iommu.dir/iotlb.cc.o.d"
+  "liboptimus_iommu.a"
+  "liboptimus_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

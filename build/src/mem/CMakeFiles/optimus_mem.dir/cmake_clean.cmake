@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/optimus_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/optimus_mem.dir/host_memory.cc.o"
+  "CMakeFiles/optimus_mem.dir/host_memory.cc.o.d"
+  "CMakeFiles/optimus_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/optimus_mem.dir/memory_controller.cc.o.d"
+  "liboptimus_mem.a"
+  "liboptimus_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

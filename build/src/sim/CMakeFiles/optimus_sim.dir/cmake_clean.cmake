@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_sim.dir/event_queue.cc.o"
+  "CMakeFiles/optimus_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/optimus_sim.dir/logging.cc.o"
+  "CMakeFiles/optimus_sim.dir/logging.cc.o.d"
+  "CMakeFiles/optimus_sim.dir/stats.cc.o"
+  "CMakeFiles/optimus_sim.dir/stats.cc.o.d"
+  "liboptimus_sim.a"
+  "liboptimus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

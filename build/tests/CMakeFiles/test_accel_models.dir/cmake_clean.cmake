@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_models.dir/test_accel_models.cc.o"
+  "CMakeFiles/test_accel_models.dir/test_accel_models.cc.o.d"
+  "test_accel_models"
+  "test_accel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

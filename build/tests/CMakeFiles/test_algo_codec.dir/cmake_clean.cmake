@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_codec.dir/test_algo_codec.cc.o"
+  "CMakeFiles/test_algo_codec.dir/test_algo_codec.cc.o.d"
+  "test_algo_codec"
+  "test_algo_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

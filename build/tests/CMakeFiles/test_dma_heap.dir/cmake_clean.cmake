@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma_heap.dir/test_dma_heap.cc.o"
+  "CMakeFiles/test_dma_heap.dir/test_dma_heap.cc.o.d"
+  "test_dma_heap"
+  "test_dma_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_apps.dir/test_e2e_apps.cc.o"
+  "CMakeFiles/test_e2e_apps.dir/test_e2e_apps.cc.o.d"
+  "test_e2e_apps"
+  "test_e2e_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

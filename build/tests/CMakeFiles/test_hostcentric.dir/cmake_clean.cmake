@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hostcentric.dir/test_hostcentric.cc.o"
+  "CMakeFiles/test_hostcentric.dir/test_hostcentric.cc.o.d"
+  "test_hostcentric"
+  "test_hostcentric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hostcentric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hv_edge.cc" "tests/CMakeFiles/test_hv_edge.dir/test_hv_edge.cc.o" "gcc" "tests/CMakeFiles/test_hv_edge.dir/test_hv_edge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/optimus_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostcentric/CMakeFiles/optimus_hostcentric.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/optimus_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/optimus_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccip/CMakeFiles/optimus_ccip.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/optimus_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/optimus_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/optimus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/optimus_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/optimus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

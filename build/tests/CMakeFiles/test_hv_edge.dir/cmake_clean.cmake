@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv_edge.dir/test_hv_edge.cc.o"
+  "CMakeFiles/test_hv_edge.dir/test_hv_edge.cc.o.d"
+  "test_hv_edge"
+  "test_hv_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_run.dir/optimus_run.cc.o"
+  "CMakeFiles/optimus_run.dir/optimus_run.cc.o.d"
+  "optimus_run"
+  "optimus_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
