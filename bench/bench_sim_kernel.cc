@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Simulation-kernel microbenchmark: wall-clock events/sec of the
+ * discrete-event kernel itself, measured on (a) a raw event-churn
+ * scenario exercising only the queue and (b) the fig6-style
+ * multi-tenant MemBench scenarios that dominate the paper-table
+ * regeneration time.
+ *
+ * Emits BENCH_sim_kernel.json (or argv[1]) so the perf trajectory of
+ * the kernel is tracked across PRs. Each scenario also prints a
+ * determinism fingerprint (a hash of simulated results: per-tenant
+ * progress counts and the final simulated time); kernel optimizations
+ * must leave every fingerprint bit-identical.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+
+using namespace optimus;
+
+namespace {
+
+struct Result
+{
+    std::string name;
+    double simNs = 0;
+    double wallMs = 0;
+    std::uint64_t events = 0;
+    double eventsPerSec = 0;
+    double simNsPerWallMs = 0;
+    std::uint64_t fingerprint = 0;
+};
+
+class WallTimer
+{
+  public:
+    WallTimer() : _t0(std::chrono::steady_clock::now()) {}
+    double
+    elapsedMs() const
+    {
+        auto dt = std::chrono::steady_clock::now() - _t0;
+        return std::chrono::duration<double, std::milli>(dt).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _t0;
+};
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+finishResult(Result &r)
+{
+    r.eventsPerSec =
+        r.wallMs > 0 ? static_cast<double>(r.events) / (r.wallMs / 1e3)
+                     : 0;
+    r.simNsPerWallMs = r.wallMs > 0 ? r.simNs / r.wallMs : 0;
+    std::printf("%-24s %10.0f sim-us %9.1f wall-ms %12" PRIu64
+                " events %12.0f ev/s %10.0f sim-ns/wall-ms"
+                "  fp=%016" PRIx64 "\n",
+                r.name.c_str(), r.simNs / 1e3, r.wallMs, r.events,
+                r.eventsPerSec, r.simNsPerWallMs, r.fingerprint);
+    std::fflush(stdout);
+}
+
+/**
+ * Raw kernel churn: many concurrent self-rescheduling event chains
+ * with closure captures typical of the platform models (a this
+ * pointer, a couple of words, a shared_ptr). No platform components —
+ * this isolates schedule/dispatch cost.
+ */
+Result
+rawKernel(std::uint64_t chains, sim::Tick horizon)
+{
+    Result r;
+    r.name = "raw_chains_" + std::to_string(chains);
+
+    sim::EventQueue eq;
+    std::uint64_t acc = 0;
+    auto payload = std::make_shared<std::uint64_t>(7);
+
+    // Each chain re-arms itself at a chain-specific stride so that
+    // buckets stay mixed: some same-tick FIFO traffic, some spread.
+    struct Chain
+    {
+        sim::EventQueue *eq;
+        std::uint64_t *acc;
+        std::shared_ptr<std::uint64_t> payload;
+        sim::Tick stride;
+        sim::Tick horizon;
+        void
+        operator()()
+        {
+            *acc += *payload + stride;
+            if (eq->now() + stride <= horizon)
+                eq->scheduleIn(stride, *this);
+        }
+    };
+
+    for (std::uint64_t c = 0; c < chains; ++c) {
+        sim::Tick stride = 2500 + (c % 7) * 1250;
+        eq.scheduleAt(c % 5,
+                      Chain{&eq, &acc, payload, stride, horizon});
+    }
+
+    WallTimer t;
+    eq.runUntil(horizon);
+    r.wallMs = t.elapsedMs();
+    r.events = eq.executed();
+    r.simNs =
+        static_cast<double>(eq.now()) / static_cast<double>(sim::kTickNs);
+    r.fingerprint = fnv1a(fnv1a(0xcbf29ce484222325ULL, acc), eq.now());
+    finishResult(r);
+    return r;
+}
+
+/**
+ * The fig6-style multi-tenant scenario: @p jobs MemBench tenants
+ * hammering their own working sets through the full OPTIMUS stack
+ * (mux tree, auditors, IOMMU, links, DRAM).
+ */
+Result
+membench(const std::string &name, std::uint32_t jobs,
+         std::uint64_t per_wset, std::uint64_t mode,
+         std::uint64_t page_bytes, sim::Tick warmup, sim::Tick window)
+{
+    Result r;
+    r.name = name;
+
+    sim::PlatformParams p = sim::PlatformParams::harpDefaults();
+    p.pageBytes = page_bytes;
+    hv::System sys(hv::makeOptimusConfig("MB", 8, p));
+    sys.platform.memory().setScratchWrites(true);
+
+    std::vector<hv::AccelHandle *> handles;
+    for (std::uint32_t j = 0; j < jobs; ++j) {
+        hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
+        bench::setupMembench(h, per_wset, mode, 31 + j);
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+
+    sys.eq.runUntil(sys.eq.now() + warmup);
+    std::vector<std::uint64_t> before;
+    for (auto *h : handles)
+        before.push_back(sys.hv.peekProgress(h->vaccel()));
+
+    std::uint64_t ev0 = sys.eq.executed();
+    sim::Tick t0 = sys.eq.now();
+    WallTimer t;
+    sys.eq.runUntil(t0 + window);
+    r.wallMs = t.elapsedMs();
+    r.events = sys.eq.executed() - ev0;
+    r.simNs = static_cast<double>(sys.eq.now() - t0) /
+              static_cast<double>(sim::kTickNs);
+
+    std::uint64_t fp = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        std::uint64_t ops =
+            sys.hv.peekProgress(handles[i]->vaccel()) - before[i];
+        fp = fnv1a(fp, ops);
+    }
+    r.fingerprint = fnv1a(fp, sys.eq.now());
+    finishResult(r);
+    return r;
+}
+
+void
+writeJson(const char *path, const std::vector<Result> &results)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"sim_kernel\",\n");
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"sim_ns\": %.0f, "
+            "\"wall_ms\": %.3f, \"events\": %" PRIu64
+            ", \"events_per_sec\": %.0f, "
+            "\"sim_ns_per_wall_ms\": %.1f, "
+            "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
+            r.name.c_str(), r.simNs, r.wallMs, r.events,
+            r.eventsPerSec, r.simNsPerWallMs, r.fingerprint,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out =
+        argc > 1 ? argv[1] : "BENCH_sim_kernel.json";
+
+    bench::header("Simulation-kernel throughput",
+                  "kernel perf tracking; no paper figure");
+
+    std::vector<Result> results;
+    // OPTIMUS_BENCH_SKIP_RAW skips the (long) raw-churn scenario so
+    // profiling runs can focus on the platform-stack scenarios.
+    if (!std::getenv("OPTIMUS_BENCH_SKIP_RAW"))
+        results.push_back(rawKernel(64, 2 * sim::kTickMs));
+    results.push_back(membench("membench_8t_2m", 8, 32ULL << 20,
+                               accel::MembenchAccel::kRead, mem::kPage2M,
+                               100 * sim::kTickUs, 400 * sim::kTickUs));
+    results.push_back(membench("membench_8t_4k", 8, 4ULL << 20,
+                               accel::MembenchAccel::kRead, mem::kPage4K,
+                               100 * sim::kTickUs, 400 * sim::kTickUs));
+    results.push_back(membench("membench_8t_mixed", 8, 32ULL << 20,
+                               accel::MembenchAccel::kMixed,
+                               mem::kPage2M, 100 * sim::kTickUs,
+                               400 * sim::kTickUs));
+
+    writeJson(out, results);
+    return 0;
+}

@@ -160,17 +160,6 @@ Accelerator::fail()
 }
 
 void
-Accelerator::scheduleGuarded(std::uint64_t cycles,
-                             std::function<void()> fn)
-{
-    std::uint64_t epoch = _epoch;
-    scheduleCycles(cycles, [this, epoch, fn = std::move(fn)]() {
-        if (epoch == _epoch)
-            fn();
-    });
-}
-
-void
 Accelerator::raiseDoorbell()
 {
     if (_doorbell)

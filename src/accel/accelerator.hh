@@ -129,10 +129,20 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
 
     /**
      * Schedule @p fn after @p cycles of this accelerator's clock;
-     * dropped if the accelerator is reset in the meantime.
+     * dropped if the accelerator is reset in the meantime. The
+     * callable is captured by value into the event, so small
+     * closures stay allocation-free.
      */
-    void scheduleGuarded(std::uint64_t cycles,
-                         std::function<void()> fn);
+    template <typename F>
+    void
+    scheduleGuarded(std::uint64_t cycles, F fn)
+    {
+        std::uint64_t epoch = _epoch;
+        scheduleCycles(cycles, [this, epoch, fn = std::move(fn)]() {
+            if (epoch == _epoch)
+                fn();
+        });
+    }
 
     /** Current reset epoch (for custom guards). */
     std::uint64_t epoch() const { return _epoch; }

@@ -5,8 +5,21 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/pool_alloc.hh"
 
 namespace optimus::accel {
+
+namespace {
+
+/** Transactions churn at DMA rate; recycle their shared blocks. */
+ccip::DmaTxnPtr
+makeTxn()
+{
+    return std::allocate_shared<ccip::DmaTxn>(
+        sim::PoolAlloc<ccip::DmaTxn>{});
+}
+
+} // namespace
 
 DmaPort::DmaPort(sim::EventQueue &eq, std::uint64_t freq_mhz,
                  std::string name, sim::StatGroup *stats)
@@ -16,6 +29,7 @@ DmaPort::DmaPort(sim::EventQueue &eq, std::uint64_t freq_mhz,
       _errors(stats, name + ".errors", "DMA completions with error"),
       _latency(stats, name + ".latency_ns", "DMA round-trip (ns)")
 {
+    _issueEvent.bind(eq, this);
 }
 
 void
@@ -23,7 +37,7 @@ DmaPort::read(mem::Gva gva, std::uint32_t bytes, Completion cb)
 {
     OPTIMUS_ASSERT(bytes > 0 && bytes <= sim::kCacheLineBytes,
                    "bad DMA size %u", bytes);
-    auto txn = std::make_shared<ccip::DmaTxn>();
+    ccip::DmaTxnPtr txn = makeTxn();
     txn->id = _nextId++;
     txn->isWrite = false;
     txn->gva = gva;
@@ -38,7 +52,7 @@ DmaPort::write(mem::Gva gva, const void *data, std::uint32_t bytes,
 {
     OPTIMUS_ASSERT(bytes > 0 && bytes <= sim::kCacheLineBytes,
                    "bad DMA size %u", bytes);
-    auto txn = std::make_shared<ccip::DmaTxn>();
+    ccip::DmaTxnPtr txn = makeTxn();
     txn->id = _nextId++;
     txn->isWrite = true;
     txn->gva = gva;
@@ -65,15 +79,9 @@ DmaPort::tryIssue()
     while (!_pending.empty() && _outstanding < _maxOutstanding) {
         sim::Tick when = std::max(nextEdge(), _nextIssueAllowed);
         if (when > now()) {
-            if (!_issueScheduled) {
-                _issueScheduled = true;
-                std::uint64_t epoch = _epoch;
-                eventq().scheduleAt(when, [this, epoch]() {
-                    _issueScheduled = false;
-                    if (epoch == _epoch)
-                        tryIssue();
-                });
-            }
+            if (!_issueEvent.armed())
+                _issueArmEpoch = _epoch;
+            _issueEvent.schedule(when);
             return;
         }
 

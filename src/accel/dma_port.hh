@@ -30,7 +30,12 @@ namespace optimus::accel {
 class DmaPort : public sim::Clocked
 {
   public:
-    using Completion = std::function<void(ccip::DmaTxn &)>;
+    /** Per-request completion handler. Inline-sized: together with
+     *  the port's epoch wrapper it still fits a DmaTxn::onComplete
+     *  without heap allocation. */
+    using Completion =
+        sim::InlineFunction<void(ccip::DmaTxn &),
+                            sim::kCompletionCaptureBytes>;
 
     DmaPort(sim::EventQueue &eq, std::uint64_t freq_mhz,
             std::string name, sim::StatGroup *stats = nullptr);
@@ -82,6 +87,14 @@ class DmaPort : public sim::Clocked
   private:
     void enqueue(ccip::DmaTxnPtr txn, Completion cb);
     void tryIssue();
+
+    /** Issue-event target: drop occurrences armed before a reset. */
+    void
+    issueGuarded()
+    {
+        if (_issueArmEpoch == _epoch)
+            tryIssue();
+    }
     void onResponse(std::uint64_t epoch, ccip::DmaTxn &txn,
                     const Completion &cb);
 
@@ -92,7 +105,11 @@ class DmaPort : public sim::Clocked
     std::deque<ccip::DmaTxnPtr> _pending;
     std::uint32_t _outstanding = 0;
     sim::Tick _nextIssueAllowed = 0;
-    bool _issueScheduled = false;
+    /** Recyclable issue event; unarmed while the port has nothing to
+     *  inject (clock-gated). An occurrence armed before a hard reset
+     *  is neutralized by the epoch check. */
+    sim::MemberEvent<DmaPort, &DmaPort::issueGuarded> _issueEvent;
+    std::uint64_t _issueArmEpoch = 0;
     std::uint64_t _epoch = 0;
     std::uint64_t _nextId = 1;
     std::function<void()> _drainCb;

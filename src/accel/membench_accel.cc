@@ -12,6 +12,7 @@ MembenchAccel::MembenchAccel(sim::EventQueue &eq,
     : Accelerator(eq, params, std::move(name), 400, stats)
 {
     dma().setMaxOutstanding(256);
+    _pumpEvent.bind(eq, this);
 }
 
 void
@@ -54,15 +55,9 @@ MembenchAccel::pump()
     while ((target == 0 || _issued < target) &&
            dma().inFlight() < dma().maxOutstanding()) {
         if (now() < _nextAllowed) {
-            if (!_pumpScheduled) {
-                _pumpScheduled = true;
-                std::uint64_t e = epoch();
-                eventq().scheduleAt(_nextAllowed, [this, e]() {
-                    _pumpScheduled = false;
-                    if (e == epoch())
-                        pump();
-                });
-            }
+            if (!_pumpEvent.armed())
+                _pumpArmEpoch = epoch();
+            _pumpEvent.schedule(_nextAllowed);
             return;
         }
 
@@ -129,7 +124,7 @@ MembenchAccel::restoreArchState(const std::vector<std::uint8_t> &blob)
     // them as completed work.
     _issued = _completed;
     _nextAllowed = 0;
-    _pumpScheduled = false;
+    _pumpEvent.cancel();
 }
 
 void

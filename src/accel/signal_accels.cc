@@ -66,6 +66,7 @@ GrnAccel::GrnAccel(sim::EventQueue &eq,
     : Accelerator(eq, params, std::move(name), 200, stats)
 {
     dma().setMaxOutstanding(24);
+    _pumpEvent.bind(eq, this);
 }
 
 void
@@ -101,15 +102,9 @@ GrnAccel::pump()
     }
     if (now() < _nextAllowed) {
         // Pipeline initiation interval not yet elapsed.
-        if (!_pumpScheduled) {
-            _pumpScheduled = true;
-            std::uint64_t e = epoch();
-            eventq().scheduleAt(_nextAllowed, [this, e]() {
-                _pumpScheduled = false;
-                if (e == epoch())
-                    pump();
-            });
-        }
+        if (!_pumpEvent.armed())
+            _pumpArmEpoch = epoch();
+        _pumpEvent.schedule(_nextAllowed);
         return;
     }
 

@@ -15,13 +15,14 @@ StreamingAccelerator::StreamingAccelerator(
       _tuning(tuning)
 {
     dma().setMaxOutstanding(_tuning.window);
+    _pumpEvent.bind(eq, this);
 }
 
 void
 StreamingAccelerator::onStart()
 {
     _nextAllowed = 0;
-    _pumpScheduled = false;
+    _pumpEvent.cancel();
     _nextReadOff = 0;
     _consumedOff = 0;
     _pendingWrites = 0;
@@ -58,15 +59,9 @@ StreamingAccelerator::pump()
         if (now() < _nextAllowed) {
             // The pipeline's initiation interval has not elapsed;
             // one wakeup is armed at the allowed tick.
-            if (!_pumpScheduled) {
-                _pumpScheduled = true;
-                std::uint64_t e = epoch();
-                eventq().scheduleAt(_nextAllowed, [this, e]() {
-                    _pumpScheduled = false;
-                    if (e == epoch())
-                        pump();
-                });
-            }
+            if (!_pumpEvent.armed())
+                _pumpArmEpoch = epoch();
+            _pumpEvent.schedule(_nextAllowed);
             return;
         }
         std::uint64_t off = _nextReadOff;

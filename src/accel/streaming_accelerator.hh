@@ -113,6 +113,15 @@ class StreamingAccelerator : public Accelerator
 
   private:
     void pump();
+
+    /** Pump-event target: drop occurrences armed before a reset. */
+    void
+    pumpGuarded()
+    {
+        if (_pumpArmEpoch == epoch())
+            pump();
+    }
+
     void onReadLine(std::uint64_t offset, ccip::DmaTxn &txn);
     void drainReorderBuffer();
     void maybeFinish();
@@ -121,7 +130,11 @@ class StreamingAccelerator : public Accelerator
 
     // Pacing state.
     sim::Tick _nextAllowed = 0;
-    bool _pumpScheduled = false;
+    /** Recyclable initiation-interval wakeup; unarmed while idle. */
+    sim::MemberEvent<StreamingAccelerator,
+                     &StreamingAccelerator::pumpGuarded>
+        _pumpEvent;
+    std::uint64_t _pumpArmEpoch = 0;
 
     // Stream position state (saved on preempt).
     std::uint64_t _nextReadOff = 0;   ///< next offset to request

@@ -30,14 +30,28 @@ Link::serialization(LinkDir dir, std::uint64_t bytes) const
 
 void
 Link::transfer(LinkDir dir, std::uint64_t bytes,
-               std::function<void()> on_delivered)
+               sim::EventQueue::Callback on_delivered)
 {
     sim::Tick &free_at =
         dir == LinkDir::kToHost ? _toHostFree : _toFpgaFree;
     (dir == LinkDir::kToHost ? _bytesToHost : _bytesToFpga) += bytes;
 
+    std::size_t d = dir == LinkDir::kToHost ? 0 : 1;
+    sim::Tick ser;
+    if (bytes == _serMemoBytes[d][0]) {
+        ser = _serMemoTicks[d][0];
+    } else if (bytes == _serMemoBytes[d][1]) {
+        ser = _serMemoTicks[d][1];
+    } else {
+        ser = serialization(dir, bytes);
+        _serMemoBytes[d][1] = _serMemoBytes[d][0];
+        _serMemoTicks[d][1] = _serMemoTicks[d][0];
+        _serMemoBytes[d][0] = bytes;
+        _serMemoTicks[d][0] = ser;
+    }
+
     sim::Tick start = std::max(_eq.now(), free_at);
-    sim::Tick depart = start + serialization(dir, bytes);
+    sim::Tick depart = start + ser;
     free_at = depart;
     _eq.scheduleAt(depart + _latency, std::move(on_delivered));
 }

@@ -7,7 +7,6 @@
 #define OPTIMUS_CCIP_LINK_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "sim/event_queue.hh"
@@ -49,7 +48,7 @@ class Link
      * when the last byte arrives at the far side.
      */
     void transfer(LinkDir dir, std::uint64_t bytes,
-                  std::function<void()> on_delivered);
+                  sim::EventQueue::Callback on_delivered);
 
     /**
      * Earliest tick at which a new transfer in @p dir could begin
@@ -103,6 +102,15 @@ class Link
     double _toHostBytesPerTick;
     sim::Tick _toHostFree = 0;
     sim::Tick _toFpgaFree = 0;
+    /** Per-direction memo of the last two (bytes -> serialization
+     *  ticks) divides. A direction's transfers alternate between a
+     *  payload size and the control size, so two entries keep both
+     *  resident; the memo returns the exact value the divide
+     *  produced, so results stay bit-identical. */
+    std::uint64_t _serMemoBytes[2][2] = {
+        {~std::uint64_t(0), ~std::uint64_t(0)},
+        {~std::uint64_t(0), ~std::uint64_t(0)}};
+    sim::Tick _serMemoTicks[2][2] = {};
     std::uint64_t _toHostPending = 0;
     std::uint64_t _toFpgaPending = 0;
     sim::Counter _bytesToHost;

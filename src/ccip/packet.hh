@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "mem/address.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace optimus::ccip {
@@ -58,8 +59,11 @@ struct DmaTxn
     /** Issue timestamp, for latency accounting. */
     sim::Tick issuedAt = 0;
 
-    /** Invoked at the accelerator when the response arrives. */
-    std::function<void(DmaTxn &)> onComplete;
+    /** Invoked at the accelerator when the response arrives. Inline
+     *  capacity covers a completion handler plus a small wrapping
+     *  context (DmaPort wraps a 56 B completion object with a frame
+     *  and an epoch: 72 B), so the DMA hot path never allocates. */
+    sim::InlineFunction<void(DmaTxn &), 80> onComplete;
 };
 
 using DmaTxnPtr = std::shared_ptr<DmaTxn>;

@@ -32,9 +32,16 @@ void
 Shell::fromAfu(DmaTxnPtr txn)
 {
     (txn->isWrite ? _dmaWrites : _dmaReads) += 1;
-    _iommu.translate(txn->iova, txn->isWrite,
-                     [this, txn](iommu::TranslationResult tr) {
-                         onTranslated(txn, tr);
+    // The txn travels by move through the whole per-DMA closure chain
+    // (here through translation, then link, memory controller and the
+    // return leg) so one DMA costs one shared_ptr reference, not one
+    // per hop.
+    mem::Iova iova = txn->iova;
+    bool is_write = txn->isWrite;
+    _iommu.translate(iova, is_write,
+                     [this, txn = std::move(txn)](
+                         iommu::TranslationResult tr) mutable {
+                         onTranslated(std::move(txn), tr);
                      });
 }
 
@@ -44,38 +51,50 @@ Shell::onTranslated(DmaTxnPtr txn, iommu::TranslationResult tr)
     if (tr.fault) {
         ++_dmaFaults;
         txn->error = true;
-        respond(txn);
+        respond(std::move(txn));
         return;
     }
 
     Link &link = _selector.select(*txn);
     mem::Hpa hpa = tr.hpa;
+    std::uint32_t bytes = txn->bytes;
 
     if (txn->isWrite) {
         // Write data crosses toward the host, lands in DRAM, and a
         // small ack returns. The data leg serializes immediately, so
         // no pending accounting is needed.
-        link.transfer(LinkDir::kToHost, txn->bytes, [this, txn, &link,
-                                                     hpa]() {
-            _memctl.access(txn->bytes, true, [this, txn, &link, hpa]() {
+        link.transfer(LinkDir::kToHost, bytes,
+                      [this, txn = std::move(txn), &link,
+                       hpa]() mutable {
+            std::uint32_t bytes = txn->bytes;
+            _memctl.access(bytes, true,
+                           [this, txn = std::move(txn), &link,
+                            hpa]() mutable {
                 _memory.write(hpa, txn->data.data(), txn->bytes);
                 link.transfer(LinkDir::kToFpga, kCtrlBytes,
-                              [this, txn]() { respond(txn); });
+                              [this, txn = std::move(txn)]() mutable {
+                                  respond(std::move(txn));
+                              });
             });
         });
     } else {
         // A small request crosses toward the host; the data line
         // returns toward the FPGA later. Commit the data leg now so
         // the selector sees the link's true future load.
-        link.notePending(LinkDir::kToFpga, txn->bytes);
-        link.transfer(LinkDir::kToHost, kCtrlBytes, [this, txn, &link,
-                                                     hpa]() {
-            _memctl.access(txn->bytes, false, [this, txn, &link,
-                                               hpa]() {
-                _memory.read(hpa, txn->data.data(), txn->bytes);
-                link.clearPending(LinkDir::kToFpga, txn->bytes);
-                link.transfer(LinkDir::kToFpga, txn->bytes,
-                              [this, txn]() { respond(txn); });
+        link.notePending(LinkDir::kToFpga, bytes);
+        link.transfer(LinkDir::kToHost, kCtrlBytes,
+                      [this, txn = std::move(txn), &link,
+                       hpa]() mutable {
+            std::uint32_t bytes = txn->bytes;
+            _memctl.access(bytes, false,
+                           [this, txn = std::move(txn), &link, hpa,
+                            bytes]() mutable {
+                _memory.read(hpa, txn->data.data(), bytes);
+                link.clearPending(LinkDir::kToFpga, bytes);
+                link.transfer(LinkDir::kToFpga, bytes,
+                              [this, txn = std::move(txn)]() mutable {
+                                  respond(std::move(txn));
+                              });
             });
         });
     }

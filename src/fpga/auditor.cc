@@ -21,6 +21,7 @@ Auditor::Auditor(sim::EventQueue &eq, std::uint64_t freq_mhz,
       _forwarded(stats, sim::strprintf("auditor%u.forwarded", tag),
                  "DMA requests translated and forwarded")
 {
+    _pumpEvent.bind(eq, this);
 }
 
 void
@@ -55,30 +56,33 @@ Auditor::dmaFromAccel(ccip::DmaTxnPtr txn)
 void
 Auditor::pumpUpstream()
 {
-    if (_pumpScheduled || _outQueue.empty())
+    if (_outQueue.empty())
         return;
     // One packet per cycle into the tree, gated by the leaf credit.
+    // While idle or stalled the pump event stays unarmed (clock
+    // gating); the leaf's credit return calls back in here.
     if (_upstreamHasSpace && !_upstreamHasSpace())
-        return; // the leaf wakes us when a slot frees up
-    _pumpScheduled = true;
-    sim::Tick when = std::max(nextEdge(), _busyUntil);
-    eventq().scheduleAt(when, [this]() {
-        _pumpScheduled = false;
-        if (_outQueue.empty())
-            return;
-        if (_upstreamHasSpace && !_upstreamHasSpace())
-            return;
-        ccip::DmaTxnPtr txn = std::move(_outQueue.front());
-        _outQueue.pop_front();
-        if (_upstreamReserve)
-            _upstreamReserve();
-        _busyUntil = now() + clockPeriod();
-        scheduleCycles(_latencyCycles,
-                       [this, txn = std::move(txn)]() mutable {
-                           _upstream(std::move(txn));
-                       });
-        pumpUpstream();
-    });
+        return;
+    _pumpEvent.schedule(std::max(nextEdge(), _busyUntil));
+}
+
+void
+Auditor::pumpStep()
+{
+    if (_outQueue.empty())
+        return;
+    if (_upstreamHasSpace && !_upstreamHasSpace())
+        return;
+    ccip::DmaTxnPtr txn = std::move(_outQueue.front());
+    _outQueue.pop_front();
+    if (_upstreamReserve)
+        _upstreamReserve();
+    _busyUntil = now() + clockPeriod();
+    scheduleCycles(_latencyCycles,
+                   [this, txn = std::move(txn)]() mutable {
+                       _upstream(std::move(txn));
+                   });
+    pumpUpstream();
 }
 
 void

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "ccip/packet.hh"
 #include "fpga/accel_port.hh"
@@ -41,9 +40,15 @@ struct OffsetEntry
 class Auditor : public sim::Clocked
 {
   public:
-    using Forward = std::function<void(ccip::DmaTxnPtr)>;
-    using SpaceCheck = std::function<bool()>;
-    using Notify = std::function<void()>;
+    /** Inline-stored hooks (see inline_function.hh): fired per DMA
+     *  packet with word-sized captures, so they skip std::function's
+     *  double indirection and never allocate. */
+    using Forward = sim::InlineFunction<void(ccip::DmaTxnPtr),
+                                        sim::kCompletionCaptureBytes>;
+    using SpaceCheck =
+        sim::InlineFunction<bool(), sim::kCompletionCaptureBytes>;
+    using Notify =
+        sim::InlineFunction<void(), sim::kCompletionCaptureBytes>;
 
     Auditor(sim::EventQueue &eq, std::uint64_t freq_mhz,
             ccip::AccelTag tag, std::uint32_t latency_cycles,
@@ -116,10 +121,14 @@ class Auditor : public sim::Clocked
     SpaceCheck _upstreamHasSpace;
     Notify _upstreamReserve;
 
+    void pumpStep();
+
     /** Translated packets waiting for a leaf credit (bounded by the
      *  accelerator's outstanding-request window). */
     std::deque<ccip::DmaTxnPtr> _outQueue;
-    bool _pumpScheduled = false;
+    /** Recyclable pump event; unarmed whenever the auditor is idle
+     *  or waiting on a leaf credit (clock-gated). */
+    sim::MemberEvent<Auditor, &Auditor::pumpStep> _pumpEvent;
     sim::Tick _busyUntil = 0;
 
     sim::Counter _rejected;

@@ -36,22 +36,32 @@ HardwareMonitor::HardwareMonitor(sim::EventQueue &eq,
         _ports.push_back(std::make_unique<Port>(*this, i));
 
         Auditor *a = _auditors.back().get();
-        a->setUpstream([this, i](ccip::DmaTxnPtr t) {
-            _tree.fromLeaf(i, std::move(t));
+        // Bind the leaf's attach point once: the flow-control hooks
+        // run per packet and poll the bottom-row node directly.
+        auto [leaf_node, leaf_port] = _tree.leafAttach(i);
+        a->setUpstream([node = leaf_node,
+                        port = leaf_port](ccip::DmaTxnPtr t) {
+            node->arrive(port, std::move(t));
         });
         a->setUpstreamFlowControl(
-            [this, i]() { return _tree.leafHasSpace(i); },
-            [this, i]() { _tree.reserveLeaf(i); });
+            [node = leaf_node, port = leaf_port]() {
+                return node->hasSpace(port);
+            },
+            [node = leaf_node, port = leaf_port]() {
+                node->reserve(port);
+            });
         _tree.setLeafWake(i, [a]() { a->pumpUpstream(); });
     }
 
     _tree.setRootSink(
         [this](ccip::DmaTxnPtr t) { dmaUpFromRoot(std::move(t)); });
     _tree.setDownSink([this](ccip::DmaTxnPtr t) {
-        // Lazy routing: every auditor sees the packet; exactly the
-        // one whose tag matches forwards it to its accelerator.
-        for (auto &a : _auditors)
-            a->deliverDown(t);
+        // The hardware broadcasts every response down the tree and
+        // each auditor filters by tag; only the tag's owner ever
+        // forwards, so the simulator dispatches to it directly (the
+        // auditor still performs the hardware's tag check).
+        if (t->tag < _auditors.size())
+            _auditors[t->tag]->deliverDown(t);
     });
 
     _shell.setResponseSink(

@@ -16,6 +16,7 @@ MuxNode::MuxNode(sim::EventQueue &eq, std::uint64_t freq_mhz,
       _forwardedPerChild(arity, 0)
 {
     OPTIMUS_ASSERT(arity >= 2, "multiplexer arity must be >= 2");
+    _serviceEvent.bind(eq, this);
 }
 
 void
@@ -39,28 +40,24 @@ MuxNode::arrive(std::uint32_t child, ccip::DmaTxnPtr txn)
     OPTIMUS_ASSERT(_reserved[child] > 0, "mux arrival without reserve");
     --_reserved[child];
     _queues[child].push_back(std::move(txn));
+    ++_queued;
     scheduleService();
 }
 
 void
 MuxNode::scheduleService()
 {
-    if (_serviceScheduled)
+    // Clock gating: an idle node leaves its service event unarmed
+    // and burns no simulation events; arrive() and credit returns
+    // call back in here to wake it.
+    if (_queued == 0)
         return;
-    bool any = std::any_of(_queues.begin(), _queues.end(),
-                           [](const auto &q) { return !q.empty(); });
-    if (!any)
-        return;
-    _serviceScheduled = true;
-    sim::Tick when = std::max(nextEdge(), _busyUntil);
-    eventq().scheduleAt(when, [this]() { service(); });
+    _serviceEvent.schedule(std::max(nextEdge(), _busyUntil));
 }
 
 void
 MuxNode::service()
 {
-    _serviceScheduled = false;
-
     // Output backpressure: if the parent has no credit for us, stall;
     // the parent wakes us when it frees a slot.
     if (_parent && !_parent->hasSpace(_parentPort))
@@ -71,7 +68,9 @@ MuxNode::service()
     const auto n = static_cast<std::uint32_t>(_queues.size());
     std::uint32_t pick = n;
     for (std::uint32_t i = 0; i < n; ++i) {
-        std::uint32_t c = (_rr + i) % n;
+        std::uint32_t c = _rr + i;
+        if (c >= n)
+            c -= n;
         if (!_queues[c].empty()) {
             pick = c;
             break;
@@ -80,10 +79,10 @@ MuxNode::service()
     if (pick == n)
         return; // spurious wakeup; nothing queued
 
-    ccip::DmaTxnPtr txn = std::move(_queues[pick].front());
-    _queues[pick].pop_front();
+    ccip::DmaTxnPtr txn = _queues[pick].pop_front();
+    --_queued;
     ++_forwardedPerChild[pick];
-    _rr = (pick + 1) % n;
+    _rr = pick + 1 == n ? 0 : pick + 1;
 
     // One packet per cycle leaves this node; the packet itself takes
     // the pipeline latency to reach the next level.
@@ -98,8 +97,7 @@ MuxNode::service()
                                 parent->arrive(port, std::move(txn));
                             });
     } else {
-        OPTIMUS_ASSERT(_rootSink != nullptr,
-                       "mux root has no sink");
+        OPTIMUS_ASSERT(_rootSink, "mux root has no sink");
         eventq().scheduleIn(cyclesToTicks(_upLatencyCycles),
                             [this, txn = std::move(txn)]() mutable {
                                 _rootSink(std::move(txn));
@@ -168,6 +166,12 @@ MuxTree::setRootSink(MuxNode::Deliver d)
     _nodes[0][0]->setRootSink(std::move(d));
 }
 
+std::pair<MuxNode *, std::uint32_t>
+MuxTree::leafAttach(std::uint32_t leaf)
+{
+    return {&leafNode(leaf), leafPort(leaf)};
+}
+
 MuxNode &
 MuxTree::leafNode(std::uint32_t leaf) const
 {
@@ -212,7 +216,7 @@ MuxTree::setLeafWake(std::uint32_t leaf, MuxNode::Wake w)
 void
 MuxTree::down(ccip::DmaTxnPtr txn)
 {
-    OPTIMUS_ASSERT(_downSink != nullptr, "mux tree has no down sink");
+    OPTIMUS_ASSERT(_downSink, "mux tree has no down sink");
     // The downstream path is a broadcast pipeline: one packet may
     // enter per fabric cycle at the root and arrives at every auditor
     // after the full downstream latency.

@@ -21,10 +21,10 @@
 #ifndef OPTIMUS_FPGA_MUX_TREE_HH
 #define OPTIMUS_FPGA_MUX_TREE_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ccip/packet.hh"
@@ -39,8 +39,14 @@ namespace optimus::fpga {
 class MuxNode : public sim::Clocked
 {
   public:
-    using Deliver = std::function<void(ccip::DmaTxnPtr)>;
-    using Wake = std::function<void()>;
+    /** Inline-stored hooks (see inline_function.hh): tree wiring is
+     *  all tiny captures (a node pointer and a port), and these fire
+     *  per packet, so they bypass std::function's double indirection
+     *  and never allocate. */
+    using Deliver = sim::InlineFunction<void(ccip::DmaTxnPtr),
+                                        sim::kCompletionCaptureBytes>;
+    using Wake =
+        sim::InlineFunction<void(), sim::kCompletionCaptureBytes>;
 
     /** Input-queue depth per child port (ready/valid skid buffer). */
     static constexpr std::uint32_t kQueueDepth = 8;
@@ -73,6 +79,42 @@ class MuxNode : public sim::Clocked
         return _queues[child].size() + _reserved[child] < kQueueDepth;
     }
 
+    /**
+     * One input port's skid buffer: a fixed-capacity ring. The depth
+     * is a hardware constant, so the buffer lives inline in the node
+     * (no deque block indirection) and the wrap is a power-of-two
+     * mask.
+     */
+    class PortQueue
+    {
+      public:
+        bool empty() const { return _count == 0; }
+        std::uint32_t size() const { return _count; }
+
+        void
+        push_back(ccip::DmaTxnPtr t)
+        {
+            _buf[(_head + _count) & (kQueueDepth - 1)] = std::move(t);
+            ++_count;
+        }
+
+        ccip::DmaTxnPtr
+        pop_front()
+        {
+            ccip::DmaTxnPtr t = std::move(_buf[_head]);
+            _head = (_head + 1) & (kQueueDepth - 1);
+            --_count;
+            return t;
+        }
+
+      private:
+        static_assert((kQueueDepth & (kQueueDepth - 1)) == 0,
+                      "ring wrap relies on a power-of-two depth");
+        std::array<ccip::DmaTxnPtr, kQueueDepth> _buf;
+        std::uint32_t _head = 0;
+        std::uint32_t _count = 0;
+    };
+
     /** Claim a slot on input @p child for a packet now in flight. */
     void reserve(std::uint32_t child);
 
@@ -97,12 +139,16 @@ class MuxNode : public sim::Clocked
     void service();
 
     std::uint32_t _upLatencyCycles;
-    std::vector<std::deque<ccip::DmaTxnPtr>> _queues;
+    std::vector<PortQueue> _queues;
     std::vector<std::uint32_t> _reserved;
     std::vector<Wake> _wake;
     std::vector<std::uint64_t> _forwardedPerChild;
     std::uint32_t _rr = 0;
-    bool _serviceScheduled = false;
+    /** Total packets across all input queues (O(1) idle check). */
+    std::uint32_t _queued = 0;
+    /** Recyclable service event: the node is clock-gated whenever
+     *  this is unarmed, and arrives/credit returns re-arm it. */
+    sim::MemberEvent<MuxNode, &MuxNode::service> _serviceEvent;
     sim::Tick _busyUntil = 0;
 
     MuxNode *_parent = nullptr;
@@ -126,6 +172,10 @@ class MuxTree
     std::uint32_t levels() const { return _levels; }
 
     // ---- leaf-side ready/valid interface (used by the auditors) ----
+    /** Resolve a leaf's attach point (bottom-row node + input port)
+     *  once, so per-packet flow-control hooks poll the node directly
+     *  instead of re-deriving the mapping on every check. */
+    std::pair<MuxNode *, std::uint32_t> leafAttach(std::uint32_t leaf);
     /** Whether leaf @p leaf can accept a packet right now. */
     bool leafHasSpace(std::uint32_t leaf) const;
     /** Claim the slot (packet enters the leaf pipeline). */

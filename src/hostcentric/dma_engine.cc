@@ -25,7 +25,7 @@ DmaEngine::DmaEngine(sim::EventQueue &eq,
 }
 
 void
-DmaEngine::transfer(std::uint64_t bytes, std::function<void()> done)
+DmaEngine::transfer(std::uint64_t bytes, sim::EventQueue::Callback done)
 {
     ++_transfers;
     _bytes += bytes;

@@ -14,7 +14,6 @@
 #define OPTIMUS_HOSTCENTRIC_DMA_ENGINE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
@@ -38,7 +37,7 @@ class DmaEngine
      * the completion interrupt would be delivered. Transfers are
      * serialized (a single engine).
      */
-    void transfer(std::uint64_t bytes, std::function<void()> done);
+    void transfer(std::uint64_t bytes, sim::EventQueue::Callback done);
 
     /** Cost of programming the engine once (3 writes + doorbell). */
     sim::Tick configCost() const { return _configCost; }

@@ -42,11 +42,14 @@ Iommu::setPageBytes(std::uint64_t page_bytes)
 void
 Iommu::translate(mem::Iova iova, bool is_write, TranslateCallback cb)
 {
-    if (auto hpa = _iotlb.lookup(iova)) {
+    bool writable = true;
+    if (auto hpa = _iotlb.lookup(iova, &writable)) {
         // Fast path: permissions were validated at insert time by the
-        // hypervisor; the hardware only rechecks writability.
-        auto entry = _iopt->lookup(iova.pageBase(_pageBytes));
-        if (is_write && entry && !entry->perms.writable) {
+        // hypervisor; the hardware rechecks writability against the
+        // permission bit cached in the IOTLB entry (mappings are
+        // add-only, so the cached bit cannot go stale without the
+        // whole IOTLB being rebuilt).
+        if (is_write && !writable) {
             fault(PendingWalk{iova, is_write, std::move(cb)});
             return;
         }
@@ -97,7 +100,7 @@ Iommu::finishWalk(mem::Iova page)
     OPTIMUS_ASSERT(!node.empty(), "walk completion without waiters");
     auto entry = _iopt->lookup(page);
     if (entry) {
-        _iotlb.insert(page, entry->base);
+        _iotlb.insert(page, entry->base, entry->perms.writable);
     }
     for (PendingWalk &w : node.mapped()) {
         auto translated = _iopt->translate(w.iova, w.isWrite);

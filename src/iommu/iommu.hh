@@ -41,7 +41,11 @@ struct TranslationResult
 class Iommu
 {
   public:
-    using TranslateCallback = std::function<void(TranslationResult)>;
+    /** Completion of a timed translation; inline-sized so the shell's
+     *  per-DMA continuation never heap-allocates. */
+    using TranslateCallback =
+        sim::InlineFunction<void(TranslationResult),
+                            sim::kCompletionCaptureBytes>;
     /** Invoked on an IO page fault (address, was it a write). */
     using FaultHandler = std::function<void(mem::Iova, bool)>;
 

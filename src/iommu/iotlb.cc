@@ -34,12 +34,14 @@ Iotlb::setIndex(mem::Iova iova) const
 }
 
 std::optional<mem::Hpa>
-Iotlb::lookup(mem::Iova iova)
+Iotlb::lookup(mem::Iova iova, bool *writable)
 {
     std::uint64_t vpn = iova.value() >> _offsetBits;
     Set &s = _sets[setIndex(iova)];
     if (s.valid && s.vpn == vpn) {
         ++_hits;
+        if (writable)
+            *writable = s.writable;
         return mem::Hpa(s.hpaBase +
                         iova.pageOffset(_pageBytes));
     }
@@ -48,13 +50,14 @@ Iotlb::lookup(mem::Iova iova)
 }
 
 void
-Iotlb::insert(mem::Iova iova, mem::Hpa hpa_page_base)
+Iotlb::insert(mem::Iova iova, mem::Hpa hpa_page_base, bool writable)
 {
     std::uint64_t vpn = iova.value() >> _offsetBits;
     Set &s = _sets[setIndex(iova)];
     if (s.valid && s.vpn != vpn)
         ++_conflictEvictions;
     s.valid = true;
+    s.writable = writable;
     s.vpn = vpn;
     s.hpaBase = hpa_page_base.value();
 }

@@ -42,11 +42,16 @@ class Iotlb
     /** Set index for @p iova (exposed for tests and analysis). */
     std::uint32_t setIndex(mem::Iova iova) const;
 
-    /** Look up a translation; records hit/miss statistics. */
-    std::optional<mem::Hpa> lookup(mem::Iova iova);
+    /** Look up a translation; records hit/miss statistics. On a hit,
+     *  when @p writable is non-null it receives the cached write
+     *  permission (hardware TLBs cache permission bits alongside the
+     *  translation, saving the re-walk on the hit path). */
+    std::optional<mem::Hpa> lookup(mem::Iova iova,
+                                   bool *writable = nullptr);
 
     /** Install a translation, evicting any conflicting entry. */
-    void insert(mem::Iova iova, mem::Hpa hpa_page_base);
+    void insert(mem::Iova iova, mem::Hpa hpa_page_base,
+                bool writable = true);
 
     /** Drop every entry (used on reset / page-size change). */
     void invalidateAll();
@@ -65,6 +70,7 @@ class Iotlb
     struct Set
     {
         bool valid = false;
+        bool writable = true;
         std::uint64_t vpn = 0;
         std::uint64_t hpaBase = 0;
     };

@@ -18,13 +18,23 @@ MemoryController::MemoryController(sim::EventQueue &eq,
 
 void
 MemoryController::access(std::uint64_t bytes, bool is_write,
-                         std::function<void()> on_done)
+                         sim::EventQueue::Callback on_done)
 {
     (void)is_write; // symmetric service time at the controller
     ++_accesses;
     _bytes += bytes;
-    auto ser = static_cast<sim::Tick>(
-        static_cast<double>(bytes) / _bytesPerTick);
+    // Accesses repeat a handful of line sizes, so cache the last
+    // divide; the memo hands back the exact value the division
+    // produced, keeping results bit-identical.
+    sim::Tick ser;
+    if (bytes == _serMemoBytes) {
+        ser = _serMemoTicks;
+    } else {
+        ser = static_cast<sim::Tick>(
+            static_cast<double>(bytes) / _bytesPerTick);
+        _serMemoBytes = bytes;
+        _serMemoTicks = ser;
+    }
     sim::Tick start = std::max(_eq.now(), _nextFree);
     _nextFree = start + ser;
     _eq.scheduleAt(_nextFree + _latency, std::move(on_done));

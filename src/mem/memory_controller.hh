@@ -12,7 +12,6 @@
 #define OPTIMUS_MEM_MEMORY_CONTROLLER_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
@@ -41,7 +40,7 @@ class MemoryController
      * @param on_done invoked when the access completes.
      */
     void access(std::uint64_t bytes, bool is_write,
-                std::function<void()> on_done);
+                sim::EventQueue::Callback on_done);
 
     std::uint64_t accesses() const { return _accesses.value(); }
 
@@ -50,6 +49,9 @@ class MemoryController
     sim::Tick _latency;
     double _bytesPerTick;
     sim::Tick _nextFree = 0;
+    /** Last (bytes -> serialization ticks) divide, memoized. */
+    std::uint64_t _serMemoBytes = ~std::uint64_t(0);
+    sim::Tick _serMemoTicks = 0;
     sim::Counter _accesses;
     sim::Counter _bytes;
 };

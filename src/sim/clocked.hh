@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.hh"
+#include "sim/fastdiv.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -25,7 +26,8 @@ class Clocked
 {
   public:
     Clocked(EventQueue &eq, std::uint64_t freq_mhz)
-        : _eq(eq), _freqMhz(freq_mhz), _period(periodFromMhz(freq_mhz))
+        : _eq(eq), _freqMhz(freq_mhz),
+          _period(periodFromMhz(freq_mhz)), _periodDiv(_period)
     {
         OPTIMUS_ASSERT(freq_mhz > 0 && freq_mhz <= 1000000,
                        "bad frequency %llu MHz",
@@ -44,7 +46,10 @@ class Clocked
     }
 
     /** Whole cycles elapsed by tick @p t (rounded down). */
-    std::uint64_t ticksToCycles(Tick t) const { return t / _period; }
+    std::uint64_t ticksToCycles(Tick t) const
+    {
+        return _periodDiv.divide(t);
+    }
 
     /**
      * The next clock edge at or after the current time. A component
@@ -54,7 +59,7 @@ class Clocked
     nextEdge() const
     {
         Tick t = _eq.now();
-        Tick rem = t % _period;
+        Tick rem = _periodDiv.mod(t);
         return rem == 0 ? t : t + (_period - rem);
     }
 
@@ -70,6 +75,8 @@ class Clocked
     EventQueue &_eq;
     std::uint64_t _freqMhz;
     Tick _period;
+    /** Reciprocal form of _period (exact; see fastdiv.hh). */
+    InvariantDiv _periodDiv;
 };
 
 } // namespace optimus::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Exact division by a runtime-invariant unsigned divisor.
+ *
+ * Every clocked component computes "next clock edge" (a modulo by its
+ * fixed period) on each scheduling operation, and a hardware 64-bit
+ * divide costs ~20-30 cycles on the simulation hot path. A divisor
+ * fixed at construction admits the classic reciprocal-multiply
+ * rewrite: q' = (t * floor((2^64-1)/d)) >> 64 under-approximates t/d
+ * by at most one (the error term is t*r/(d*2^64) < 1 for any 64-bit
+ * t), so a single conditional fixup makes the result exact for every
+ * input. Exactness matters here: clock-edge ticks feed directly into
+ * event timestamps, and any rounding difference would change
+ * simulated results.
+ */
+
+#ifndef OPTIMUS_SIM_FASTDIV_HH
+#define OPTIMUS_SIM_FASTDIV_HH
+
+#include <cstdint>
+
+namespace optimus::sim {
+
+/** Divide-by-invariant helper: construct once per divisor, then
+ *  divide()/mod() replace the hardware divide with a widening
+ *  multiply plus one fixup. Results are bit-exact with operator/ for
+ *  all 64-bit numerators. */
+class InvariantDiv
+{
+  public:
+    explicit InvariantDiv(std::uint64_t d = 1) : _d(d)
+    {
+#ifdef __SIZEOF_INT128__
+        _magic = ~std::uint64_t(0) / d;
+#endif
+    }
+
+    std::uint64_t
+    divide(std::uint64_t t) const
+    {
+#ifdef __SIZEOF_INT128__
+        auto q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(t) * _magic) >> 64);
+        if (t - q * _d >= _d)
+            ++q;
+        return q;
+#else
+        return t / _d;
+#endif
+    }
+
+    std::uint64_t mod(std::uint64_t t) const
+    {
+        return t - divide(t) * _d;
+    }
+
+    std::uint64_t divisor() const { return _d; }
+
+  private:
+    std::uint64_t _d;
+#ifdef __SIZEOF_INT128__
+    std::uint64_t _magic = ~std::uint64_t(0);
+#endif
+};
+
+} // namespace optimus::sim
+
+#endif // OPTIMUS_SIM_FASTDIV_HH
