@@ -162,6 +162,28 @@ EventQueue::activateSlot(std::uint32_t s)
 }
 
 void
+EventQueue::deactivate()
+{
+    std::vector<Event> &b = _buckets[_activeSlot];
+    if (_activeHead != 0) {
+        // Partially drained: keep only the undispatched tail, packed
+        // in (when, seq) order so the bucket is a plain ordered slot
+        // again. Entries before the cursor hold moved-from callbacks
+        // and are dropped.
+        std::vector<Event> keep;
+        keep.reserve(_activeOrder.size() - _activeHead);
+        for (std::size_t i = _activeHead; i < _activeOrder.size(); ++i)
+            keep.push_back(std::move(b[_activeOrder[i].idx]));
+        b.swap(keep);
+        _slotInOrder[_activeSlot] = 1;
+    }
+    OPTIMUS_ASSERT(!b.empty(), "deactivating a drained slot");
+    _activeSlot = kNoSlot;
+    _activeHead = 0;
+    _activeOrder.clear();
+}
+
+void
 EventQueue::dispatch(Tick t)
 {
     _now = t;
@@ -222,6 +244,12 @@ EventQueue::runUntil(Tick limit)
         while (_activeSlot != kNoSlot) {
             Tick t = _activeOrder[_activeHead].when;
             if (t > limit) {
+                // Time stops at the limit, which may be below this
+                // slot's span, and the caller may then legally
+                // schedule ticks earlier than the cursor into other
+                // slots. Release the activation so those inserts are
+                // found first on the next run.
+                deactivate();
                 if (_now < limit)
                     _now = limit;
                 return n;

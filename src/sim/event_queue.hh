@@ -367,6 +367,16 @@ class EventQueue
     /** Order the slot draining is about to enter and set the cursor. */
     void activateSlot(std::uint32_t s);
 
+    /** Release the active slot without draining it: re-pack any
+     *  undispatched tail into the bucket (in order) and clear the
+     *  cursor. Required whenever control returns to the caller with
+     *  _now possibly below the active slot's span — e.g. a runUntil
+     *  limit landing before the slot's events — because every fast
+     *  path (scheduleAt, nextEventTick, the runUntil drain loop)
+     *  treats an active cursor as the queue-wide minimum, which is
+     *  only true while _now sits inside the active slot's span. */
+    void deactivate();
+
     /** Advance time to @p t and execute the front event there. */
     void dispatch(Tick t);
 
@@ -427,11 +437,13 @@ class EventQueue
  * idle clock-gating protocol:
  *
  *  - a component with pending work arms its event for the next clock
- *    edge (schedule() is idempotent while armed);
+ *    edge (schedule() keeps the earlier deadline: a later or equal
+ *    request while armed is a no-op, an earlier one re-arms sooner);
  *  - a component with nothing to do simply does not re-arm — it goes
  *    clock-gated and burns no events while idle;
  *  - a producer handing it new work wakes it by calling its usual
- *    scheduling entry point, which re-arms the event.
+ *    scheduling entry point, which re-arms the event — even if the
+ *    producer's deadline is sooner than an already-armed occurrence.
  *
  * cancel() invalidates any armed occurrence (generation check), so a
  * reset component never observes a stale wakeup.
@@ -462,16 +474,22 @@ class PeriodicEvent
 
     bool armed() const { return _armed; }
 
-    /** Arm at absolute tick @p when; no-op while already armed (the
-     *  earlier arm wins, as with a one-shot hardware timer). */
+    /** Arm at absolute tick @p when. The earlier arm wins: while
+     *  already armed, a later-or-equal @p when is a no-op (clock-edge
+     *  re-arms stay idempotent) and an earlier @p when invalidates
+     *  the armed occurrence and re-arms at the sooner deadline. */
     void
     schedule(Tick when)
     {
         OPTIMUS_ASSERT(_eq != nullptr && _fn,
                        "scheduling an unbound PeriodicEvent");
-        if (_armed)
-            return;
+        if (_armed) {
+            if (when >= _when)
+                return;
+            ++_gen; // the armed occurrence becomes a dead no-op
+        }
         _armed = true;
+        _when = when;
         std::uint64_t gen = _gen;
         _eq->scheduleAt(when, [this, gen]() {
             if (gen != _gen || !_armed)
@@ -504,6 +522,7 @@ class PeriodicEvent
     EventQueue *_eq = nullptr;
     InlineFunction<void(), kCompletionCaptureBytes> _fn;
     std::uint64_t _gen = 0;
+    Tick _when = 0;
     bool _armed = false;
 };
 
@@ -536,15 +555,20 @@ class MemberEvent
 
     bool armed() const { return _armed; }
 
-    /** Arm at absolute tick @p when; no-op while already armed. */
+    /** Arm at absolute tick @p when; earlier arm wins (see
+     *  PeriodicEvent::schedule). */
     void
     schedule(Tick when)
     {
         OPTIMUS_ASSERT(_eq != nullptr && _owner != nullptr,
                        "scheduling an unbound MemberEvent");
-        if (_armed)
-            return;
+        if (_armed) {
+            if (when >= _when)
+                return;
+            ++_gen; // the armed occurrence becomes a dead no-op
+        }
         _armed = true;
+        _when = when;
         std::uint64_t gen = _gen;
         _eq->scheduleAt(when, [this, gen]() {
             if (gen != _gen || !_armed)
@@ -577,6 +601,7 @@ class MemberEvent
     EventQueue *_eq = nullptr;
     Owner *_owner = nullptr;
     std::uint64_t _gen = 0;
+    Tick _when = 0;
     bool _armed = false;
 };
 

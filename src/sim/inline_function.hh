@@ -17,21 +17,23 @@
  *  - move-only (events are consumed exactly once; copying a closure
  *    into the queue is never needed and would hide allocations);
  *  - no target_type()/target() introspection;
- *  - invoking an empty InlineFunction is a simulator bug (panics);
- *  - moves are raw memcpy, not per-type move construction.
+ *  - invoking an empty InlineFunction is a simulator bug (panics).
  *
- * The memcpy move imposes a contract on stored callables: every
- * captured object must be *trivially relocatable* — byte-copying it
- * to a new address and abandoning the old bytes must be equivalent to
- * move-construct + destroy. This holds for pointers, integers, and
- * (on the supported libstdc++/libc++ toolchains) shared_ptr,
- * unique_ptr, vector, deque, and std::function (whose inline targets
- * are trivially copyable by construction). It does NOT hold for types
- * with interior self-pointers: std::string (SSO buffer), std::map /
- * std::set (header node), or libstdc++'s std::unordered_map (single
- * bucket cache). Do not capture those by value in scheduled events;
- * the event kernel relies on this to move queue entries with plain
- * memcpy instead of an indirect relocate call per move.
+ * Moves pick the cheapest correct mechanism per stored type, decided
+ * once at construction via the vtable:
+ *  - trivially copyable inline targets (this pointers, integers,
+ *    epochs — the hot-path majority) relocate with a raw whole-buffer
+ *    memcpy: a handful of wide stores, no indirect call;
+ *  - all other inline targets (closures holding shared_ptr, a nested
+ *    InlineFunction, std::string, containers, ...) relocate through a
+ *    per-type move-construct + destroy thunk, so types with interior
+ *    self-pointers (std::string's SSO buffer, std::map's header node,
+ *    libstdc++ unordered_map's bucket cache) are moved correctly —
+ *    capturing them is safe, never silent UB;
+ *  - heap-backed targets memcpy the owning pointer.
+ * Inline storage additionally requires a noexcept move constructor
+ * (queue moves happen inside noexcept paths); throwing-move types
+ * fall back to the heap, where moving is always pointer-copy.
  */
 
 #ifndef OPTIMUS_SIM_INLINE_FUNCTION_HH
@@ -87,24 +89,7 @@ class InlineFunction<R(Args...), Capacity>
     InlineFunction(InlineFunction &&other) noexcept
         : _vt(other._vt)
     {
-        // Trivial relocation (see the header comment): the whole
-        // buffer is copied so the move compiles to a handful of wide
-        // stores, with no indirect call and no branch on the stored
-        // type. For heap-backed targets this copies the pointer.
-        // Bytes past the stored object are indeterminate and never
-        // read through a typed pointer; the blanket copy is what
-        // keeps the move branch-free, so the whole-buffer read is
-        // intentional.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wuninitialized"
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
-        __builtin_memcpy(_buf, other._buf, Capacity);
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-        other._vt = nullptr;
+        relocateFrom(other);
     }
 
     InlineFunction &
@@ -113,8 +98,7 @@ class InlineFunction<R(Args...), Capacity>
         if (this != &other) {
             reset();
             _vt = other._vt;
-            __builtin_memcpy(_buf, other._buf, Capacity);
-            other._vt = nullptr;
+            relocateFrom(other);
         }
         return *this;
     }
@@ -171,8 +155,10 @@ class InlineFunction<R(Args...), Capacity>
     fitsInline()
     {
         using D = std::decay_t<F>;
+        // noexcept move required: non-trivial inline targets relocate
+        // through a move-construct thunk inside noexcept queue moves.
         return sizeof(D) <= Capacity && alignof(D) <= kAlign &&
-               std::is_move_constructible_v<D>;
+               std::is_nothrow_move_constructible_v<D>;
     }
 
   private:
@@ -189,6 +175,13 @@ class InlineFunction<R(Args...), Capacity>
         R (*invoke)(void *, Args &&...);
         void (*destroy)(void *) noexcept;
         void (*consume)(void *, Args &&...);
+        /** Move the target from @p src into raw storage @p dst and
+         *  destroy the source. Null when a whole-buffer memcpy is the
+         *  correct relocation (trivially copyable inline targets and
+         *  heap-backed targets, where it copies the owning pointer) —
+         *  the hot-path majority, which therefore never pays an
+         *  indirect call per move. */
+        void (*relocate)(void *dst, void *src) noexcept;
     };
 
     template <typename D>
@@ -212,7 +205,16 @@ class InlineFunction<R(Args...), Capacity>
             (*d)(std::forward<Args>(args)...);
             d->~D();
         }
-        static constexpr VTable kVt{&invoke, &destroy, &consume};
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            D *s = static_cast<D *>(src);
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        }
+        static constexpr VTable kVt{
+            &invoke, &destroy, &consume,
+            std::is_trivially_copyable_v<D> ? nullptr : &relocate};
     };
 
     template <typename D>
@@ -236,8 +238,36 @@ class InlineFunction<R(Args...), Capacity>
             (*d)(std::forward<Args>(args)...);
             delete d;
         }
-        static constexpr VTable kVt{&invoke, &destroy, &consume};
+        static constexpr VTable kVt{&invoke, &destroy, &consume,
+                                    nullptr};
     };
+
+    /** Move the target out of @p other (whose vtable this already
+     *  holds) into our buffer and leave @p other empty. */
+    void
+    relocateFrom(InlineFunction &other) noexcept
+    {
+        if (_vt && _vt->relocate) {
+            _vt->relocate(_buf, other._buf);
+        } else {
+            // Trivial relocation: the whole buffer is copied so the
+            // move compiles to a handful of wide stores. Bytes past
+            // the stored object are indeterminate and never read
+            // through a typed pointer; the blanket copy keeps the
+            // copy length a compile-time constant, so the
+            // whole-buffer read is intentional.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+            __builtin_memcpy(_buf, other._buf, Capacity);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+        }
+        other._vt = nullptr;
+    }
 
     void
     reset() noexcept

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -100,6 +101,89 @@ TEST(EventQueueOrder, RunUntilBoundaryIsInclusive)
     EXPECT_EQ(eq.runUntil(2000), 1u);
     EXPECT_EQ(past_limit, 1);
     EXPECT_EQ(eq.now(), 2000u);
+}
+
+TEST(EventQueueOrder, ScheduleEarlierTickAfterRunUntilStopsShort)
+{
+    // Regression: runUntil used to leave the next slot activated when
+    // its events were past the limit; a later scheduleAt into an
+    // earlier slot then ran *after* the stale cursor's event and
+    // now() regressed.
+    EventQueue eq;
+    std::vector<Tick> order;
+    eq.scheduleAt(5000, [&]() { order.push_back(eq.now()); });
+    EXPECT_EQ(eq.runUntil(3000), 0u);
+    EXPECT_EQ(eq.now(), 3000u);
+    EXPECT_EQ(eq.nextEventTick(), 5000u);
+    eq.scheduleAt(3500, [&]() { order.push_back(eq.now()); });
+    EXPECT_EQ(eq.nextEventTick(), 3500u);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<Tick>{3500, 5000}));
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventQueueOrder, RunUntilMidSlotPartialDrainThenEarlierSchedule)
+{
+    // Same regression, with the interrupted slot partially drained:
+    // 4100 and 5000 share a slot (span 2048); the limit stops the
+    // drain between them, then 4300 arrives — earlier than the
+    // still-pending 5000 and appended behind it in the re-packed
+    // bucket, so activation must re-sort. Order and monotonic time
+    // must hold.
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto rec = [&]() { order.push_back(eq.now()); };
+    eq.scheduleAt(4100, rec);
+    eq.scheduleAt(5000, rec);
+    EXPECT_EQ(eq.runUntil(4200), 1u);
+    EXPECT_EQ(eq.now(), 4200u);
+    EXPECT_EQ(eq.nextEventTick(), 5000u);
+    eq.scheduleAt(4300, rec);
+    EXPECT_EQ(eq.nextEventTick(), 4300u);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<Tick>{4100, 4300, 5000}));
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventQueueOrder, RunUntilUntouchedActivationInLaterSlotReleased)
+{
+    // The stale activation can also be a slot runUntil activated but
+    // never drained (events past the limit, slot span later than
+    // now's): a subsequent schedule into an earlier slot must still
+    // run first.
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto rec = [&]() { order.push_back(eq.now()); };
+    eq.scheduleAt(4100, rec); // slot covering [4096, 6143]
+    eq.scheduleAt(7000, rec); // next slot
+    EXPECT_EQ(eq.runUntil(4200), 1u);
+    eq.scheduleAt(5000, rec); // earlier slot than pending 7000
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<Tick>{4100, 5000, 7000}));
+    EXPECT_EQ(eq.now(), 7000u);
+}
+
+TEST(EventQueueOrder, RunUntilInterleavedWithSchedulingStaysMonotonic)
+{
+    // Alternate runUntil windows with schedules landing between the
+    // limit and the pending far event; now() must never regress.
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto rec = [&]() { order.push_back(eq.now()); };
+    eq.scheduleAt(1000, rec);
+    eq.scheduleAt(50000, rec);
+    EXPECT_EQ(eq.runUntil(2500), 1u);
+    eq.scheduleAt(3000, rec);
+    EXPECT_EQ(eq.runUntil(10000), 1u);
+    eq.scheduleAt(20000, rec);
+    eq.runAll();
+    EXPECT_EQ(order,
+              (std::vector<Tick>{1000, 3000, 20000, 50000}));
+    Tick prev = 0;
+    for (Tick t : order) {
+        EXPECT_LE(prev, t);
+        prev = t;
+    }
 }
 
 TEST(EventQueueOrder, RunUntilAdvancesTimeOnEmptyQueue)
@@ -315,6 +399,43 @@ TEST(InlineFunctionTest, SmallCapturesStayInline)
     EXPECT_EQ(hit, 1);
 }
 
+TEST(InlineFunctionTest, NonTriviallyCopyableCapturesRelocateSafely)
+{
+    // Captures with interior self-pointers (std::string's SSO buffer)
+    // used to be banned by comment only — the memcpy move silently
+    // corrupted them. They now relocate through a real move, so an
+    // event whose capture crosses every queue level (heap -> far ring
+    // -> near ring, plus bucket growth moves) arrives intact.
+    EventQueue eq;
+    std::vector<std::string> seen;
+    const std::string sso = "short";   // fits the SSO buffer
+    const std::string big(40, 'x');    // heap-backed string
+    for (Tick when :
+         {Tick(7), kSlotSpan + 3, kNearWindow + 5, 2 * kFarWindow}) {
+        eq.scheduleAt(when, [&seen, s = sso]() { seen.push_back(s); });
+        eq.scheduleAt(when, [&seen, s = big]() { seen.push_back(s); });
+    }
+    eq.runAll();
+    ASSERT_EQ(seen.size(), 8u);
+    for (std::size_t i = 0; i < seen.size(); i += 2) {
+        EXPECT_EQ(seen[i], sso);
+        EXPECT_EQ(seen[i + 1], big);
+    }
+}
+
+TEST(InlineFunctionTest, MoveRelocatesNonTrivialTargets)
+{
+    using Fn = InlineFunction<void()>;
+    std::string out;
+    Fn a([&out, s = std::string("relocated")]() { out = s; });
+    Fn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    Fn c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(out, "relocated");
+}
+
 TEST(InlineFunctionTest, ConsumeRunsAndEmptiesInOneStep)
 {
     int runs = 0;
@@ -332,7 +453,7 @@ TEST(PeriodicEventTest, ArmIsIdempotentAndCancelKillsOccurrence)
     PeriodicEvent ev;
     ev.bind(eq, [&]() { ++fired; });
     ev.schedule(100);
-    ev.schedule(50); // no-op: already armed for tick 100
+    ev.schedule(150); // no-op: already armed for the earlier tick 100
     eq.runAll();
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(eq.now(), 100u);
@@ -348,6 +469,37 @@ TEST(PeriodicEventTest, ArmIsIdempotentAndCancelKillsOccurrence)
     EXPECT_EQ(fired, 2);
 }
 
+TEST(PeriodicEventTest, EarlierArmWinsWhileArmed)
+{
+    // A producer waking a gated component with a sooner deadline must
+    // not be silently delayed to the already-armed (later) tick.
+    EventQueue eq;
+    std::vector<Tick> fires;
+    PeriodicEvent ev;
+    ev.bind(eq, [&]() { fires.push_back(eq.now()); });
+    ev.schedule(100);
+    ev.schedule(40); // earlier: re-arms sooner, kills the 100 arm
+    EXPECT_TRUE(ev.armed());
+    eq.runAll();
+    // Fires exactly once, at the earlier tick; the dead occurrence at
+    // 100 drains as a no-op.
+    EXPECT_EQ(fires, (std::vector<Tick>{40}));
+    EXPECT_FALSE(ev.armed());
+
+    // Re-arming from inside is unaffected: fire at 40 then 60.
+    fires.clear();
+    PeriodicEvent chain;
+    chain.bind(eq, [&]() {
+        fires.push_back(eq.now());
+        if (fires.size() == 1)
+            chain.schedule(eq.now() + 20);
+    });
+    chain.schedule(eq.now() + 10);
+    eq.runAll();
+    ASSERT_EQ(fires.size(), 2u);
+    EXPECT_EQ(fires[1], fires[0] + 20);
+}
+
 struct MemberTarget
 {
     int fired = 0;
@@ -361,20 +513,26 @@ TEST(MemberEventTest, MatchesPeriodicEventProtocol)
     MemberEvent<MemberTarget, &MemberTarget::fire> ev;
     ev.bind(eq, &t);
     ev.schedule(100);
-    ev.schedule(50); // no-op while armed
+    ev.schedule(150); // no-op: armed for the earlier tick 100
     EXPECT_TRUE(ev.armed());
     eq.runAll();
     EXPECT_EQ(t.fired, 1);
     EXPECT_FALSE(ev.armed());
 
-    ev.schedule(200);
+    // Earlier arm wins, as with PeriodicEvent.
+    ev.schedule(eq.now() + 100);
+    ev.schedule(eq.now() + 10);
+    eq.runAll();
+    EXPECT_EQ(t.fired, 2);
+
+    ev.schedule(eq.now() + 50);
     ev.cancel();
     eq.runAll();
-    EXPECT_EQ(t.fired, 1);
+    EXPECT_EQ(t.fired, 2);
 
     ev.scheduleIn(10);
     eq.runAll();
-    EXPECT_EQ(t.fired, 2);
+    EXPECT_EQ(t.fired, 3);
 }
 
 } // namespace
