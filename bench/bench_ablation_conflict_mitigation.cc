@@ -9,10 +9,11 @@
  * indices; each accelerator gets 128 MB of conflict-free reach.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
@@ -26,7 +27,8 @@ struct Point
 };
 
 Point
-run(bool mitigation, std::uint32_t jobs, std::uint64_t per_job)
+run(bool mitigation, std::uint32_t jobs, std::uint64_t per_job,
+    const exp::RunContext &ctx)
 {
     sim::PlatformParams p = sim::PlatformParams::harpDefaults();
     p.iotlbConflictMitigation = mitigation;
@@ -35,23 +37,24 @@ run(bool mitigation, std::uint32_t jobs, std::uint64_t per_job)
     std::vector<hv::AccelHandle *> handles;
     for (std::uint32_t j = 0; j < jobs; ++j) {
         hv::AccelHandle &h = sys.attach(j, 2ULL << 30);
-        bench::setupMembench(h, per_job,
-                             accel::MembenchAccel::kRead, 45 + j);
+        exp::setupMembench(h, per_job,
+                           accel::MembenchAccel::kRead, 45 + j);
         handles.push_back(&h);
     }
     for (auto *h : handles)
         h->start();
 
     double ns = 0;
-    auto ops = bench::measureWindow(sys, handles,
-                                    150 * sim::kTickUs,
-                                    500 * sim::kTickUs, &ns);
+    auto ops = exp::measureWindow(sys, handles,
+                                  ctx.scaled(150 * sim::kTickUs),
+                                  ctx.scaled(500 * sim::kTickUs),
+                                  &ns);
     std::uint64_t total = 0;
     for (auto o : ops)
         total += o;
 
     Point out;
-    out.gbps = bench::gbps(total, ns);
+    out.gbps = exp::gbps(total, ns);
     out.conflictEvictions =
         sys.platform.iommu().iotlb().conflictEvictions();
     out.misses = sys.platform.iommu().iotlb().misses();
@@ -61,40 +64,44 @@ run(bool mitigation, std::uint32_t jobs, std::uint64_t per_job)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Ablation: IOTLB conflict mitigation (128 MB "
-                  "inter-slice gap)",
-                  "Section 5 of the paper, 'IOTLB Conflict "
-                  "Mitigation'");
+    exp::Runner r("ablation_conflict_mitigation");
+    r.table("Ablation: IOTLB conflict mitigation (128 MB "
+            "inter-slice gap)",
+            "Section 5 of the paper, 'IOTLB Conflict Mitigation'");
 
-    std::printf("%-6s %-10s | %-28s | %-28s\n", "Jobs", "WSet/job",
-                "gap ON  (GB/s, conflicts)",
-                "gap OFF (GB/s, conflicts)");
     for (std::uint32_t jobs : {2u, 4u, 8u}) {
         // Per-accelerator working sets inside the 128 MB
         // conflict-free budget: mitigation should eliminate
         // cross-tenant evictions entirely.
         for (std::uint64_t per_job : {64ULL << 20, 96ULL << 20}) {
-            Point on = run(true, jobs, per_job);
-            Point off = run(false, jobs, per_job);
-            std::printf("%-6u %6lluM     | %10.2f %14llu | %10.2f "
-                        "%14llu\n",
-                        jobs,
-                        static_cast<unsigned long long>(per_job >>
-                                                        20),
-                        on.gbps,
-                        static_cast<unsigned long long>(
-                            on.conflictEvictions),
-                        off.gbps,
-                        static_cast<unsigned long long>(
-                            off.conflictEvictions));
-            std::fflush(stdout);
+            std::string label = sim::strprintf(
+                "%uj_%lluM", jobs,
+                static_cast<unsigned long long>(per_job >> 20));
+            r.add(label,
+                  [jobs, per_job, label](
+                      const exp::RunContext &ctx) {
+                      Point on = run(true, jobs, per_job, ctx);
+                      Point off = run(false, jobs, per_job, ctx);
+                      exp::ResultRow row(label);
+                      row.count("jobs", jobs);
+                      row.str("wset_per_job",
+                              exp::sizeLabel(per_job));
+                      row.num("gap_on_gbps", "%.2f", on.gbps);
+                      row.count("gap_on_conflicts",
+                                on.conflictEvictions);
+                      row.num("gap_off_gbps", "%.2f", off.gbps);
+                      row.count("gap_off_conflicts",
+                                off.conflictEvictions);
+                      return row;
+                  });
         }
     }
-    std::printf("\nWith the gap, working sets up to 128 MB per "
-                "accelerator stay conflict-free; without it, "
-                "corresponding pages of different slices evict each "
-                "other and throughput drops.\n");
-    return 0;
+
+    r.note("With the gap, working sets up to 128 MB per accelerator "
+           "stay conflict-free; without it, corresponding pages of "
+           "different slices evict each other and throughput "
+           "drops.");
+    return r.main(argc, argv);
 }

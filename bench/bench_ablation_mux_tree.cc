@@ -11,11 +11,13 @@
  * arrangements derated to the clock they can actually close.
  */
 
-#include <cstdio>
+#include <algorithm>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
 #include "fpga/resources.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
@@ -28,7 +30,8 @@ struct Point
 };
 
 Point
-run(std::uint32_t arity, std::uint64_t fabric_mhz)
+run(std::uint32_t arity, std::uint64_t fabric_mhz,
+    const exp::RunContext &ctx)
 {
     sim::PlatformParams p = sim::PlatformParams::harpDefaults();
     p.fpgaIfaceMhz = fabric_mhz;
@@ -39,38 +42,41 @@ run(std::uint32_t arity, std::uint64_t fabric_mhz)
     {
         hv::System sys(cfg);
         hv::AccelHandle &h = sys.attach(0, 2ULL << 30);
-        bench::setupLinkedList(h, 16ULL << 20, 4096,
-                               ccip::VChannel::kUpi, 42);
+        exp::setupLinkedList(h, ctx.scaledBytes(16ULL << 20),
+                             ctx.scaledCount(4096, 64),
+                             ccip::VChannel::kUpi, 42);
         h.start();
         double ns = 0;
-        auto ops = bench::measureWindow(sys, {&h},
-                                        200 * sim::kTickUs,
-                                        600 * sim::kTickUs, &ns);
+        auto ops = exp::measureWindow(
+            sys, {&h}, ctx.scaled(200 * sim::kTickUs),
+            ctx.scaled(600 * sim::kTickUs), &ns);
         out.llNs = ns / static_cast<double>(ops[0]);
     }
     {
         // Aggregate bandwidth with all eight accelerators active:
         // the derated fabric clock caps the whole interface.
-        hv::PlatformConfig mb_cfg = hv::makeOptimusConfig("MB", 8, p);
+        hv::PlatformConfig mb_cfg =
+            hv::makeOptimusConfig("MB", 8, p);
         mb_cfg.treeArity = arity;
         hv::System sys(mb_cfg);
         std::vector<hv::AccelHandle *> handles;
         for (std::uint32_t j = 0; j < 8; ++j) {
             hv::AccelHandle &h = sys.attach(j, 2ULL << 30);
-            bench::setupMembench(h, 16ULL << 20,
-                                 accel::MembenchAccel::kRead, 9 + j);
+            exp::setupMembench(h, ctx.scaledBytes(16ULL << 20),
+                               accel::MembenchAccel::kRead,
+                               9 + j);
             handles.push_back(&h);
         }
         for (auto *h : handles)
             h->start();
         double ns = 0;
-        auto ops = bench::measureWindow(sys, handles,
-                                        200 * sim::kTickUs,
-                                        600 * sim::kTickUs, &ns);
+        auto ops = exp::measureWindow(
+            sys, handles, ctx.scaled(200 * sim::kTickUs),
+            ctx.scaled(600 * sim::kTickUs), &ns);
         std::uint64_t total = 0;
         for (auto o : ops)
             total += o;
-        out.mbGbps = bench::gbps(total, ns);
+        out.mbGbps = exp::gbps(total, ns);
     }
     return out;
 }
@@ -78,25 +84,30 @@ run(std::uint32_t arity, std::uint64_t fabric_mhz)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Ablation: multiplexer tree vs flat multiplexer",
-                  "Sections 3, 5, 7.2 of the paper");
+    exp::Runner r("ablation_mux_tree");
 
-    std::printf("Synthesis feasibility (max mux clock vs fan-in):\n");
-    std::printf("%-8s %14s %12s\n", "Fan-in", "MaxClock(MHz)",
-                "400MHz OK?");
+    r.table("Synthesis feasibility (max mux clock vs fan-in)",
+            "Sections 3, 5, 7.2 of the paper");
     for (std::uint32_t f : {2u, 4u, 8u}) {
-        double mhz = fpga::ResourceModel::maxMuxFreqMhz(f);
-        std::printf("%-8u %14.0f %12s\n", f, mhz,
-                    mhz >= 400.0 ? "yes" : "NO");
+        r.add(sim::strprintf("fanin_%u", f),
+              [f](const exp::RunContext &) {
+                  double mhz =
+                      fpga::ResourceModel::maxMuxFreqMhz(f);
+                  exp::ResultRow row(
+                      sim::strprintf("fanin_%u", f));
+                  row.count("fanin", f);
+                  row.num("max_clock_mhz", "%.0f", mhz);
+                  row.str("meets_400mhz",
+                          mhz >= 400.0 ? "yes" : "NO");
+                  return row;
+              });
     }
 
-    std::printf("\nMeasured with 8 accelerators (wide arrangements "
-                "derated to their achievable clock):\n");
-    std::printf("%-26s %10s %12s\n", "Arrangement", "LL (ns)",
-                "MB (GB/s)");
-
+    r.table("Measured with 8 accelerators (wide arrangements "
+            "derated to their achievable clock)",
+            "Sections 3, 5, 7.2 of the paper");
     struct Arr
     {
         const char *name;
@@ -105,21 +116,25 @@ main()
     for (const Arr &a : {Arr{"binary tree (3 levels)", 2},
                          Arr{"4-ary tree (2 levels)", 4},
                          Arr{"flat 8-way mux", 8}}) {
-        auto mhz = static_cast<std::uint64_t>(
-            std::min(400.0,
-                     fpga::ResourceModel::maxMuxFreqMhz(a.arity)));
-        Point pt = run(a.arity, mhz);
-        std::printf("%-26s %10.1f %12.2f   (@%llu MHz)\n", a.name,
-                    pt.llNs, pt.mbGbps,
-                    static_cast<unsigned long long>(mhz));
-        std::fflush(stdout);
+        r.add(a.name, [a](const exp::RunContext &ctx) {
+            auto mhz = static_cast<std::uint64_t>(std::min(
+                400.0,
+                fpga::ResourceModel::maxMuxFreqMhz(a.arity)));
+            Point pt = run(a.arity, mhz, ctx);
+            exp::ResultRow row(a.name);
+            row.num("ll_ns", "%.1f", pt.llNs);
+            row.num("mb_gbps", "%.2f", pt.mbGbps);
+            row.count("clock_mhz", mhz);
+            return row;
+        });
     }
-    std::printf("\nThe flat mux wins slightly on latency (fewer "
-                "levels, even derated — why AmorphOS uses one below "
-                "8 accelerators) but cannot run at 400 MHz, so the "
-                "whole interface ingests fewer packets per second "
-                "and aggregate bandwidth falls short of the link "
-                "ceiling — why OPTIMUS defaults to the binary tree "
-                "(Sections 5, 7.2).\n");
-    return 0;
+
+    r.note("The flat mux wins slightly on latency (fewer levels, "
+           "even derated — why AmorphOS uses one below 8 "
+           "accelerators) but cannot run at 400 MHz, so the whole "
+           "interface ingests fewer packets per second and "
+           "aggregate bandwidth falls short of the link ceiling — "
+           "why OPTIMUS defaults to the binary tree (Sections 5, "
+           "7.2).");
+    return r.main(argc, argv);
 }

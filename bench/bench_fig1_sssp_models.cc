@@ -11,12 +11,12 @@
  * (4..64) at a simulation-friendly scale; see EXPERIMENTS.md.
  */
 
-#include <cstdio>
-#include <vector>
-
 #include "accel/sssp_accel.hh"
-#include "bench/harness.hh"
+#include "exp/runner.hh"
 #include "hostcentric/sssp_runner.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
@@ -59,47 +59,54 @@ hostCentricSeconds(const algo::CsrGraph &g,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header(
-        "Fig 1: SSSP processing time, shared-memory vs host-centric",
-        "Fig 1 of the paper (scaled graphs, same edges/vertex "
-        "ratios)");
+    exp::Runner r("fig1_sssp_models");
+    r.table("Fig 1: SSSP processing time, shared-memory vs "
+            "host-centric",
+            "Fig 1 of the paper (scaled graphs, same edges/vertex "
+            "ratios)");
 
-    std::printf("%-8s %10s %12s %12s | %12s %14s %14s\n", "Edges",
-                "Shared(s)", "HC+Config", "HC+Copy", "Shared(V)",
-                "HC+Config(V)", "HC+Copy(V)");
-
-    const std::vector<std::uint64_t> edge_counts = {
-        kVertices * 4, kVertices * 8, kVertices * 16,
-        kVertices * 32, kVertices * 64};
-
-    for (std::uint64_t edges : edge_counts) {
-        auto g = algo::makeRandomGraph(kVertices, edges, 63, 12);
-        double sm_n = sharedMemorySeconds(g, false);
-        double hc_cfg_n =
-            hostCentricSeconds(g, hostcentric::Strategy::kConfig,
-                               false);
-        double hc_cpy_n =
-            hostCentricSeconds(g, hostcentric::Strategy::kCopy,
-                               false);
-        double sm_v = sharedMemorySeconds(g, true);
-        double hc_cfg_v =
-            hostCentricSeconds(g, hostcentric::Strategy::kConfig,
-                               true);
-        double hc_cpy_v =
-            hostCentricSeconds(g, hostcentric::Strategy::kCopy,
-                               true);
-        std::printf("%-8llu %10.4f %12.4f %12.4f | %12.4f %14.4f "
-                    "%14.4f\n",
-                    static_cast<unsigned long long>(edges), sm_n,
-                    hc_cfg_n, hc_cpy_n, sm_v, hc_cfg_v, hc_cpy_v);
-        std::fflush(stdout);
+    for (std::uint64_t mult : {4, 8, 16, 32, 64}) {
+        r.add(sim::strprintf("edges_%llux",
+                             static_cast<unsigned long long>(mult)),
+              [mult](const exp::RunContext &ctx) {
+                  auto vertices = static_cast<std::uint32_t>(
+                      ctx.scaledCount(kVertices, 512));
+                  std::uint64_t edges = vertices * mult;
+                  auto g = algo::makeRandomGraph(vertices, edges,
+                                                 63, 12);
+                  exp::ResultRow row(sim::strprintf(
+                      "edges_%llux",
+                      static_cast<unsigned long long>(mult)));
+                  row.count("edges", edges);
+                  row.num("shared_s", "%.4f",
+                          sharedMemorySeconds(g, false));
+                  row.num("hc_config_s", "%.4f",
+                          hostCentricSeconds(
+                              g, hostcentric::Strategy::kConfig,
+                              false));
+                  row.num("hc_copy_s", "%.4f",
+                          hostCentricSeconds(
+                              g, hostcentric::Strategy::kCopy,
+                              false));
+                  row.num("shared_virt_s", "%.4f",
+                          sharedMemorySeconds(g, true));
+                  row.num("hc_config_virt_s", "%.4f",
+                          hostCentricSeconds(
+                              g, hostcentric::Strategy::kConfig,
+                              true));
+                  row.num("hc_copy_virt_s", "%.4f",
+                          hostCentricSeconds(
+                              g, hostcentric::Strategy::kCopy,
+                              true));
+                  return row;
+              });
     }
 
-    std::printf("\nShared-memory wins everywhere; the gap widens "
-                "with edge count and under virtualization (the "
-                "host-centric model pays trap-and-emulate on every "
-                "DMA-engine configuration).\n");
-    return 0;
+    r.note("Shared-memory wins everywhere; the gap widens with edge "
+           "count and under virtualization (the host-centric model "
+           "pays trap-and-emulate on every DMA-engine "
+           "configuration).");
+    return r.main(argc, argv);
 }

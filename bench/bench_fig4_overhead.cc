@@ -9,30 +9,34 @@
  *      (paper: 90.1% for MemBench, <5%% overhead for real apps).
  */
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "accel/sssp_accel.hh"
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
 
 using namespace optimus;
 
 namespace {
 
 double
-llLatencyNs(bool optimus, ccip::VChannel vc)
+llLatencyNs(bool optimus_mode, ccip::VChannel vc,
+            const exp::RunContext &ctx)
 {
-    hv::PlatformConfig cfg = optimus
-                                 ? hv::makeOptimusConfig("LL", 8)
-                                 : hv::makePassthroughConfig("LL");
+    hv::PlatformConfig cfg =
+        optimus_mode ? hv::makeOptimusConfig("LL", 8)
+                     : hv::makePassthroughConfig("LL");
     hv::System sys(cfg);
     hv::AccelHandle &h = sys.attach(0);
-    bench::setupLinkedList(h, 16ULL << 20, 4096, vc, 42);
+    exp::setupLinkedList(h, ctx.scaledBytes(16ULL << 20),
+                         ctx.scaledCount(4096, 64), vc, 42);
     h.start();
     double ns = 0;
-    auto ops = bench::measureWindow(sys, {&h}, 200 * sim::kTickUs,
-                                    800 * sim::kTickUs, &ns);
+    auto ops = exp::measureWindow(sys, {&h},
+                                  ctx.scaled(200 * sim::kTickUs),
+                                  ctx.scaled(800 * sim::kTickUs),
+                                  &ns);
     return ns / static_cast<double>(ops[0]);
 }
 
@@ -41,27 +45,29 @@ llLatencyNs(bool optimus, ccip::VChannel vc)
  * completion times (units cancel).
  */
 double
-appJobNs(const std::string &app, bool optimus)
+appJobNs(const std::string &app, bool optimus_mode,
+         const exp::RunContext &ctx)
 {
-    hv::PlatformConfig cfg = optimus
-                                 ? hv::makeOptimusConfig(app, 8)
-                                 : hv::makePassthroughConfig(app);
+    hv::PlatformConfig cfg =
+        optimus_mode ? hv::makeOptimusConfig(app, 8)
+                     : hv::makePassthroughConfig(app);
     hv::System sys(cfg);
     hv::AccelHandle &h = sys.attach(0);
 
     if (app == "MB") {
-        bench::setupMembench(h, 64ULL << 20,
-                             accel::MembenchAccel::kRead, 7);
+        exp::setupMembench(h, ctx.scaledBytes(64ULL << 20),
+                           accel::MembenchAccel::kRead, 7);
         h.start();
         double ns = 0;
-        auto ops = bench::measureWindow(sys, {&h},
-                                        300 * sim::kTickUs,
-                                        900 * sim::kTickUs, &ns);
+        auto ops = exp::measureWindow(
+            sys, {&h}, ctx.scaled(300 * sim::kTickUs),
+            ctx.scaled(900 * sim::kTickUs), &ns);
         return ns / static_cast<double>(ops[0]);
     }
 
     std::uint64_t bytes = app == "SSSP" ? 4ULL << 20 : 8ULL << 20;
-    auto wl = hv::workload::Workload::create(app, h, bytes, 5);
+    auto wl = hv::workload::Workload::create(
+        app, h, ctx.scaledBytes(bytes), 5);
     wl->program();
     if (app == "SSSP") {
         // The deeply pipelined configuration (as in Fig 7); the
@@ -77,33 +83,41 @@ appJobNs(const std::string &app, bool optimus)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Fig 4a: LinkedList latency vs pass-through",
-                  "Fig 4a of the paper (124.2% UPI, 111.1% PCIe)");
-    std::printf("%-8s %12s %12s %14s\n", "Channel", "PT (ns)",
-                "OPTIMUS (ns)", "Normalized(%)");
+    exp::Runner r("fig4_overhead");
+
+    r.table("Fig 4a: LinkedList latency vs pass-through",
+            "Fig 4a of the paper (124.2% UPI, 111.1% PCIe)");
     for (auto [name, vc] :
          {std::pair{"UPI", ccip::VChannel::kUpi},
           std::pair{"PCIe", ccip::VChannel::kPcie0}}) {
-        double pt = llLatencyNs(false, vc);
-        double op = llLatencyNs(true, vc);
-        std::printf("%-8s %12.1f %12.1f %14.1f\n", name, pt, op,
-                    100.0 * op / pt);
+        r.add(name, [vc](const exp::RunContext &ctx) {
+            double pt = llLatencyNs(false, vc, ctx);
+            double op = llLatencyNs(true, vc, ctx);
+            exp::ResultRow row(
+                vc == ccip::VChannel::kUpi ? "UPI" : "PCIe");
+            row.num("pt_ns", "%.1f", pt);
+            row.num("optimus_ns", "%.1f", op);
+            row.num("normalized_pct", "%.1f", 100.0 * op / pt);
+            return row;
+        });
     }
 
-    bench::header("Fig 4b: normalized throughput vs pass-through",
-                  "Fig 4b of the paper (MB 90.1%, apps 92.7-100%)");
-    std::printf("%-6s %16s\n", "App", "Normalized(%)");
+    r.table("Fig 4b: normalized throughput vs pass-through",
+            "Fig 4b of the paper (MB 90.1%, apps 92.7-100%)");
     const std::vector<std::string> apps = {
-        "MB",  "MD5", "SHA", "AES", "GRN", "FIR", "SW",
+        "MB",  "MD5", "SHA", "AES", "GRN", "FIR",  "SW",
         "RSD", "GAU", "GRS", "SBL", "SSSP", "BTC"};
-    for (const auto &app : apps) {
-        double pt = appJobNs(app, false);
-        double op = appJobNs(app, true);
-        std::printf("%-6s %16.1f\n", app.c_str(),
-                    100.0 * pt / op);
-        std::fflush(stdout);
+    for (const std::string &app : apps) {
+        r.add(app, [app](const exp::RunContext &ctx) {
+            double pt = appJobNs(app, false, ctx);
+            double op = appJobNs(app, true, ctx);
+            exp::ResultRow row(app);
+            row.num("normalized_pct", "%.1f", 100.0 * pt / op);
+            return row;
+        });
     }
-    return 0;
+
+    return r.main(argc, argv);
 }

@@ -11,10 +11,12 @@
  * exacerbated by more jobs.
  */
 
-#include <cstdio>
+#include <algorithm>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
@@ -22,7 +24,8 @@ namespace {
 
 double
 avgLatencyNs(std::uint64_t total_wset, std::uint32_t jobs,
-             ccip::VChannel vc, std::uint64_t page_bytes)
+             ccip::VChannel vc, std::uint64_t page_bytes,
+             const exp::RunContext &ctx)
 {
     sim::PlatformParams p = sim::PlatformParams::harpDefaults();
     p.pageBytes = page_bytes;
@@ -32,20 +35,21 @@ avgLatencyNs(std::uint64_t total_wset, std::uint32_t jobs,
     std::uint64_t per_job = total_wset / jobs;
     // Enough scattered nodes that the window never revisits within
     // the warmup + measurement horizon.
-    std::uint64_t nodes =
-        std::min<std::uint64_t>(per_job / 64, 6000);
+    std::uint64_t nodes = ctx.scaledCount(
+        std::min<std::uint64_t>(per_job / 64, 6000), 64);
     for (std::uint32_t j = 0; j < jobs; ++j) {
         hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
-        bench::setupLinkedList(h, per_job, nodes, vc, 77 + j);
+        exp::setupLinkedList(h, per_job, nodes, vc, 77 + j);
         handles.push_back(&h);
     }
     for (auto *h : handles)
         h->start();
 
     double ns = 0;
-    auto ops = bench::measureWindow(sys, handles,
-                                    400 * sim::kTickUs,
-                                    1200 * sim::kTickUs, &ns);
+    auto ops = exp::measureWindow(sys, handles,
+                                  ctx.scaled(400 * sim::kTickUs),
+                                  ctx.scaled(1200 * sim::kTickUs),
+                                  &ns);
     std::uint64_t total_ops = 0;
     for (auto o : ops)
         total_ops += o;
@@ -56,47 +60,33 @@ avgLatencyNs(std::uint64_t total_wset, std::uint32_t jobs,
 }
 
 void
-sweep(const char *title, ccip::VChannel vc, std::uint64_t page_bytes,
-      const std::vector<std::uint64_t> &wsets)
+declareSweep(exp::Runner &r, const char *title, ccip::VChannel vc,
+             std::uint64_t page_bytes,
+             const std::vector<std::uint64_t> &wsets)
 {
-    std::printf("\n%s\n", title);
-    std::printf("%-10s", "WSet");
-    for (std::uint32_t jobs : {1, 2, 4, 8})
-        std::printf("  %4u job%s", jobs, jobs > 1 ? "s" : " ");
-    std::printf("   (avg latency, ns)\n");
+    r.table(title, "Fig 5a/5b of the paper");
     for (std::uint64_t w : wsets) {
-        if (w >= 1ULL << 30) {
-            std::printf("%-10s", sim::strprintf(
-                                     "%lluG", static_cast<unsigned long long>(
-                                                  w >> 30))
-                                     .c_str());
-        } else if (w >= 1ULL << 20) {
-            std::printf("%-10s", sim::strprintf(
-                                     "%lluM", static_cast<unsigned long long>(
-                                                  w >> 20))
-                                     .c_str());
-        } else {
-            std::printf("%-10s", sim::strprintf(
-                                     "%lluK", static_cast<unsigned long long>(
-                                                  w >> 10))
-                                     .c_str());
-        }
-        for (std::uint32_t jobs : {1, 2, 4, 8}) {
-            std::printf("  %8.0f",
-                        avgLatencyNs(w, jobs, vc, page_bytes));
-            std::fflush(stdout);
-        }
-        std::printf("\n");
+        r.add(exp::sizeLabel(w),
+              [w, vc, page_bytes](const exp::RunContext &ctx) {
+                  exp::ResultRow row(exp::sizeLabel(w));
+                  for (std::uint32_t jobs : {1, 2, 4, 8}) {
+                      row.num(sim::strprintf("lat_ns_%uj", jobs),
+                              "%.0f",
+                              avgLatencyNs(w, jobs, vc,
+                                           page_bytes, ctx));
+                  }
+                  return row;
+              });
     }
+    r.note("(avg latency, ns; columns are concurrent job counts)");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Fig 5: LinkedList latency vs working set and jobs",
-                  "Fig 5a/5b of the paper");
+    exp::Runner r("fig5_latency");
 
     const std::vector<std::uint64_t> big = {
         16ULL << 20,  32ULL << 20,  64ULL << 20, 128ULL << 20,
@@ -107,13 +97,13 @@ main()
         512ULL << 10, 1ULL << 20,  2ULL << 20,   4ULL << 20,
         8ULL << 20,   16ULL << 20};
 
-    sweep("Fig 5a (2M pages), UPI channel", ccip::VChannel::kUpi,
-          mem::kPage2M, big);
-    sweep("Fig 5a (2M pages), PCIe channel", ccip::VChannel::kPcie0,
-          mem::kPage2M, big);
-    sweep("Fig 5b (4K pages), UPI channel", ccip::VChannel::kUpi,
-          mem::kPage4K, small);
-    sweep("Fig 5b (4K pages), PCIe channel", ccip::VChannel::kPcie0,
-          mem::kPage4K, small);
-    return 0;
+    declareSweep(r, "Fig 5a (2M pages), UPI channel",
+                 ccip::VChannel::kUpi, mem::kPage2M, big);
+    declareSweep(r, "Fig 5a (2M pages), PCIe channel",
+                 ccip::VChannel::kPcie0, mem::kPage2M, big);
+    declareSweep(r, "Fig 5b (4K pages), UPI channel",
+                 ccip::VChannel::kUpi, mem::kPage4K, small);
+    declareSweep(r, "Fig 5b (4K pages), PCIe channel",
+                 ccip::VChannel::kPcie0, mem::kPage4K, small);
+    return r.main(argc, argv);
 }

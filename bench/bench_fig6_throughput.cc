@@ -9,10 +9,11 @@
  * translations miss; writes sustain less than reads.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
@@ -20,7 +21,8 @@ namespace {
 
 double
 aggregateGbps(std::uint64_t total_wset, std::uint32_t jobs,
-              std::uint64_t mode, std::uint64_t page_bytes)
+              std::uint64_t mode, std::uint64_t page_bytes,
+              const exp::RunContext &ctx)
 {
     sim::PlatformParams p = sim::PlatformParams::harpDefaults();
     p.pageBytes = page_bytes;
@@ -33,60 +35,51 @@ aggregateGbps(std::uint64_t total_wset, std::uint32_t jobs,
     std::uint64_t per_job = total_wset / jobs;
     for (std::uint32_t j = 0; j < jobs; ++j) {
         hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
-        bench::setupMembench(h, per_job, mode, 31 + j);
+        exp::setupMembench(h, per_job, mode, 31 + j);
         handles.push_back(&h);
     }
     for (auto *h : handles)
         h->start();
 
     double ns = 0;
-    auto ops = bench::measureWindow(sys, handles,
-                                    150 * sim::kTickUs,
-                                    400 * sim::kTickUs, &ns);
+    auto ops = exp::measureWindow(sys, handles,
+                                  ctx.scaled(150 * sim::kTickUs),
+                                  ctx.scaled(400 * sim::kTickUs),
+                                  &ns);
     std::uint64_t total = 0;
     for (auto o : ops)
         total += o;
-    return bench::gbps(total, ns);
+    return exp::gbps(total, ns);
 }
 
 void
-sweep(const char *title, std::uint64_t mode,
-      std::uint64_t page_bytes,
-      const std::vector<std::uint64_t> &wsets)
+declareSweep(exp::Runner &r, const char *title, std::uint64_t mode,
+             std::uint64_t page_bytes,
+             const std::vector<std::uint64_t> &wsets)
 {
-    std::printf("\n%s\n", title);
-    std::printf("%-10s", "WSet");
-    for (std::uint32_t jobs : {1, 2, 4, 8})
-        std::printf("  %4u job%s", jobs, jobs > 1 ? "s" : " ");
-    std::printf("   (aggregate GB/s)\n");
+    r.table(title, "Fig 6a/6b of the paper");
     for (std::uint64_t w : wsets) {
-        if (w >= 1ULL << 30) {
-            std::printf("%-10llu", static_cast<unsigned long long>(
-                                       w >> 30));
-        } else if (w >= 1ULL << 20) {
-            std::printf("%-9lluM", static_cast<unsigned long long>(
-                                       w >> 20));
-        } else {
-            std::printf("%-9lluK", static_cast<unsigned long long>(
-                                       w >> 10));
-        }
-        for (std::uint32_t jobs : {1, 2, 4, 8}) {
-            std::printf("  %8.2f",
-                        aggregateGbps(w, jobs, mode, page_bytes));
-            std::fflush(stdout);
-        }
-        std::printf("\n");
+        r.add(exp::sizeLabel(w),
+              [w, mode, page_bytes](const exp::RunContext &ctx) {
+                  exp::ResultRow row(exp::sizeLabel(w));
+                  for (std::uint32_t jobs : {1, 2, 4, 8}) {
+                      row.num(sim::strprintf("gbps_%uj", jobs),
+                              "%.2f",
+                              aggregateGbps(w, jobs, mode,
+                                            page_bytes, ctx));
+                  }
+                  return row;
+              });
     }
+    r.note("(aggregate GB/s; columns are concurrent job counts)");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header(
-        "Fig 6: MemBench aggregate throughput vs working set",
-        "Fig 6a/6b of the paper");
+    exp::Runner r("fig6_throughput");
 
     const std::vector<std::uint64_t> big = {
         16ULL << 20,  32ULL << 20,  64ULL << 20, 128ULL << 20,
@@ -97,13 +90,13 @@ main()
         512ULL << 10, 1ULL << 20,  2ULL << 20,   4ULL << 20,
         8ULL << 20,   16ULL << 20};
 
-    sweep("Fig 6a (2M pages), random read",
-          accel::MembenchAccel::kRead, mem::kPage2M, big);
-    sweep("Fig 6a (2M pages), random write",
-          accel::MembenchAccel::kWrite, mem::kPage2M, big);
-    sweep("Fig 6b (4K pages), random read",
-          accel::MembenchAccel::kRead, mem::kPage4K, small);
-    sweep("Fig 6b (4K pages), random write",
-          accel::MembenchAccel::kWrite, mem::kPage4K, small);
-    return 0;
+    declareSweep(r, "Fig 6a (2M pages), random read",
+                 accel::MembenchAccel::kRead, mem::kPage2M, big);
+    declareSweep(r, "Fig 6a (2M pages), random write",
+                 accel::MembenchAccel::kWrite, mem::kPage2M, big);
+    declareSweep(r, "Fig 6b (4K pages), random read",
+                 accel::MembenchAccel::kRead, mem::kPage4K, small);
+    declareSweep(r, "Fig 6b (4K pages), random write",
+                 accel::MembenchAccel::kWrite, mem::kPage4K, small);
+    return r.main(argc, argv);
 }

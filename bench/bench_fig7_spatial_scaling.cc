@@ -11,20 +11,23 @@
  * aggregate improvement band the abstract quotes as 1.98x-7x.
  */
 
-#include <cstdio>
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "accel/sssp_accel.hh"
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
 namespace {
 
 double
-aggregateRate(const std::string &app, std::uint32_t jobs)
+aggregateRate(const std::string &app, std::uint32_t jobs,
+              const exp::RunContext &ctx)
 {
     hv::System sys(hv::makeOptimusConfig(app, 8));
     std::vector<hv::AccelHandle *> handles;
@@ -37,6 +40,7 @@ aggregateRate(const std::string &app, std::uint32_t jobs)
     const bool job_counted = app == "SW" || app == "BTC";
     if (job_counted)
         bytes = 64 * 1024;
+    bytes = ctx.scaledBytes(bytes, 64 * 1024);
 
     std::vector<std::uint64_t> completions(jobs, 0);
     for (std::uint32_t j = 0; j < jobs; ++j) {
@@ -73,10 +77,11 @@ aggregateRate(const std::string &app, std::uint32_t jobs)
 
     double ns = 0;
     if (job_counted) {
-        sys.eq.runUntil(sys.eq.now() + 250 * sim::kTickUs);
+        sys.eq.runUntil(sys.eq.now() +
+                        ctx.scaled(250 * sim::kTickUs));
         std::vector<std::uint64_t> before = completions;
         sim::Tick t0 = sys.eq.now();
-        sys.eq.runUntil(t0 + 1500 * sim::kTickUs);
+        sys.eq.runUntil(t0 + ctx.scaled(1500 * sim::kTickUs));
         ns = static_cast<double>(sys.eq.now() - t0);
         std::uint64_t done = 0;
         for (std::uint32_t j = 0; j < jobs; ++j)
@@ -84,9 +89,10 @@ aggregateRate(const std::string &app, std::uint32_t jobs)
         return static_cast<double>(done) / ns;
     }
 
-    auto ops = bench::measureWindow(sys, handles,
-                                    250 * sim::kTickUs,
-                                    700 * sim::kTickUs, &ns);
+    auto ops = exp::measureWindow(sys, handles,
+                                  ctx.scaled(250 * sim::kTickUs),
+                                  ctx.scaled(700 * sim::kTickUs),
+                                  &ns);
     std::uint64_t total = 0;
     for (auto o : ops)
         total += o;
@@ -96,37 +102,43 @@ aggregateRate(const std::string &app, std::uint32_t jobs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header(
-        "Fig 7: real-application aggregate throughput scaling",
-        "Fig 7 of the paper (normalized to 1 job; headline "
-        "1.98x-7x at 8 jobs)");
+    exp::Runner r("fig7_spatial_scaling");
+    r.table("Fig 7: real-application aggregate throughput scaling",
+            "Fig 7 of the paper (normalized to 1 job; headline "
+            "1.98x-7x at 8 jobs)");
 
     const std::vector<std::string> apps = {
         "MD5", "SHA", "AES", "GRN", "FIR", "SW",
         "RSD", "GAU", "GRS", "SBL", "SSSP", "BTC"};
 
-    std::printf("%-6s %8s %8s %8s %8s\n", "App", "1 job", "2 jobs",
-                "4 jobs", "8 jobs");
-    double min8 = 1e30;
-    double max8 = 0;
-    for (const auto &app : apps) {
-        double base = aggregateRate(app, 1);
-        std::printf("%-6s %8.2f", app.c_str(), 1.0);
-        std::fflush(stdout);
-        double last = 1.0;
-        for (std::uint32_t jobs : {2u, 4u, 8u}) {
-            last = aggregateRate(app, jobs) / base;
-            std::printf(" %8.2f", last);
-            std::fflush(stdout);
-        }
-        std::printf("\n");
-        min8 = std::min(min8, last);
-        max8 = std::max(max8, last);
+    for (const std::string &app : apps) {
+        r.add(app, [app](const exp::RunContext &ctx) {
+            double base = aggregateRate(app, 1, ctx);
+            exp::ResultRow row(app);
+            row.num("x1j", "%.2f", 1.0);
+            for (std::uint32_t jobs : {2u, 4u, 8u}) {
+                row.num(sim::strprintf("x%uj", jobs), "%.2f",
+                        aggregateRate(app, jobs, ctx) / base);
+            }
+            return row;
+        });
     }
-    std::printf("\nAggregate throughput improvement at 8 jobs: "
-                "%.2fx - %.2fx (paper: 1.98x - 7x)\n",
-                min8, max8);
-    return 0;
+
+    r.footer([](const std::vector<exp::ResultRow> &rows) {
+        double min8 = 1e30;
+        double max8 = 0;
+        for (const auto &row : rows)
+            for (const auto &m : row.metrics)
+                if (m.key == "x8j") {
+                    min8 = std::min(min8, m.value);
+                    max8 = std::max(max8, m.value);
+                }
+        return std::vector<std::string>{sim::strprintf(
+            "Aggregate throughput improvement at 8 jobs: "
+            "%.2fx - %.2fx (paper: 1.98x - 7x)",
+            min8, max8)};
+    });
+    return r.main(argc, argv);
 }

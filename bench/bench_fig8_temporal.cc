@@ -15,18 +15,19 @@
  * see EXPERIMENTS.md.
  */
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "accel/streaming_accelerator.hh"
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
 namespace {
 
-struct Scenario
+struct Case
 {
     const char *name;
     const char *app;
@@ -35,7 +36,8 @@ struct Scenario
 };
 
 double
-aggregateRate(const Scenario &sc, std::uint32_t jobs)
+aggregateRate(const Case &sc, std::uint32_t jobs,
+              const exp::RunContext &ctx)
 {
     sim::PlatformParams p = sim::PlatformParams::harpDefaults();
     hv::System sys(hv::makeOptimusConfig(sc.app, 1, p));
@@ -47,14 +49,14 @@ aggregateRate(const Scenario &sc, std::uint32_t jobs)
     std::vector<hv::AccelHandle *> handles;
     for (std::uint32_t j = 0; j < jobs; ++j) {
         hv::AccelHandle &h = sys.attach(0, 2ULL << 30);
-        (void)p;
         if (std::string(sc.app) == "MB") {
-            bench::setupMembench(h, 16ULL << 20,
-                                 accel::MembenchAccel::kRead,
-                                 11 + j, /*gap=*/32);
+            exp::setupMembench(h, ctx.scaledBytes(16ULL << 20),
+                               accel::MembenchAccel::kRead, 11 + j,
+                               /*gap=*/32);
         } else if (std::string(sc.app) == "LL") {
-            bench::setupLinkedList(h, 16ULL << 20, 4096,
-                                   ccip::VChannel::kUpi, 21 + j);
+            exp::setupLinkedList(h, ctx.scaledBytes(16ULL << 20),
+                                 ctx.scaledCount(4096, 64),
+                                 ccip::VChannel::kUpi, 21 + j);
         } else {
             // MD5 worst case: a hash stream far longer than the
             // measurement horizon. The region is registered but
@@ -72,10 +74,12 @@ aggregateRate(const Scenario &sc, std::uint32_t jobs)
         h->start();
 
     // Measure across several full scheduler rotations.
-    sim::Tick window = (jobs * 2 + 1) * p.timeSlice;
+    sim::Tick window =
+        ctx.scaled((jobs * 2 + 1) * p.timeSlice);
     double ns = 0;
-    auto ops = bench::measureWindow(sys, handles, p.timeSlice / 2,
-                                    window, &ns);
+    auto ops = exp::measureWindow(sys, handles,
+                                  ctx.scaled(p.timeSlice / 2),
+                                  window, &ns);
     std::uint64_t total = 0;
     for (auto o : ops)
         total += o;
@@ -85,33 +89,34 @@ aggregateRate(const Scenario &sc, std::uint32_t jobs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header(
-        "Fig 8: temporal multiplexing aggregate throughput",
-        "Fig 8 of the paper (normalized to 1 job; 10 ms slices)");
+    exp::Runner r("fig8_temporal");
+    r.table("Fig 8: temporal multiplexing aggregate throughput",
+            "Fig 8 of the paper (normalized to 1 job; 10 ms "
+            "slices)");
 
-    const Scenario scenarios[] = {
+    const std::vector<Case> cases = {
         {"LinkedList", "LL", 0},
         {"MemBench", "MB", 0},
         {"MD5 worst case", "MD5", 1536ULL << 10},
     };
 
-    std::printf("%-16s %7s %7s %7s %7s %7s\n", "Benchmark", "1",
-                "2", "4", "8", "16");
-    for (const auto &sc : scenarios) {
-        double base = aggregateRate(sc, 1);
-        std::printf("%-16s %7.3f", sc.name, 1.0);
-        std::fflush(stdout);
-        for (std::uint32_t jobs : {2u, 4u, 8u, 16u}) {
-            std::printf(" %7.3f", aggregateRate(sc, jobs) / base);
-            std::fflush(stdout);
-        }
-        std::printf("\n");
+    for (const Case &sc : cases) {
+        r.add(sc.name, [sc](const exp::RunContext &ctx) {
+            double base = aggregateRate(sc, 1, ctx);
+            exp::ResultRow row(sc.name);
+            row.num("x1j", "%.3f", 1.0);
+            for (std::uint32_t jobs : {2u, 4u, 8u, 16u}) {
+                row.num(sim::strprintf("x%uj", jobs), "%.3f",
+                        aggregateRate(sc, jobs, ctx) / base);
+            }
+            return row;
+        });
     }
-    std::printf("\nThe drop from 1 to 2 jobs is the context-switch "
-                "cost; it stays flat as jobs grow because switches "
-                "happen at a fixed interval regardless of the "
-                "multiplexing factor.\n");
-    return 0;
+
+    r.note("The drop from 1 to 2 jobs is the context-switch cost; "
+           "it stays flat as jobs grow because switches happen at a "
+           "fixed interval regardless of the multiplexing factor.");
+    return r.main(argc, argv);
 }

@@ -1,88 +1,123 @@
 /**
  * @file
- * Micro-benchmarks (google-benchmark) for the hot simulation
- * primitives and software kernels: event-queue throughput, IOTLB
- * lookups, GF(256) arithmetic / Reed-Solomon decode, AES, SHA-256,
- * and Smith-Waterman. Useful when optimizing the simulator itself.
+ * Micro-benchmarks for the hot simulation primitives and software
+ * kernels: event-queue throughput, IOTLB lookups, GF(256)
+ * arithmetic / Reed-Solomon decode, AES, SHA-256, and
+ * Smith-Waterman. Useful when optimizing the simulator itself.
+ *
+ * Each scenario runs a fixed iteration count and reports a
+ * deterministic checksum of the computed results (fingerprinted,
+ * thread-count independent) alongside volatile wall-clock rate
+ * columns.
  */
 
-#include <benchmark/benchmark.h>
-
 #include <cstring>
-#include <vector>
+#include <string>
+#include <string_view>
 
 #include "accel/algo/aes128.hh"
 #include "accel/algo/reed_solomon.hh"
 #include "accel/algo/sha.hh"
 #include "accel/algo/smith_waterman.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
 #include "iommu/iotlb.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 
 using namespace optimus;
 
 namespace {
 
-void
-BM_EventQueueScheduleRun(benchmark::State &state)
+/** Package one kernel's measurement: checksum cell (deterministic)
+ *  plus wall-clock rate cells (volatile). */
+exp::ResultRow
+microRow(const std::string &name, std::uint64_t items,
+         std::uint64_t checksum, double wall_ms)
 {
-    for (auto _ : state) {
-        sim::EventQueue eq;
-        int sink = 0;
-        for (int i = 0; i < 1024; ++i)
-            eq.scheduleIn(static_cast<sim::Tick>(i), [&]() { ++sink; });
-        eq.runAll();
-        benchmark::DoNotOptimize(sink);
-    }
-    state.SetItemsProcessed(state.iterations() * 1024);
+    exp::ResultRow row(name);
+    row.count("items", items);
+    row.str("checksum",
+            sim::strprintf("%016llx",
+                           static_cast<unsigned long long>(
+                               checksum)));
+    row.wall("wall_ms", "%.2f", wall_ms);
+    row.wall("ns_per_item", "%.1f",
+             items > 0 ? wall_ms * 1e6 /
+                             static_cast<double>(items)
+                       : 0);
+    return row;
 }
-BENCHMARK(BM_EventQueueScheduleRun);
 
-void
-BM_IotlbLookupHit(benchmark::State &state)
+exp::ResultRow
+eventQueueScheduleRun(const exp::RunContext &ctx)
+{
+    const std::uint64_t iters = ctx.scaledCount(500, 2);
+    std::uint64_t sink = 0;
+    exp::WallTimer t;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        sim::EventQueue eq;
+        for (int e = 0; e < 1024; ++e)
+            eq.scheduleIn(static_cast<sim::Tick>(e),
+                          [&]() { ++sink; });
+        eq.runAll();
+    }
+    return microRow("event_queue_schedule_run", iters * 1024, sink,
+                    t.ms());
+}
+
+exp::ResultRow
+iotlbLookupHit(const exp::RunContext &ctx)
 {
     iommu::Iotlb tlb(512, mem::kPage2M);
     for (std::uint64_t i = 0; i < 512; ++i)
         tlb.insert(mem::Iova(i << 21), mem::Hpa(i << 21));
     sim::Rng rng(1);
-    for (auto _ : state) {
+    const std::uint64_t iters = ctx.scaledCount(1000000, 1000);
+    std::uint64_t sum = 0;
+    exp::WallTimer t;
+    for (std::uint64_t i = 0; i < iters; ++i) {
         auto hit = tlb.lookup(
             mem::Iova((rng.below(512) << 21) | 0x40));
-        benchmark::DoNotOptimize(hit);
+        sum += hit ? hit->value() : 0;
     }
-    state.SetItemsProcessed(state.iterations());
+    return microRow("iotlb_lookup_hit", iters, sum, t.ms());
 }
-BENCHMARK(BM_IotlbLookupHit);
 
-void
-BM_Aes128EncryptBlock(benchmark::State &state)
+exp::ResultRow
+aes128EncryptBlock(const exp::RunContext &ctx)
 {
     algo::Aes128::Key key{};
     algo::Aes128 aes(key);
     std::uint8_t block[16] = {};
-    for (auto _ : state) {
+    const std::uint64_t iters = ctx.scaledCount(200000, 1000);
+    exp::WallTimer t;
+    for (std::uint64_t i = 0; i < iters; ++i)
         aes.encryptBlock(block);
-        benchmark::DoNotOptimize(block);
-    }
-    state.SetBytesProcessed(state.iterations() * 16);
+    std::uint64_t sum = 0;
+    for (std::uint8_t b : block)
+        sum = (sum << 8) | b;
+    return microRow("aes128_encrypt_block", iters, sum, t.ms());
 }
-BENCHMARK(BM_Aes128EncryptBlock);
 
-void
-BM_Sha256DoubleHash80B(benchmark::State &state)
+exp::ResultRow
+sha256DoubleHash80B(const exp::RunContext &ctx)
 {
     std::uint8_t header[80] = {};
-    for (auto _ : state) {
+    const std::uint64_t iters = ctx.scaledCount(20000, 100);
+    std::uint64_t sum = 0;
+    exp::WallTimer t;
+    for (std::uint64_t i = 0; i < iters; ++i) {
         auto d = algo::Sha256::doubleHash(header, sizeof(header));
-        benchmark::DoNotOptimize(d);
+        sum += d[0];
         ++header[0];
     }
-    state.SetItemsProcessed(state.iterations());
+    return microRow("sha256_double_hash_80b", iters, sum, t.ms());
 }
-BENCHMARK(BM_Sha256DoubleHash80B);
 
-void
-BM_ReedSolomonDecode(benchmark::State &state)
+exp::ResultRow
+reedSolomonDecode(std::size_t nerr, const exp::RunContext &ctx)
 {
     algo::ReedSolomon rs;
     sim::Rng rng(2);
@@ -92,24 +127,25 @@ BM_ReedSolomonDecode(benchmark::State &state)
     std::uint8_t clean[algo::ReedSolomon::kN];
     rs.encode(msg, clean);
 
-    const auto nerr = static_cast<std::size_t>(state.range(0));
-    for (auto _ : state) {
+    const std::uint64_t iters = ctx.scaledCount(2000, 10);
+    std::uint64_t sum = 0;
+    exp::WallTimer t;
+    for (std::uint64_t i = 0; i < iters; ++i) {
         std::uint8_t cw[algo::ReedSolomon::kN];
         std::memcpy(cw, clean, sizeof(cw));
         for (std::size_t e = 0; e < nerr; ++e)
             cw[(e * 17) % algo::ReedSolomon::kN] ^= 0x5a;
-        int rc = rs.decode(cw);
-        benchmark::DoNotOptimize(rc);
+        sum += static_cast<std::uint64_t>(rs.decode(cw)) + 1;
     }
-    state.SetItemsProcessed(state.iterations());
+    return microRow(
+        sim::strprintf("reed_solomon_decode_%zuerr", nerr), iters,
+        sum, t.ms());
 }
-BENCHMARK(BM_ReedSolomonDecode)->Arg(0)->Arg(4)->Arg(16);
 
-void
-BM_SmithWaterman(benchmark::State &state)
+exp::ResultRow
+smithWaterman(std::size_t n, const exp::RunContext &ctx)
 {
     sim::Rng rng(3);
-    const auto n = static_cast<std::size_t>(state.range(0));
     std::string a(n, 'A');
     std::string b(n, 'A');
     static const char alpha[] = "ACGT";
@@ -117,14 +153,46 @@ BM_SmithWaterman(benchmark::State &state)
         c = alpha[rng.below(4)];
     for (auto &c : b)
         c = alpha[rng.below(4)];
-    for (auto _ : state) {
-        auto s = algo::smithWatermanScore(a, b);
-        benchmark::DoNotOptimize(s);
-    }
-    state.SetItemsProcessed(state.iterations() * n * n);
+    const std::uint64_t iters =
+        ctx.scaledCount(n >= 1024 ? 10 : 100, 1);
+    std::uint64_t sum = 0;
+    exp::WallTimer t;
+    for (std::uint64_t i = 0; i < iters; ++i)
+        sum += static_cast<std::uint64_t>(
+            algo::smithWatermanScore(a, b));
+    return microRow(sim::strprintf("smith_waterman_%zu", n),
+                    iters * n * n, sum, t.ms());
 }
-BENCHMARK(BM_SmithWaterman)->Arg(256)->Arg(1024);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    exp::Runner r("micro");
+    r.table("Micro-benchmarks: simulation primitives and software "
+            "kernels",
+            "simulator internals; no paper figure");
+
+    r.add("event_queue_schedule_run", eventQueueScheduleRun);
+    r.add("iotlb_lookup_hit", iotlbLookupHit);
+    r.add("aes128_encrypt_block", aes128EncryptBlock);
+    r.add("sha256_double_hash_80b", sha256DoubleHash80B);
+    for (std::size_t nerr : {std::size_t{0}, std::size_t{4},
+                             std::size_t{16}}) {
+        r.add(sim::strprintf("reed_solomon_decode_%zuerr", nerr),
+              [nerr](const exp::RunContext &ctx) {
+                  return reedSolomonDecode(nerr, ctx);
+              });
+    }
+    for (std::size_t n : {std::size_t{256}, std::size_t{1024}}) {
+        r.add(sim::strprintf("smith_waterman_%zu", n),
+              [n](const exp::RunContext &ctx) {
+                  return smithWaterman(n, ctx);
+              });
+    }
+
+    r.note("(checksum columns are deterministic; wall columns are "
+           "host-dependent)");
+    return r.main(argc, argv);
+}

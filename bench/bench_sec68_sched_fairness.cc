@@ -11,35 +11,40 @@
  * of expectation on average, max 1.42%.
  */
 
-#include <cstdio>
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
 namespace {
 
-struct Result
+struct Errs
 {
     double avg_err = 0;
     double max_err = 0;
 };
 
-Result
+Errs
 runPolicy(hv::SchedPolicy policy, std::uint32_t jobs,
           sim::Tick slice, const std::vector<double> &weights,
-          const std::vector<std::int32_t> &priorities)
+          const std::vector<std::int32_t> &priorities,
+          const exp::RunContext &ctx)
 {
+    slice = ctx.scaled(slice);
     sim::PlatformParams p = sim::PlatformParams::harpDefaults();
     hv::System sys(hv::makeOptimusConfig("MB", 1, p));
 
     std::vector<hv::AccelHandle *> handles;
     for (std::uint32_t j = 0; j < jobs; ++j) {
         hv::AccelHandle &h = sys.attach(0, 1ULL << 30);
-        bench::setupMembench(h, 1ULL << 20,
-                             accel::MembenchAccel::kRead, 90 + j,
-                             /*gap=*/64);
+        exp::setupMembench(h, 1ULL << 20,
+                           accel::MembenchAccel::kRead, 90 + j,
+                           /*gap=*/64);
         h.setupStateBuffer();
         handles.push_back(&h);
     }
@@ -47,7 +52,8 @@ runPolicy(hv::SchedPolicy policy, std::uint32_t jobs,
         if (!weights.empty())
             sys.hv.setWeight(handles[j]->vaccel(), weights[j]);
         if (!priorities.empty())
-            sys.hv.setPriority(handles[j]->vaccel(), priorities[j]);
+            sys.hv.setPriority(handles[j]->vaccel(),
+                               priorities[j]);
     }
     sys.hv.setPolicy(0, policy, slice);
     for (auto *h : handles)
@@ -91,11 +97,11 @@ runPolicy(hv::SchedPolicy policy, std::uint32_t jobs,
         expect[best_idx] = 1.0;
     }
 
-    Result r;
+    Errs r;
     for (std::uint32_t j = 0; j < jobs; ++j) {
         double share =
-            static_cast<double>(sys.hv.occupancy(handles[j]->vaccel()) -
-                                occ0[j]) /
+            static_cast<double>(
+                sys.hv.occupancy(handles[j]->vaccel()) - occ0[j]) /
             window;
         double err = std::abs(share - expect[j]);
         r.avg_err += err / jobs;
@@ -104,55 +110,73 @@ runPolicy(hv::SchedPolicy policy, std::uint32_t jobs,
     return r;
 }
 
+void
+declareCase(exp::Runner &r, const char *name, hv::SchedPolicy policy,
+            std::uint32_t jobs, sim::Tick slice, const char *cfg,
+            std::vector<double> weights,
+            std::vector<std::int32_t> priorities)
+{
+    std::string label = sim::strprintf(
+        "%s_%uj_%.0fms", name, jobs,
+        static_cast<double>(slice) /
+            static_cast<double>(sim::kTickMs));
+    r.add(label, [=](const exp::RunContext &ctx) {
+        Errs e = runPolicy(policy, jobs, slice, weights,
+                           priorities, ctx);
+        exp::ResultRow row(label);
+        row.str("policy", name);
+        row.count("jobs", jobs);
+        row.num("slice_ms", "%.1f",
+                static_cast<double>(slice) /
+                    static_cast<double>(sim::kTickMs));
+        row.str("config", cfg);
+        row.num("avg_err_pct", "%.3f", 100 * e.avg_err);
+        row.num("max_err_pct", "%.3f", 100 * e.max_err);
+        return row;
+    });
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Section 6.8: scheduler policy enforcement",
-                  "Sec 6.8 of the paper (avg error 0.32%, max "
-                  "1.42%)");
-
-    std::printf("%-12s %6s %10s %26s %10s %10s\n", "Policy", "Jobs",
-                "Slice(ms)", "Weights/Priorities", "AvgErr(%)",
-                "MaxErr(%)");
-
-    double global_avg = 0;
-    double global_max = 0;
-    int cases = 0;
-    auto report = [&](const char *name, std::uint32_t jobs,
-                      sim::Tick slice, const char *cfg, Result r) {
-        std::printf("%-12s %6u %10.1f %26s %10.3f %10.3f\n", name,
-                    jobs,
-                    static_cast<double>(slice) /
-                        static_cast<double>(sim::kTickMs),
-                    cfg, 100 * r.avg_err, 100 * r.max_err);
-        std::fflush(stdout);
-        global_avg += r.avg_err;
-        global_max = std::max(global_max, r.max_err);
-        ++cases;
-    };
+    exp::Runner r("sec68_sched_fairness");
+    r.table("Section 6.8: scheduler policy enforcement",
+            "Sec 6.8 of the paper (avg error 0.32%, max 1.42%)");
 
     for (std::uint32_t jobs : {2u, 4u, 8u}) {
         for (sim::Tick slice :
              {2 * sim::kTickMs, 5 * sim::kTickMs}) {
-            report("round-robin", jobs, slice, "equal",
-                   runPolicy(hv::SchedPolicy::kRoundRobin, jobs,
-                             slice, {}, {}));
+            declareCase(r, "round-robin",
+                        hv::SchedPolicy::kRoundRobin, jobs, slice,
+                        "equal", {}, {});
         }
     }
-    report("weighted", 2, 4 * sim::kTickMs, "1:3",
-           runPolicy(hv::SchedPolicy::kWeighted, 2, 4 * sim::kTickMs,
-                     {1, 3}, {}));
-    report("weighted", 4, 3 * sim::kTickMs, "1:2:3:4",
-           runPolicy(hv::SchedPolicy::kWeighted, 4, 3 * sim::kTickMs,
-                     {1, 2, 3, 4}, {}));
-    report("priority", 4, 3 * sim::kTickMs, "2,9,5,1",
-           runPolicy(hv::SchedPolicy::kPriority, 4,
-                     3 * sim::kTickMs, {}, {2, 9, 5, 1}));
+    declareCase(r, "weighted", hv::SchedPolicy::kWeighted, 2,
+                4 * sim::kTickMs, "1:3", {1, 3}, {});
+    declareCase(r, "weighted", hv::SchedPolicy::kWeighted, 4,
+                3 * sim::kTickMs, "1:2:3:4", {1, 2, 3, 4}, {});
+    declareCase(r, "priority", hv::SchedPolicy::kPriority, 4,
+                3 * sim::kTickMs, "2,9,5,1", {}, {2, 9, 5, 1});
 
-    std::printf("\nOverall: avg error %.3f%%, max %.3f%% (paper: "
-                "0.32%% avg, 1.42%% max)\n",
-                100 * global_avg / cases, 100 * global_max);
-    return 0;
+    r.footer([](const std::vector<exp::ResultRow> &rows) {
+        double avg = 0;
+        double mx = 0;
+        int n = 0;
+        for (const auto &row : rows)
+            for (const auto &m : row.metrics) {
+                if (m.key == "avg_err_pct") {
+                    avg += m.value;
+                    ++n;
+                } else if (m.key == "max_err_pct") {
+                    mx = std::max(mx, m.value);
+                }
+            }
+        return std::vector<std::string>{sim::strprintf(
+            "Overall: avg error %.3f%%, max %.3f%% (paper: 0.32%% "
+            "avg, 1.42%% max)",
+            n ? avg / n : 0.0, mx)};
+    });
+    return r.main(argc, argv);
 }

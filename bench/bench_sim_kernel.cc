@@ -6,77 +6,25 @@
  * multi-tenant MemBench scenarios that dominate the paper-table
  * regeneration time.
  *
- * Emits BENCH_sim_kernel.json (or argv[1]) so the perf trajectory of
- * the kernel is tracked across PRs. Each scenario also prints a
- * determinism fingerprint (a hash of simulated results: per-tenant
- * progress counts and the final simulated time); kernel optimizations
- * must leave every fingerprint bit-identical.
+ * Each scenario carries a determinism fingerprint (per-tenant
+ * progress counts folded with the final simulated time, FNV-1a —
+ * the scheme exp::Fingerprint generalizes); kernel optimizations
+ * must leave every fingerprint bit-identical to the values recorded
+ * in BENCH_sim_kernel.json. Wall-clock columns are volatile cells:
+ * rendered, but outside the determinism contract.
  */
 
-#include <chrono>
-#include <cinttypes>
-#include <cstdint>
-#include <cstdio>
-#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 
 namespace {
-
-struct Result
-{
-    std::string name;
-    double simNs = 0;
-    double wallMs = 0;
-    std::uint64_t events = 0;
-    double eventsPerSec = 0;
-    double simNsPerWallMs = 0;
-    std::uint64_t fingerprint = 0;
-};
-
-class WallTimer
-{
-  public:
-    WallTimer() : _t0(std::chrono::steady_clock::now()) {}
-    double
-    elapsedMs() const
-    {
-        auto dt = std::chrono::steady_clock::now() - _t0;
-        return std::chrono::duration<double, std::milli>(dt).count();
-    }
-
-  private:
-    std::chrono::steady_clock::time_point _t0;
-};
-
-std::uint64_t
-fnv1a(std::uint64_t h, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-void
-finishResult(Result &r)
-{
-    r.eventsPerSec =
-        r.wallMs > 0 ? static_cast<double>(r.events) / (r.wallMs / 1e3)
-                     : 0;
-    r.simNsPerWallMs = r.wallMs > 0 ? r.simNs / r.wallMs : 0;
-    std::printf("%-24s %10.0f sim-us %9.1f wall-ms %12" PRIu64
-                " events %12.0f ev/s %10.0f sim-ns/wall-ms"
-                "  fp=%016" PRIx64 "\n",
-                r.name.c_str(), r.simNs / 1e3, r.wallMs, r.events,
-                r.eventsPerSec, r.simNsPerWallMs, r.fingerprint);
-    std::fflush(stdout);
-}
 
 /**
  * Raw kernel churn: many concurrent self-rescheduling event chains
@@ -84,12 +32,9 @@ finishResult(Result &r)
  * pointer, a couple of words, a shared_ptr). No platform components —
  * this isolates schedule/dispatch cost.
  */
-Result
+exp::ResultRow
 rawKernel(std::uint64_t chains, sim::Tick horizon)
 {
-    Result r;
-    r.name = "raw_chains_" + std::to_string(chains);
-
     sim::EventQueue eq;
     std::uint64_t acc = 0;
     auto payload = std::make_shared<std::uint64_t>(7);
@@ -118,15 +63,27 @@ rawKernel(std::uint64_t chains, sim::Tick horizon)
                       Chain{&eq, &acc, payload, stride, horizon});
     }
 
-    WallTimer t;
+    exp::WallTimer t;
     eq.runUntil(horizon);
-    r.wallMs = t.elapsedMs();
-    r.events = eq.executed();
-    r.simNs =
-        static_cast<double>(eq.now()) / static_cast<double>(sim::kTickNs);
-    r.fingerprint = fnv1a(fnv1a(0xcbf29ce484222325ULL, acc), eq.now());
-    finishResult(r);
-    return r;
+    double wall_ms = t.ms();
+    std::uint64_t events = eq.executed();
+
+    exp::ResultRow row("raw_chains_" + std::to_string(chains));
+    row.num("sim_us", "%.0f",
+            static_cast<double>(eq.now()) /
+                static_cast<double>(sim::kTickNs) / 1e3);
+    row.count("events", events);
+    row.wall("wall_ms", "%.1f", wall_ms);
+    row.wall("events_per_sec", "%.0f",
+             wall_ms > 0
+                 ? static_cast<double>(events) / (wall_ms / 1e3)
+                 : 0);
+    row.fp.add(acc).add(eq.now());
+    row.sealFingerprint();
+    row.str("fp", sim::strprintf("%016llx",
+                                 static_cast<unsigned long long>(
+                                     row.fp.value())));
+    return row;
 }
 
 /**
@@ -134,14 +91,12 @@ rawKernel(std::uint64_t chains, sim::Tick horizon)
  * hammering their own working sets through the full OPTIMUS stack
  * (mux tree, auditors, IOMMU, links, DRAM).
  */
-Result
+exp::ResultRow
 membench(const std::string &name, std::uint32_t jobs,
          std::uint64_t per_wset, std::uint64_t mode,
-         std::uint64_t page_bytes, sim::Tick warmup, sim::Tick window)
+         std::uint64_t page_bytes, sim::Tick warmup,
+         sim::Tick window)
 {
-    Result r;
-    r.name = name;
-
     sim::PlatformParams p = sim::PlatformParams::harpDefaults();
     p.pageBytes = page_bytes;
     hv::System sys(hv::makeOptimusConfig("MB", 8, p));
@@ -150,7 +105,7 @@ membench(const std::string &name, std::uint32_t jobs,
     std::vector<hv::AccelHandle *> handles;
     for (std::uint32_t j = 0; j < jobs; ++j) {
         hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
-        bench::setupMembench(h, per_wset, mode, 31 + j);
+        exp::setupMembench(h, per_wset, mode, 31 + j);
         handles.push_back(&h);
     }
     for (auto *h : handles)
@@ -163,50 +118,30 @@ membench(const std::string &name, std::uint32_t jobs,
 
     std::uint64_t ev0 = sys.eq.executed();
     sim::Tick t0 = sys.eq.now();
-    WallTimer t;
+    exp::WallTimer t;
     sys.eq.runUntil(t0 + window);
-    r.wallMs = t.elapsedMs();
-    r.events = sys.eq.executed() - ev0;
-    r.simNs = static_cast<double>(sys.eq.now() - t0) /
-              static_cast<double>(sim::kTickNs);
+    double wall_ms = t.ms();
+    std::uint64_t events = sys.eq.executed() - ev0;
 
-    std::uint64_t fp = 0xcbf29ce484222325ULL;
-    for (std::size_t i = 0; i < handles.size(); ++i) {
-        std::uint64_t ops =
-            sys.hv.peekProgress(handles[i]->vaccel()) - before[i];
-        fp = fnv1a(fp, ops);
-    }
-    r.fingerprint = fnv1a(fp, sys.eq.now());
-    finishResult(r);
-    return r;
-}
-
-void
-writeJson(const char *path, const std::vector<Result> &results)
-{
-    std::FILE *f = std::fopen(path, "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"sim_kernel\",\n");
-    std::fprintf(f, "  \"scenarios\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const Result &r = results[i];
-        std::fprintf(
-            f,
-            "    {\"name\": \"%s\", \"sim_ns\": %.0f, "
-            "\"wall_ms\": %.3f, \"events\": %" PRIu64
-            ", \"events_per_sec\": %.0f, "
-            "\"sim_ns_per_wall_ms\": %.1f, "
-            "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
-            r.name.c_str(), r.simNs, r.wallMs, r.events,
-            r.eventsPerSec, r.simNsPerWallMs, r.fingerprint,
-            i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path);
+    exp::ResultRow row(name);
+    row.num("sim_us", "%.0f",
+            static_cast<double>(sys.eq.now() - t0) /
+                static_cast<double>(sim::kTickNs) / 1e3);
+    row.count("events", events);
+    row.wall("wall_ms", "%.1f", wall_ms);
+    row.wall("events_per_sec", "%.0f",
+             wall_ms > 0
+                 ? static_cast<double>(events) / (wall_ms / 1e3)
+                 : 0);
+    for (std::size_t i = 0; i < handles.size(); ++i)
+        row.fp.add(sys.hv.peekProgress(handles[i]->vaccel()) -
+                   before[i]);
+    row.fp.add(sys.eq.now());
+    row.sealFingerprint();
+    row.str("fp", sim::strprintf("%016llx",
+                                 static_cast<unsigned long long>(
+                                     row.fp.value())));
+    return row;
 }
 
 } // namespace
@@ -214,28 +149,36 @@ writeJson(const char *path, const std::vector<Result> &results)
 int
 main(int argc, char **argv)
 {
-    const char *out =
-        argc > 1 ? argv[1] : "BENCH_sim_kernel.json";
+    exp::Runner r("sim_kernel");
+    r.table("Simulation-kernel throughput",
+            "kernel perf tracking; no paper figure");
 
-    bench::header("Simulation-kernel throughput",
-                  "kernel perf tracking; no paper figure");
+    r.add("raw_chains_64", [](const exp::RunContext &ctx) {
+        return rawKernel(64, ctx.scaled(2 * sim::kTickMs));
+    });
+    r.add("membench_8t_2m", [](const exp::RunContext &ctx) {
+        return membench("membench_8t_2m", 8,
+                        ctx.scaledBytes(32ULL << 20),
+                        accel::MembenchAccel::kRead, mem::kPage2M,
+                        ctx.scaled(100 * sim::kTickUs),
+                        ctx.scaled(400 * sim::kTickUs));
+    });
+    r.add("membench_8t_4k", [](const exp::RunContext &ctx) {
+        return membench("membench_8t_4k", 8,
+                        ctx.scaledBytes(4ULL << 20),
+                        accel::MembenchAccel::kRead, mem::kPage4K,
+                        ctx.scaled(100 * sim::kTickUs),
+                        ctx.scaled(400 * sim::kTickUs));
+    });
+    r.add("membench_8t_mixed", [](const exp::RunContext &ctx) {
+        return membench("membench_8t_mixed", 8,
+                        ctx.scaledBytes(32ULL << 20),
+                        accel::MembenchAccel::kMixed, mem::kPage2M,
+                        ctx.scaled(100 * sim::kTickUs),
+                        ctx.scaled(400 * sim::kTickUs));
+    });
 
-    std::vector<Result> results;
-    // OPTIMUS_BENCH_SKIP_RAW skips the (long) raw-churn scenario so
-    // profiling runs can focus on the platform-stack scenarios.
-    if (!std::getenv("OPTIMUS_BENCH_SKIP_RAW"))
-        results.push_back(rawKernel(64, 2 * sim::kTickMs));
-    results.push_back(membench("membench_8t_2m", 8, 32ULL << 20,
-                               accel::MembenchAccel::kRead, mem::kPage2M,
-                               100 * sim::kTickUs, 400 * sim::kTickUs));
-    results.push_back(membench("membench_8t_4k", 8, 4ULL << 20,
-                               accel::MembenchAccel::kRead, mem::kPage4K,
-                               100 * sim::kTickUs, 400 * sim::kTickUs));
-    results.push_back(membench("membench_8t_mixed", 8, 32ULL << 20,
-                               accel::MembenchAccel::kMixed,
-                               mem::kPage2M, 100 * sim::kTickUs,
-                               400 * sim::kTickUs));
-
-    writeJson(out, results);
-    return 0;
+    r.note("(fingerprints must stay bit-identical to "
+           "BENCH_sim_kernel.json; wall columns are host-dependent)");
+    return r.main(argc, argv);
 }

@@ -4,25 +4,27 @@
  * in the original implementation, and synthesized frequency.
  */
 
-#include <cstdio>
-
-#include "bench/harness.hh"
+#include "exp/runner.hh"
 #include "fpga/resources.hh"
 
 using namespace optimus;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Table 1: benchmarks used to evaluate OPTIMUS",
-                  "Table 1 of the paper");
-    std::printf("%-5s %-38s %6s %10s\n", "App", "Description", "LoC",
-                "Freq(MHz)");
+    exp::Runner r("table1_apps");
+    r.table("Table 1: benchmarks used to evaluate OPTIMUS",
+            "Table 1 of the paper");
     for (const auto &app : fpga::ResourceModel::apps()) {
-        std::printf("%-5s %-38s %6u %10u\n", app.name,
-                    app.description, app.verilogLoc, app.freqMhz);
+        r.add(app.name, [&app](const exp::RunContext &) {
+            exp::ResultRow row(app.name);
+            row.str("description", app.description);
+            row.count("verilog_loc", app.verilogLoc);
+            row.count("freq_mhz", app.freqMhz);
+            return row;
+        });
     }
-    std::printf("\nAll fourteen are implemented as cycle-timed "
-                "functional models in src/accel.\n");
-    return 0;
+    r.note("All fourteen are implemented as cycle-timed functional "
+           "models in src/accel.");
+    return r.main(argc, argv);
 }

@@ -5,49 +5,79 @@
  * (pass-through) versus eight instances (OPTIMUS).
  */
 
-#include <cstdio>
+#include <string>
 
-#include "bench/harness.hh"
+#include "exp/runner.hh"
 #include "fpga/resources.hh"
+#include "sim/logging.hh"
 
 using namespace optimus;
 using fpga::ResourceModel;
 
-int
-main()
-{
-    bench::header(
-        "Table 2: FPGA resource utilization breakdown (ALM / BRAM %)",
-        "Table 2 of the paper");
+namespace {
 
-    std::printf("%-18s %12s %8s %12s %8s\n", "FPGA Component",
-                "ALM OPTIMUS", "ALM PT", "BRAM OPTIMUS", "BRAM PT");
-    std::printf("%-18s %12.2f %8.2f %12.2f %8.2f\n", "Shell",
-                ResourceModel::shellAlm(), ResourceModel::shellAlm(),
-                ResourceModel::shellBram(),
-                ResourceModel::shellBram());
-    std::printf("%-18s %12.2f %8.2f %12.2f %8.2f\n",
-                "Hardware Monitor", ResourceModel::monitorAlm(8, 2),
-                0.0, ResourceModel::monitorBram(8, 2), 0.0);
+exp::ResultRow
+componentRow(const std::string &name, double alm8, double alm1,
+             double bram8, double bram1)
+{
+    exp::ResultRow row(name);
+    row.num("alm_optimus", "%.2f", alm8);
+    row.num("alm_pt", "%.2f", alm1);
+    row.num("bram_optimus", "%.2f", bram8);
+    row.num("bram_pt", "%.2f", bram1);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    exp::Runner r("table2_resources");
+    r.table("Table 2: FPGA resource utilization breakdown "
+            "(ALM / BRAM %)",
+            "Table 2 of the paper");
+
+    r.add("Shell", [](const exp::RunContext &) {
+        return componentRow("Shell", ResourceModel::shellAlm(),
+                            ResourceModel::shellAlm(),
+                            ResourceModel::shellBram(),
+                            ResourceModel::shellBram());
+    });
+    r.add("Hardware Monitor", [](const exp::RunContext &) {
+        return componentRow("Hardware Monitor",
+                            ResourceModel::monitorAlm(8, 2), 0.0,
+                            ResourceModel::monitorBram(8, 2), 0.0);
+    });
     for (const auto &app : ResourceModel::apps()) {
-        std::printf("%-18s %12.2f %8.2f %12.2f %8.2f\n", app.name,
-                    ResourceModel::appAlm(app, 8),
-                    ResourceModel::appAlm(app, 1),
-                    ResourceModel::appBram(app, 8),
-                    ResourceModel::appBram(app, 1));
+        r.add(app.name, [&app](const exp::RunContext &) {
+            return componentRow(app.name,
+                                ResourceModel::appAlm(app, 8),
+                                ResourceModel::appAlm(app, 1),
+                                ResourceModel::appBram(app, 8),
+                                ResourceModel::appBram(app, 1));
+        });
     }
 
-    std::printf("\nScaling of aggregate accelerator utilization with "
-                "instance count (AES):\n  n: ");
-    const auto &aes = ResourceModel::lookup("AES");
-    for (std::uint32_t n = 1; n <= 8; ++n)
-        std::printf("%6u", n);
-    std::printf("\nALM: ");
-    for (std::uint32_t n = 1; n <= 8; ++n)
-        std::printf("%6.2f", ResourceModel::appAlm(aes, n));
-    std::printf("\n\nHardware monitor overhead: %.2f%% ALM, %.2f%% "
-                "BRAM (paper: 6.16%% / 0.48%%).\n",
-                ResourceModel::monitorAlm(8, 2),
-                ResourceModel::monitorBram(8, 2));
-    return 0;
+    r.table("Table 2 (cont.): AES aggregate ALM vs instance count",
+            "Table 2 of the paper");
+    for (std::uint32_t n = 1; n <= 8; ++n) {
+        r.add(sim::strprintf("AES_x%u", n),
+              [n](const exp::RunContext &) {
+                  const auto &aes = ResourceModel::lookup("AES");
+                  exp::ResultRow row(sim::strprintf("AES_x%u", n));
+                  row.count("instances", n);
+                  row.num("alm_pct", "%.2f",
+                          ResourceModel::appAlm(aes, n));
+                  return row;
+              });
+    }
+    r.footer([](const std::vector<exp::ResultRow> &) {
+        return std::vector<std::string>{sim::strprintf(
+            "Hardware monitor overhead: %.2f%% ALM, %.2f%% BRAM "
+            "(paper: 6.16%% / 0.48%%).",
+            ResourceModel::monitorAlm(8, 2),
+            ResourceModel::monitorBram(8, 2))};
+    });
+    return r.main(argc, argv);
 }

@@ -10,19 +10,20 @@
  * multiplexer tree's guarantee.
  */
 
-#include <cstdio>
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
 
 using namespace optimus;
 
 namespace {
 
 double
-normalizedRange(const std::string &app)
+normalizedRange(const std::string &app, const exp::RunContext &ctx)
 {
     hv::System sys(hv::makeOptimusConfig(app, 8));
     std::vector<hv::AccelHandle *> handles;
@@ -37,15 +38,19 @@ normalizedRange(const std::string &app)
     for (std::uint32_t j = 0; j < 8; ++j) {
         hv::AccelHandle &h = sys.attach(j, 2ULL << 30);
         if (app == "MB") {
-            bench::setupMembench(h, 16ULL << 20,
-                                 accel::MembenchAccel::kRead,
-                                 60 + j);
+            exp::setupMembench(h, ctx.scaledBytes(16ULL << 20),
+                               accel::MembenchAccel::kRead,
+                               60 + j);
         } else if (app == "LL") {
-            bench::setupLinkedList(h, 16ULL << 20, 4096,
-                                   ccip::VChannel::kUpi, 70 + j);
+            exp::setupLinkedList(h, ctx.scaledBytes(16ULL << 20),
+                                 ctx.scaledCount(4096, 64),
+                                 ccip::VChannel::kUpi, 70 + j);
         } else {
             work.push_back(hv::workload::Workload::create(
-                app, h, job_counted ? 2048 : 48ULL << 20, 80));
+                app, h,
+                job_counted ? 2048
+                            : ctx.scaledBytes(48ULL << 20),
+                80));
             work.back()->program();
         }
         if (job_counted) {
@@ -74,9 +79,9 @@ normalizedRange(const std::string &app)
 
     // Job-counted apps need a long window to beat +-1 job
     // quantization in the range statistic.
-    sim::Tick window =
-        job_counted ? 12 * sim::kTickMs : 1500 * sim::kTickUs;
-    sys.eq.runUntil(sys.eq.now() + 400 * sim::kTickUs);
+    sim::Tick window = ctx.scaled(
+        job_counted ? 12 * sim::kTickMs : 1500 * sim::kTickUs);
+    sys.eq.runUntil(sys.eq.now() + ctx.scaled(400 * sim::kTickUs));
     std::vector<std::uint64_t> before(8);
     for (std::uint32_t j = 0; j < 8; ++j)
         before[j] = snapshot(j);
@@ -97,18 +102,21 @@ normalizedRange(const std::string &app)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Table 3: normalized throughput range among eight "
-                  "homogeneous accelerators",
-                  "Table 3 of the paper (<= ~1% everywhere)");
-    std::printf("%-6s %22s\n", "App", "Range / mean (x 1e-4)");
-    for (const auto &app :
+    exp::Runner r("table3_fairness_homo");
+    r.table("Table 3: normalized throughput range among eight "
+            "homogeneous accelerators",
+            "Table 3 of the paper (<= ~1% everywhere)");
+    for (const char *app :
          {"AES", "MD5", "SHA", "FIR", "GRN", "RSD", "SW", "GAU",
           "GRS", "SBL", "SSSP", "BTC", "MB", "LL"}) {
-        std::printf("%-6s %22.1f\n", app,
-                    normalizedRange(app) * 1e4);
-        std::fflush(stdout);
+        r.add(app, [app](const exp::RunContext &ctx) {
+            exp::ResultRow row(app);
+            row.num("range_over_mean_1e4", "%.1f",
+                    normalizedRange(app, ctx) * 1e4);
+            return row;
+        });
     }
-    return 0;
+    return r.main(argc, argv);
 }

@@ -12,41 +12,44 @@
  * 0.5x).
  */
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bench/harness.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
 
 using namespace optimus;
 
 namespace {
 
 double
-membenchGbps(const std::string &partner)
+membenchGbps(const std::string &partner, const exp::RunContext &ctx)
 {
     hv::PlatformConfig cfg;
     cfg.apps = {"MB", partner.empty() ? "LL" : partner};
     hv::System sys(cfg);
 
     hv::AccelHandle &mb = sys.attach(0, 2ULL << 30);
-    bench::setupMembench(mb, 16ULL << 20,
-                         accel::MembenchAccel::kRead, 5);
+    exp::setupMembench(mb, ctx.scaledBytes(16ULL << 20),
+                       accel::MembenchAccel::kRead, 5);
 
     std::unique_ptr<hv::workload::Workload> wl;
     hv::AccelHandle *other = nullptr;
     if (!partner.empty()) {
         other = &sys.attach(1, 2ULL << 30);
         if (partner == "MB") {
-            bench::setupMembench(*other, 16ULL << 20,
-                                 accel::MembenchAccel::kRead, 6);
+            exp::setupMembench(*other,
+                               ctx.scaledBytes(16ULL << 20),
+                               accel::MembenchAccel::kRead, 6);
         } else if (partner == "LL") {
-            bench::setupLinkedList(*other, 16ULL << 20, 4096,
-                                   ccip::VChannel::kUpi, 7);
+            exp::setupLinkedList(*other,
+                                 ctx.scaledBytes(16ULL << 20),
+                                 ctx.scaledCount(4096, 64),
+                                 ccip::VChannel::kUpi, 7);
         } else {
-            wl = hv::workload::Workload::create(partner, *other,
-                                                48ULL << 20, 8);
+            wl = hv::workload::Workload::create(
+                partner, *other, ctx.scaledBytes(48ULL << 20), 8);
             wl->program();
         }
     }
@@ -56,30 +59,41 @@ membenchGbps(const std::string &partner)
         other->start();
 
     double ns = 0;
-    auto ops = bench::measureWindow(sys, {&mb}, 300 * sim::kTickUs,
-                                    900 * sim::kTickUs, &ns);
-    return bench::gbps(ops[0], ns);
+    auto ops = exp::measureWindow(sys, {&mb},
+                                  ctx.scaled(300 * sim::kTickUs),
+                                  ctx.scaled(900 * sim::kTickUs),
+                                  &ns);
+    return exp::gbps(ops[0], ns);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Table 4: MemBench throughput when co-located "
-                  "with a second accelerator",
-                  "Table 4 of the paper (normalized to standalone)");
+    exp::Runner r("table4_fairness_hetero");
+    r.table("Table 4: MemBench throughput when co-located with a "
+            "second accelerator",
+            "Table 4 of the paper (normalized to standalone)");
 
-    double solo = membenchGbps("");
-    // The standalone baseline runs alongside an idle partner slot.
-    std::printf("Standalone MemBench: %.2f GB/s\n\n", solo);
-    std::printf("%-10s %18s\n", "Co-located", "Normalized MB tput");
-    for (const auto &app :
+    // Each pairing recomputes the (deterministic) standalone
+    // baseline itself, keeping scenarios independent so the runner
+    // may execute them in any order or concurrently.
+    r.add("standalone", [](const exp::RunContext &ctx) {
+        exp::ResultRow row("standalone");
+        row.num("mb_gbps", "%.2f", membenchGbps("", ctx));
+        return row;
+    });
+    for (const char *app :
          {"AES", "MD5", "SHA", "FIR", "GRN", "RSD", "SW", "GAU",
           "GRS", "SBL", "SSSP", "BTC", "MB", "LL"}) {
-        double with = membenchGbps(app);
-        std::printf("%-10s %17.2fx\n", app, with / solo);
-        std::fflush(stdout);
+        r.add(app, [app](const exp::RunContext &ctx) {
+            double solo = membenchGbps("", ctx);
+            double with = membenchGbps(app, ctx);
+            exp::ResultRow row(app);
+            row.num("normalized_mb_tput", "%.2f", with / solo);
+            return row;
+        });
     }
-    return 0;
+    return r.main(argc, argv);
 }

@@ -11,12 +11,14 @@ namespace optimus::accel {
 
 namespace {
 
-/** Transactions churn at DMA rate; recycle their shared blocks. */
+/** Transactions churn at DMA rate; recycle their shared blocks
+ *  through this context's arena (context-local, so concurrent
+ *  Systems never share allocator state). */
 ccip::DmaTxnPtr
-makeTxn()
+makeTxn(sim::PoolArena &arena)
 {
     return std::allocate_shared<ccip::DmaTxn>(
-        sim::PoolAlloc<ccip::DmaTxn>{});
+        sim::PoolAlloc<ccip::DmaTxn>{arena});
 }
 
 } // namespace
@@ -37,7 +39,7 @@ DmaPort::read(mem::Gva gva, std::uint32_t bytes, Completion cb)
 {
     OPTIMUS_ASSERT(bytes > 0 && bytes <= sim::kCacheLineBytes,
                    "bad DMA size %u", bytes);
-    ccip::DmaTxnPtr txn = makeTxn();
+    ccip::DmaTxnPtr txn = makeTxn(eventq().arena());
     txn->id = _nextId++;
     txn->isWrite = false;
     txn->gva = gva;
@@ -52,7 +54,7 @@ DmaPort::write(mem::Gva gva, const void *data, std::uint32_t bytes,
 {
     OPTIMUS_ASSERT(bytes > 0 && bytes <= sim::kCacheLineBytes,
                    "bad DMA size %u", bytes);
-    ccip::DmaTxnPtr txn = makeTxn();
+    ccip::DmaTxnPtr txn = makeTxn(eventq().arena());
     txn->id = _nextId++;
     txn->isWrite = true;
     txn->gva = gva;

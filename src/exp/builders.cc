@@ -1,46 +1,25 @@
-/**
- * @file
- * Shared measurement helpers for the benchmark harnesses that
- * regenerate the paper's tables and figures: warmup + window
- * progress measurement, tenant setup for the microbenchmarks, and
- * tabular output.
- */
+#include "exp/builders.hh"
 
-#ifndef OPTIMUS_BENCH_HARNESS_HH
-#define OPTIMUS_BENCH_HARNESS_HH
+#include "sim/logging.hh"
 
-#include <cstdio>
-#include <string>
-#include <vector>
+namespace optimus::exp {
 
-#include "accel/linkedlist_accel.hh"
-#include "accel/membench_accel.hh"
-#include "hv/system.hh"
-#include "hv/workloads.hh"
-
-namespace optimus::bench {
-
-/** Print a section header for one table/figure. */
-inline void
-header(const std::string &title, const std::string &paper_ref)
+std::string
+sizeLabel(std::uint64_t bytes)
 {
-    std::printf("\n==========================================================="
-                "=====\n");
-    std::printf("%s\n  (reproduces %s)\n", title.c_str(),
-                paper_ref.c_str());
-    std::printf("-----------------------------------------------------------"
-                "-----\n");
+    auto v = static_cast<unsigned long long>(bytes);
+    if (bytes >= 1ULL << 30 && (bytes & ((1ULL << 30) - 1)) == 0)
+        return sim::strprintf("%lluG", v >> 30);
+    if (bytes >= 1ULL << 20)
+        return sim::strprintf("%lluM", v >> 20);
+    return sim::strprintf("%lluK", v >> 10);
 }
 
-/**
- * Run a warmup, then measure each handle's PROGRESS delta over the
- * window. Returns ops per handle; @p elapsed_ns receives the window.
- */
-inline std::vector<std::uint64_t>
+std::vector<std::uint64_t>
 measureWindow(hv::System &sys,
               const std::vector<hv::AccelHandle *> &handles,
               sim::Tick warmup, sim::Tick window,
-              double *elapsed_ns = nullptr)
+              double *elapsed_ns)
 {
     sys.eq.runUntil(sys.eq.now() + warmup);
     std::vector<std::uint64_t> before;
@@ -62,11 +41,10 @@ measureWindow(hv::System &sys,
     return delta;
 }
 
-/** Configure an endless MemBench tenant over its own working set. */
-inline void
+void
 setupMembench(hv::AccelHandle &h, std::uint64_t wset_bytes,
               std::uint64_t mode, std::uint64_t seed,
-              std::uint64_t gap_cycles = 0)
+              std::uint64_t gap_cycles)
 {
     mem::Gva base = h.dmaAlloc(wset_bytes, 64);
     h.writeAppReg(accel::MembenchAccel::kRegBase, base.value());
@@ -77,15 +55,13 @@ setupMembench(hv::AccelHandle &h, std::uint64_t wset_bytes,
     h.writeAppReg(accel::MembenchAccel::kRegGap, gap_cycles);
 }
 
-/** Configure an endless (circular) LinkedList tenant. */
-inline void
+void
 setupLinkedList(hv::AccelHandle &h, std::uint64_t wset_bytes,
                 std::uint64_t nodes, ccip::VChannel vc,
                 std::uint64_t seed)
 {
-    auto layout =
-        hv::workload::buildScatteredLinkedList(h, wset_bytes, nodes,
-                                               seed);
+    auto layout = hv::workload::buildScatteredLinkedList(
+        h, wset_bytes, nodes, seed);
     h.writeAppReg(accel::LinkedlistAccel::kRegHead,
                   layout.head.value());
     h.writeAppReg(accel::LinkedlistAccel::kRegCount, 0);
@@ -93,13 +69,4 @@ setupLinkedList(hv::AccelHandle &h, std::uint64_t wset_bytes,
                   static_cast<std::uint64_t>(vc));
 }
 
-/** GB/s from a line-ops count over @p ns. */
-inline double
-gbps(std::uint64_t ops, double ns)
-{
-    return static_cast<double>(ops) * 64.0 / ns;
-}
-
-} // namespace optimus::bench
-
-#endif // OPTIMUS_BENCH_HARNESS_HH
+} // namespace optimus::exp

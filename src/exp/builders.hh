@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Scenario-building helpers shared by the bench binaries (formerly
+ * duplicated in bench/harness.hh): warmup + window progress
+ * measurement, tenant setup for the synthetic microbenchmarks, and
+ * bandwidth conversion.
+ */
+
+#ifndef OPTIMUS_EXP_BUILDERS_HH
+#define OPTIMUS_EXP_BUILDERS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/linkedlist_accel.hh"
+#include "accel/membench_accel.hh"
+#include "ccip/packet.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
+#include "sim/types.hh"
+
+namespace optimus::exp {
+
+/** Every DMA op moves one cache line; the single conversion constant
+ *  all GB/s columns share. */
+inline constexpr double kBytesPerLine =
+    static_cast<double>(sim::kCacheLineBytes);
+
+/**
+ * Run a warmup, then measure each handle's PROGRESS delta over the
+ * window. Returns ops per handle; @p elapsed_ns receives the window.
+ */
+std::vector<std::uint64_t>
+measureWindow(hv::System &sys,
+              const std::vector<hv::AccelHandle *> &handles,
+              sim::Tick warmup, sim::Tick window,
+              double *elapsed_ns = nullptr);
+
+/** Configure an endless MemBench tenant over its own working set. */
+void setupMembench(hv::AccelHandle &h, std::uint64_t wset_bytes,
+                   std::uint64_t mode, std::uint64_t seed,
+                   std::uint64_t gap_cycles = 0);
+
+/** Configure an endless (circular) LinkedList tenant. */
+void setupLinkedList(hv::AccelHandle &h, std::uint64_t wset_bytes,
+                     std::uint64_t nodes, ccip::VChannel vc,
+                     std::uint64_t seed);
+
+/** Human size label for sweep axes: "32K", "64M", "8G". */
+std::string sizeLabel(std::uint64_t bytes);
+
+/** GB/s from a line-ops count over @p ns. */
+inline double
+gbps(std::uint64_t ops, double ns)
+{
+    return static_cast<double>(ops) * kBytesPerLine / ns;
+}
+
+/** Host wall-clock stopwatch for volatile (non-fingerprinted)
+ *  timing cells. */
+class WallTimer
+{
+  public:
+    WallTimer() : _t0(std::chrono::steady_clock::now()) {}
+
+    double
+    ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - _t0)
+            .count();
+    }
+
+    double ns() const { return ms() * 1e6; }
+
+  private:
+    std::chrono::steady_clock::time_point _t0;
+};
+
+} // namespace optimus::exp
+
+#endif // OPTIMUS_EXP_BUILDERS_HH

@@ -1,0 +1,75 @@
+#include "exp/result.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace optimus::exp {
+
+ResultRow &
+ResultRow::num(const std::string &key, const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    metrics.push_back(Metric{key, buf, v, true, true});
+    return *this;
+}
+
+ResultRow &
+ResultRow::count(const std::string &key, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    metrics.push_back(
+        Metric{key, buf, static_cast<double>(v), true, true});
+    return *this;
+}
+
+ResultRow &
+ResultRow::str(const std::string &key, std::string text)
+{
+    metrics.push_back(Metric{key, std::move(text), 0, false, true});
+    return *this;
+}
+
+ResultRow &
+ResultRow::wall(const std::string &key, const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    metrics.push_back(Metric{key, buf, v, true, false});
+    return *this;
+}
+
+std::uint64_t
+ResultRow::fingerprint() const
+{
+    if (fpExplicit)
+        return fp.value();
+    Fingerprint d;
+    d.add(label);
+    for (const Metric &m : metrics) {
+        if (!m.deterministic)
+            continue;
+        d.add(m.key);
+        d.add(m.text);
+    }
+    return d.value();
+}
+
+bool
+sameResults(const ResultRow &a, const ResultRow &b)
+{
+    if (a.label != b.label || a.metrics.size() != b.metrics.size())
+        return false;
+    for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+        const Metric &x = a.metrics[i];
+        const Metric &y = b.metrics[i];
+        if (x.key != y.key || x.deterministic != y.deterministic)
+            return false;
+        if (x.deterministic && x.text != y.text)
+            return false;
+    }
+    return a.fingerprint() == b.fingerprint();
+}
+
+} // namespace optimus::exp

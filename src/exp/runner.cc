@@ -1,0 +1,466 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <regex>
+#include <thread>
+
+namespace optimus::exp {
+
+Runner &
+Runner::table(std::string title, std::string paperRef)
+{
+    _tables.push_back(
+        TableSpec{std::move(title), std::move(paperRef), {}, {}, {}});
+    return *this;
+}
+
+Runner &
+Runner::add(std::string name,
+            std::function<ResultRow(const RunContext &)> run)
+{
+    if (_tables.empty())
+        table(_bench, "");
+    _tables.back().scenarios.push_back(
+        Scenario{std::move(name), std::move(run)});
+    return *this;
+}
+
+Runner &
+Runner::note(std::string text)
+{
+    if (_tables.empty())
+        table(_bench, "");
+    _tables.back().notes.push_back(std::move(text));
+    return *this;
+}
+
+Runner &
+Runner::footer(TableFooter fn)
+{
+    if (_tables.empty())
+        table(_bench, "");
+    _tables.back().footerFn = std::move(fn);
+    return *this;
+}
+
+bool
+Runner::parseArgs(int argc, char **argv, Options &opts)
+{
+    auto usage = [&](std::FILE *out) {
+        std::fprintf(
+            out,
+            "usage: %s [--jobs N] [--filter REGEX] [--json PATH]\n"
+            "          [--csv PATH] [--time-scale F] [--list]"
+            " [--quiet]\n",
+            argc > 0 ? argv[0] : "bench");
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             a.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--jobs" || a == "-j") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+            if (opts.jobs == 0)
+                opts.jobs = 1;
+        } else if (a == "--filter" || a == "-f") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.filter = v;
+        } else if (a == "--json") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.jsonPath = v;
+        } else if (a == "--csv") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.csvPath = v;
+        } else if (a == "--time-scale") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.timeScale = std::strtod(v, nullptr);
+            if (opts.timeScale <= 0)
+                opts.timeScale = 1.0;
+        } else if (a == "--list") {
+            opts.list = true;
+        } else if (a == "--quiet" || a == "-q") {
+            opts.quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(stdout);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage(stderr);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+Runner::run(const Options &opts)
+{
+    _results.clear();
+    _errors.clear();
+    _results.resize(_tables.size());
+    for (std::size_t t = 0; t < _tables.size(); ++t) {
+        _results[t].title = _tables[t].title;
+        _results[t].paperRef = _tables[t].paperRef;
+    }
+
+    std::optional<std::regex> filter;
+    if (!opts.filter.empty()) {
+        try {
+            filter.emplace(opts.filter);
+        } catch (const std::regex_error &e) {
+            std::fprintf(stderr, "bad --filter regex: %s\n",
+                         e.what());
+            return 1;
+        }
+    }
+    auto selected = [&](const TableSpec &t, const Scenario &s) {
+        if (!filter)
+            return true;
+        return std::regex_search(s.name, *filter) ||
+               std::regex_search(t.title, *filter);
+    };
+
+    struct Job
+    {
+        std::size_t table;
+        std::size_t scen;
+    };
+    std::vector<Job> jobs;
+    for (std::size_t t = 0; t < _tables.size(); ++t)
+        for (std::size_t s = 0; s < _tables[t].scenarios.size(); ++s)
+            if (selected(_tables[t], _tables[t].scenarios[s]))
+                jobs.push_back(Job{t, s});
+
+    if (opts.list) {
+        for (const Job &j : jobs)
+            std::printf("%s / %s\n", _tables[j.table].title.c_str(),
+                        _tables[j.table].scenarios[j.scen].name
+                            .c_str());
+        return 0;
+    }
+
+    // Execute on a pool; each result lands in its declaration slot so
+    // rendering below is independent of completion order.
+    std::vector<std::optional<ResultRow>> slots(jobs.size());
+    RunContext ctx;
+    ctx.timeScale = opts.timeScale;
+    std::atomic<std::size_t> next{0};
+    std::mutex errLock;
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const Job &j = jobs[i];
+            const Scenario &s = _tables[j.table].scenarios[j.scen];
+            try {
+                slots[i] = s.run(ctx);
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> g(errLock);
+                _errors.push_back(s.name + ": " + e.what());
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errLock);
+                _errors.push_back(s.name + ": unknown exception");
+            }
+        }
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    unsigned nthreads = opts.jobs;
+    if (nthreads > jobs.size())
+        nthreads = static_cast<unsigned>(jobs.size());
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (unsigned i = 0; i < nthreads; ++i)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    _wallMs = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!slots[i])
+            continue;
+        _results[jobs[i].table].rows.push_back(
+            std::move(*slots[i]));
+    }
+    for (TableResult &tr : _results) {
+        Fingerprint f;
+        f.add(tr.title);
+        for (const ResultRow &r : tr.rows)
+            f.add(r.fingerprint());
+        tr.fingerprint = f.value();
+    }
+
+    if (!opts.quiet)
+        render(opts);
+    if (!opts.jsonPath.empty())
+        writeJson(opts.jsonPath);
+    if (!opts.csvPath.empty())
+        writeCsv(opts.csvPath);
+
+    std::fprintf(stderr, "[%s] %zu scenario(s), jobs=%u, %.0f ms\n",
+                 _bench.c_str(), jobs.size(), opts.jobs, _wallMs);
+    for (const std::string &e : _errors)
+        std::fprintf(stderr, "[%s] FAILED %s\n", _bench.c_str(),
+                     e.c_str());
+    return static_cast<int>(_errors.size());
+}
+
+int
+Runner::main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts))
+        return 2;
+    return run(opts);
+}
+
+void
+Runner::render(const Options &opts) const
+{
+    (void)opts;
+    for (const TableResult &tr : _results) {
+        if (tr.rows.empty())
+            continue;
+        std::printf("\n====================================="
+                    "===========================\n");
+        if (tr.paperRef.empty())
+            std::printf("%s\n", tr.title.c_str());
+        else
+            std::printf("%s\n  (reproduces %s)\n",
+                        tr.title.c_str(), tr.paperRef.c_str());
+        std::printf("-------------------------------------"
+                    "---------------------------\n");
+
+        // Column set: union of metric keys in first-appearance order.
+        std::vector<std::string> cols;
+        for (const ResultRow &r : tr.rows)
+            for (const Metric &m : r.metrics) {
+                bool seen = false;
+                for (const std::string &c : cols)
+                    if (c == m.key) {
+                        seen = true;
+                        break;
+                    }
+                if (!seen)
+                    cols.push_back(m.key);
+            }
+        auto cell = [](const ResultRow &r,
+                       const std::string &key) -> const Metric * {
+            for (const Metric &m : r.metrics)
+                if (m.key == key)
+                    return &m;
+            return nullptr;
+        };
+
+        std::size_t lw = std::strlen("scenario");
+        for (const ResultRow &r : tr.rows)
+            lw = std::max(lw, r.label.size());
+        std::vector<std::size_t> w(cols.size());
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            w[c] = cols[c].size();
+            for (const ResultRow &r : tr.rows)
+                if (const Metric *m = cell(r, cols[c]))
+                    w[c] = std::max(w[c], m->text.size());
+        }
+
+        std::printf("%-*s", static_cast<int>(lw), "scenario");
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            std::printf("  %*s", static_cast<int>(w[c]),
+                        cols[c].c_str());
+        std::printf("\n");
+        for (const ResultRow &r : tr.rows) {
+            std::printf("%-*s", static_cast<int>(lw),
+                        r.label.c_str());
+            for (std::size_t c = 0; c < cols.size(); ++c) {
+                const Metric *m = cell(r, cols[c]);
+                std::printf("  %*s", static_cast<int>(w[c]),
+                            m ? m->text.c_str() : "-");
+            }
+            std::printf("\n");
+        }
+
+        const TableSpec *spec = nullptr;
+        for (const TableSpec &t : _tables)
+            if (t.title == tr.title) {
+                spec = &t;
+                break;
+            }
+        if (spec) {
+            for (const std::string &n : spec->notes)
+                std::printf("%s\n", n.c_str());
+            if (spec->footerFn)
+                for (const std::string &line :
+                     spec->footerFn(tr.rows))
+                    std::printf("%s\n", line.c_str());
+        }
+        std::printf("table fingerprint: %016" PRIx64 "\n",
+                    tr.fingerprint);
+    }
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Runner::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"tables\": [",
+                 jsonEscape(_bench).c_str());
+    bool firstT = true;
+    for (const TableResult &tr : _results) {
+        if (tr.rows.empty())
+            continue;
+        std::fprintf(f, "%s\n    {\n", firstT ? "" : ",");
+        firstT = false;
+        std::fprintf(f, "      \"title\": \"%s\",\n",
+                     jsonEscape(tr.title).c_str());
+        std::fprintf(f, "      \"paper_ref\": \"%s\",\n",
+                     jsonEscape(tr.paperRef).c_str());
+        std::fprintf(f,
+                     "      \"fingerprint\": \"%016" PRIx64
+                     "\",\n      \"rows\": [",
+                     tr.fingerprint);
+        bool firstR = true;
+        for (const ResultRow &r : tr.rows) {
+            std::fprintf(f, "%s\n        {\"label\": \"%s\", "
+                            "\"fingerprint\": \"%016" PRIx64
+                            "\", \"metrics\": {",
+                         firstR ? "" : ",",
+                         jsonEscape(r.label).c_str(),
+                         r.fingerprint());
+            firstR = false;
+            bool firstM = true;
+            for (const Metric &m : r.metrics) {
+                if (!m.deterministic)
+                    continue; // wall-clock: JSON stays reproducible
+                if (m.numeric)
+                    std::fprintf(f, "%s\"%s\": %.17g",
+                                 firstM ? "" : ", ",
+                                 jsonEscape(m.key).c_str(),
+                                 m.value);
+                else
+                    std::fprintf(f, "%s\"%s\": \"%s\"",
+                                 firstM ? "" : ", ",
+                                 jsonEscape(m.key).c_str(),
+                                 jsonEscape(m.text).c_str());
+                firstM = false;
+            }
+            std::fprintf(f, "}}");
+        }
+        std::fprintf(f, "\n      ]\n    }");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+}
+
+void
+Runner::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "bench,table,row,key,text,value\n");
+    for (const TableResult &tr : _results)
+        for (const ResultRow &r : tr.rows)
+            for (const Metric &m : r.metrics) {
+                if (!m.deterministic)
+                    continue;
+                std::fprintf(f, "%s,%s,%s,%s,%s,%.17g\n",
+                             csvEscape(_bench).c_str(),
+                             csvEscape(tr.title).c_str(),
+                             csvEscape(r.label).c_str(),
+                             csvEscape(m.key).c_str(),
+                             csvEscape(m.text).c_str(), m.value);
+            }
+    std::fclose(f);
+}
+
+} // namespace optimus::exp

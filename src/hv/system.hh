@@ -19,7 +19,19 @@
 
 namespace optimus::hv {
 
-/** A fully assembled simulated machine. */
+/**
+ * A fully assembled simulated machine.
+ *
+ * Context-locality invariant: a System is one self-contained
+ * simulation context. Everything mutable it touches — event queue,
+ * pooled DMA-transaction blocks (sim::PoolArena, owned by the event
+ * queue), platform components, stats, workload RNGs — lives inside
+ * the System; no process-global mutable state is read or written
+ * while it runs. Any number of Systems may therefore run concurrently
+ * on different threads (one thread per System at a time), and each
+ * produces results identical to a solo run. The exp::Runner relies on
+ * this to fan experiment scenarios across a thread pool.
+ */
 class System
 {
   public:
@@ -45,13 +57,29 @@ class System
     }
 
     /**
-     * Attach another virtual accelerator for an existing handle's
-     * process-mate: a fresh process in a fresh VM sharing @p slot
-     * (temporal multiplexing).
+     * Attach another virtual accelerator on @p slot for a
+     * process-mate of the tenant already holding that slot: a fresh
+     * process created inside that tenant's VM, sharing the slot via
+     * temporal multiplexing. Unlike attach(), no new VM is created —
+     * the two handles share guest RAM provisioning and the EPT,
+     * like two applications of one guest. Falls back to attach()
+     * when no handle occupies @p slot yet.
      */
     AccelHandle &
     attachShared(std::uint32_t slot)
     {
+        for (auto &h : _handles) {
+            hv::VirtualAccel &v = h->vaccel();
+            if (v.slot() != slot)
+                continue;
+            auto &vm = v.process().vm();
+            auto &proc = vm.createProcess(sim::strprintf(
+                "app%zu", vm.processes().size()));
+            auto &vaccel = hv.createVirtualAccel(proc, slot);
+            _handles.push_back(
+                std::make_unique<AccelHandle>(hv, vaccel));
+            return *_handles.back();
+        }
         return attach(slot);
     }
 

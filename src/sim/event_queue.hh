@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "sim/inline_function.hh"
+#include "sim/pool_alloc.hh"
 #include "sim/types.hh"
 
 namespace optimus::sim {
@@ -114,6 +115,16 @@ class EventQueue
 
     /** Current simulated time. */
     Tick now() const { return _now; }
+
+    /**
+     * The simulation context's block-recycling arena. The queue is
+     * the root object of one simulation context (one hv::System), so
+     * it hosts the context-local allocator state; components reach it
+     * through their EventQueue reference. Destroyed with the queue —
+     * i.e. after every component of the System — so pooled blocks
+     * released during teardown still have a home.
+     */
+    PoolArena &arena() { return _arena; }
 
     /**
      * Schedule @p cb at absolute tick @p when.
@@ -199,6 +210,12 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
   private:
+    /** First member on purpose: destroyed after the buckets below,
+     *  whose still-queued callbacks may release pool-allocated
+     *  shared blocks (DmaTxns) back into this arena during queue
+     *  teardown. */
+    PoolArena _arena;
+
     /**
      * Occupancy bitmap over the ring's slots: a summary word over 16
      * per-slot words, so the next occupied slot at or after a given

@@ -11,40 +11,103 @@
  * arena bookkeeping — and keeps the recycled blocks hot in cache,
  * which matters at hundreds of thousands of transactions per run.
  *
- * The pool is per instantiated block type and process-wide (the
- * simulator is single-threaded); it grows to the high-water mark of
- * simultaneously live objects and is never trimmed. Requests for more
- * than one object fall through to the global allocator.
+ * The free lists live in a PoolArena owned by the simulation context
+ * (the EventQueue): each simulated System recycles only its own
+ * blocks, so several Systems can run concurrently on different
+ * threads without sharing any allocator state. A pool grows to the
+ * high-water mark of simultaneously live objects per context and is
+ * trimmed only when the arena dies. Requests for more than one object
+ * fall through to the global allocator.
  */
 
 #ifndef OPTIMUS_SIM_POOL_ALLOC_HH
 #define OPTIMUS_SIM_POOL_ALLOC_HH
 
+#include <atomic>
 #include <cstddef>
 #include <new>
 #include <vector>
 
 namespace optimus::sim {
 
+/**
+ * Per-context home of the recycled blocks: one free list per block
+ * type, looked up by a small dense index assigned per instantiated
+ * type. Not thread-safe by itself — an arena belongs to exactly one
+ * simulation context, and that context must only ever be driven from
+ * one thread at a time (the context-locality invariant; see
+ * hv::System).
+ *
+ * Lifetime: the arena must outlive every block allocated from it,
+ * including shared_ptr control blocks whose last reference is dropped
+ * during context teardown. Owning it from the EventQueue — destroyed
+ * after every platform component of its System — satisfies this.
+ */
+class PoolArena
+{
+  public:
+    PoolArena() = default;
+    PoolArena(const PoolArena &) = delete;
+    PoolArena &operator=(const PoolArena &) = delete;
+
+    ~PoolArena()
+    {
+        for (auto &blocks : _lists)
+            for (void *b : blocks)
+                ::operator delete(b);
+    }
+
+    /** The free list for the block type with index @p type_slot. */
+    std::vector<void *> &
+    list(std::size_t type_slot)
+    {
+        if (type_slot >= _lists.size())
+            _lists.resize(type_slot + 1);
+        return _lists[type_slot];
+    }
+
+    /** Process-wide type-index dispenser (init-once per type; the
+     *  indices themselves carry no simulation state). */
+    static std::size_t
+    grabTypeSlot()
+    {
+        static std::atomic<std::size_t> next{0};
+        return next.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<std::vector<void *>> _lists;
+};
+
+/** Dense per-type index into a PoolArena's free lists. */
+template <typename T>
+inline std::size_t
+poolTypeSlot()
+{
+    static const std::size_t slot = PoolArena::grabTypeSlot();
+    return slot;
+}
+
 /** Minimal allocator for std::allocate_shared: recycles single-object
- *  blocks of the rebound internal type through a static free list. */
+ *  blocks of the rebound internal type through its arena's free
+ *  list. */
 template <typename T>
 class PoolAlloc
 {
   public:
     using value_type = T;
 
-    PoolAlloc() = default;
+    explicit PoolAlloc(PoolArena &arena) noexcept : _arena(&arena) {}
 
     template <typename U>
-    PoolAlloc(const PoolAlloc<U> &) noexcept
+    PoolAlloc(const PoolAlloc<U> &o) noexcept : _arena(o._arena)
     {}
 
     T *
     allocate(std::size_t n)
     {
         if (n == 1) {
-            std::vector<void *> &p = pool();
+            std::vector<void *> &p = _arena->list(poolTypeSlot<T>());
             if (!p.empty()) {
                 void *b = p.back();
                 p.pop_back();
@@ -58,30 +121,28 @@ class PoolAlloc
     deallocate(T *ptr, std::size_t n) noexcept
     {
         if (n == 1) {
-            pool().push_back(ptr);
+            _arena->list(poolTypeSlot<T>()).push_back(ptr);
             return;
         }
         ::operator delete(ptr);
     }
 
     friend bool
-    operator==(const PoolAlloc &, const PoolAlloc &) noexcept
+    operator==(const PoolAlloc &a, const PoolAlloc &b) noexcept
     {
-        return true;
+        return a._arena == b._arena;
     }
     friend bool
-    operator!=(const PoolAlloc &, const PoolAlloc &) noexcept
+    operator!=(const PoolAlloc &a, const PoolAlloc &b) noexcept
     {
-        return false;
+        return a._arena != b._arena;
     }
 
   private:
-    static std::vector<void *> &
-    pool()
-    {
-        static std::vector<void *> blocks;
-        return blocks;
-    }
+    template <typename U>
+    friend class PoolAlloc;
+
+    PoolArena *_arena;
 };
 
 } // namespace optimus::sim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * exp::Runner determinism contract: a scenario re-run in-process —
+ * and run concurrently on a thread pool — must yield byte-identical
+ * ResultRows and fingerprints. This is the regression net for the
+ * context-locality invariant (hv::System touches nothing outside
+ * itself), which the parallel experiment runner relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+
+using namespace optimus;
+
+namespace {
+
+/**
+ * A mid-size simulation: four MemBench tenants through the full
+ * OPTIMUS stack (mux tree, IOMMU, links, DRAM), fingerprinting
+ * per-tenant progress and the final simulated time.
+ */
+exp::ResultRow
+membenchScenario(const exp::RunContext &ctx)
+{
+    hv::System sys(hv::makeOptimusConfig("MB", 8));
+    sys.platform.memory().setScratchWrites(true);
+
+    std::vector<hv::AccelHandle *> handles;
+    for (std::uint32_t j = 0; j < 4; ++j) {
+        hv::AccelHandle &h = sys.attach(j, 2ULL << 30);
+        exp::setupMembench(h, 4ULL << 20,
+                           accel::MembenchAccel::kRead, 31 + j);
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+
+    double ns = 0;
+    auto ops = exp::measureWindow(sys, handles,
+                                  ctx.scaled(50 * sim::kTickUs),
+                                  ctx.scaled(150 * sim::kTickUs),
+                                  &ns);
+    exp::ResultRow row("membench_4t");
+    std::uint64_t total = 0;
+    for (std::uint64_t o : ops) {
+        row.fp.add(o);
+        total += o;
+    }
+    row.fp.add(sys.eq.now());
+    row.sealFingerprint();
+    row.count("ops", total);
+    row.num("gbps", "%.2f", exp::gbps(total, ns));
+    return row;
+}
+
+TEST(ExpRunner, RepeatedRunIsIdentical)
+{
+    exp::RunContext ctx;
+    exp::ResultRow first = membenchScenario(ctx);
+    exp::ResultRow second = membenchScenario(ctx);
+    EXPECT_TRUE(exp::sameResults(first, second));
+    EXPECT_EQ(first.fingerprint(), second.fingerprint());
+    EXPECT_NE(first.fingerprint(), 0u);
+}
+
+TEST(ExpRunner, ConcurrentRunMatchesSerialRun)
+{
+    auto build = [](exp::Runner &r) {
+        r.table("determinism", "test");
+        // Several copies of the same simulation: under --jobs they
+        // execute concurrently on different threads, so any shared
+        // mutable state between Systems shows up as a diff here.
+        for (int i = 0; i < 4; ++i)
+            r.add("copy" + std::to_string(i), membenchScenario);
+    };
+
+    exp::Runner serial("t");
+    build(serial);
+    exp::Runner::Options o1;
+    o1.quiet = true;
+    o1.jobs = 1;
+    ASSERT_EQ(serial.run(o1), 0);
+
+    exp::Runner parallel("t");
+    build(parallel);
+    exp::Runner::Options o4 = o1;
+    o4.jobs = 4;
+    ASSERT_EQ(parallel.run(o4), 0);
+
+    ASSERT_EQ(serial.results().size(), parallel.results().size());
+    const auto &ts = serial.results()[0];
+    const auto &tp = parallel.results()[0];
+    ASSERT_EQ(ts.rows.size(), 4u);
+    ASSERT_EQ(tp.rows.size(), 4u);
+    for (std::size_t i = 0; i < ts.rows.size(); ++i) {
+        EXPECT_TRUE(exp::sameResults(ts.rows[i], tp.rows[i]));
+        EXPECT_EQ(ts.rows[i].fingerprint(),
+                  tp.rows[i].fingerprint());
+        // All copies simulate the same thing.
+        EXPECT_EQ(ts.rows[i].fingerprint(),
+                  ts.rows[0].fingerprint());
+    }
+    EXPECT_EQ(ts.fingerprint, tp.fingerprint);
+}
+
+TEST(ExpRunner, FilterSelectsByName)
+{
+    exp::Runner r("t");
+    r.table("tbl", "test");
+    r.add("alpha", [](const exp::RunContext &) {
+        return exp::ResultRow("alpha").count("v", 1);
+    });
+    r.add("beta", [](const exp::RunContext &) {
+        return exp::ResultRow("beta").count("v", 2);
+    });
+
+    exp::Runner::Options o;
+    o.quiet = true;
+    o.filter = "^bet";
+    ASSERT_EQ(r.run(o), 0);
+    ASSERT_EQ(r.results()[0].rows.size(), 1u);
+    EXPECT_EQ(r.results()[0].rows[0].label, "beta");
+}
+
+TEST(ExpRunner, WallClockCellsAreOutsideTheContract)
+{
+    exp::ResultRow a("row");
+    a.count("ops", 100).wall("wall_ms", "%.2f", 1.23);
+    exp::ResultRow b("row");
+    b.count("ops", 100).wall("wall_ms", "%.2f", 99.9);
+    // Different wall-clock measurements, same simulated results:
+    // equal under the determinism contract.
+    EXPECT_TRUE(exp::sameResults(a, b));
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    exp::ResultRow c("row");
+    c.count("ops", 101).wall("wall_ms", "%.2f", 1.23);
+    EXPECT_FALSE(exp::sameResults(a, c));
+}
+
+} // namespace

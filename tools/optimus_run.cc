@@ -24,7 +24,7 @@
 
 #include "accel/linkedlist_accel.hh"
 #include "accel/membench_accel.hh"
-#include "bench/harness.hh"
+#include "exp/builders.hh"
 #include "hv/system.hh"
 #include "hv/workloads.hh"
 
@@ -150,11 +150,11 @@ main(int argc, char **argv)
         for (std::uint32_t t = 0; t < o.tenants; ++t) {
             hv::AccelHandle &h = sys.attach(j, 10ULL << 30);
             if (o.app == "MB") {
-                bench::setupMembench(
+                exp::setupMembench(
                     h, o.wsetMb << 20,
                     accel::MembenchAccel::kRead, 100 + j * 16 + t);
             } else if (o.app == "LL") {
-                bench::setupLinkedList(
+                exp::setupLinkedList(
                     h, o.wsetMb << 20,
                     std::min<std::uint64_t>((o.wsetMb << 20) / 64,
                                             6000),
@@ -175,7 +175,7 @@ main(int argc, char **argv)
     auto warm = static_cast<sim::Tick>(o.windowMs * sim::kTickMs / 3);
     auto window = static_cast<sim::Tick>(o.windowMs * sim::kTickMs);
     double ns = 0;
-    auto ops = bench::measureWindow(sys, handles, warm, window, &ns);
+    auto ops = exp::measureWindow(sys, handles, warm, window, &ns);
 
     std::uint64_t total = 0;
     std::uint64_t mn = ~0ULL;
@@ -189,7 +189,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(total), ns / 1e6);
     if (o.app == "MB" || o.app == "LL") {
         std::printf("  (%.2f GB/s; %.0f ns per op per tenant)",
-                    bench::gbps(total, ns),
+                    exp::gbps(total, ns),
                     static_cast<double>(handles.size()) * ns /
                         static_cast<double>(total ? total : 1));
     }
