@@ -12,16 +12,16 @@ namespace optimus::accel {
 Accelerator::Accelerator(sim::EventQueue &eq,
                          const sim::PlatformParams &params,
                          std::string name, std::uint64_t freq_mhz,
-                         sim::StatGroup *stats)
+                         sim::Scope scope)
     : sim::Clocked(eq, freq_mhz),
       _name(std::move(name)),
-      _dma(eq, freq_mhz, _name + ".dma", stats),
+      _dma(eq, freq_mhz, _name + ".dma", scope.sub("dma")),
       _stateLineGap(static_cast<sim::Tick>(
           static_cast<double>(sim::kCacheLineBytes) /
           params.stateSaveGbps * static_cast<double>(sim::kTickNs))),
-      _preempts(stats, _name + ".preempts", "preempt commands handled"),
-      _resumes(stats, _name + ".resumes", "resume commands handled"),
-      _jobs(stats, _name + ".jobs", "jobs completed")
+      _preempts(scope.node, "preempts", "preempt commands handled"),
+      _resumes(scope.node, "resumes", "resume commands handled"),
+      _jobs(scope.node, "jobs", "jobs completed")
 {
 }
 

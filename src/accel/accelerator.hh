@@ -38,7 +38,7 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
 
     Accelerator(sim::EventQueue &eq,
                 const sim::PlatformParams &params, std::string name,
-                std::uint64_t freq_mhz, sim::StatGroup *stats = nullptr);
+                std::uint64_t freq_mhz, sim::Scope scope = {});
 
     const std::string &name() const { return _name; }
 

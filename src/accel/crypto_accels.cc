@@ -10,9 +10,9 @@ namespace optimus::accel {
 
 AesAccel::AesAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
+                   sim::Scope scope)
     : StreamingAccelerator(eq, params, std::move(name), 200,
-                           Tuning{64, 11}, stats)
+                           Tuning{64, 11}, scope)
 {
 }
 
@@ -41,9 +41,9 @@ AesAccel::consumeLine(std::uint64_t offset, const std::uint8_t *data,
 
 Md5Accel::Md5Accel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
+                   sim::Scope scope)
     : StreamingAccelerator(eq, params, std::move(name), 100,
-                           Tuning{64, 3}, stats)
+                           Tuning{64, 3}, scope)
 {
 }
 
@@ -69,9 +69,9 @@ Md5Accel::streamEnd()
 
 ShaAccel::ShaAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
+                   sim::Scope scope)
     : StreamingAccelerator(eq, params, std::move(name), 200,
-                           Tuning{64, 6}, stats)
+                           Tuning{64, 6}, scope)
 {
 }
 
@@ -97,8 +97,8 @@ ShaAccel::streamEnd()
 
 BtcAccel::BtcAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
-    : Accelerator(eq, params, std::move(name), 100, stats)
+                   sim::Scope scope)
+    : Accelerator(eq, params, std::move(name), 100, scope)
 {
     dma().setMaxOutstanding(4);
 }

@@ -29,7 +29,7 @@ class AesAccel : public StreamingAccelerator
     static constexpr std::uint32_t kRegKeyHi = 4;
 
     AesAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void streamBegin() override;
@@ -61,7 +61,7 @@ class Md5Accel : public StreamingAccelerator
 {
   public:
     Md5Accel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void streamBegin() override { _md5.reset(); }
@@ -93,7 +93,7 @@ class ShaAccel : public StreamingAccelerator
 {
   public:
     ShaAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void streamBegin() override { _sha.reset(); }
@@ -138,7 +138,7 @@ class BtcAccel : public Accelerator
     static constexpr std::uint32_t kBatch = 256;
 
     BtcAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void onStart() override;

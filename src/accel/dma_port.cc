@@ -24,12 +24,14 @@ makeTxn(sim::PoolArena &arena)
 } // namespace
 
 DmaPort::DmaPort(sim::EventQueue &eq, std::uint64_t freq_mhz,
-                 std::string name, sim::StatGroup *stats)
+                 std::string name, sim::Scope scope)
     : sim::Clocked(eq, freq_mhz),
-      _reads(stats, name + ".reads", "DMA reads issued"),
-      _writes(stats, name + ".writes", "DMA writes issued"),
-      _errors(stats, name + ".errors", "DMA completions with error"),
-      _latency(stats, name + ".latency_ns", "DMA round-trip (ns)")
+      _trace(scope.bus),
+      _comp(sim::traceComponent(scope, name)),
+      _reads(scope.node, "reads", "DMA reads issued"),
+      _writes(scope.node, "writes", "DMA writes issued"),
+      _errors(scope.node, "errors", "DMA completions with error"),
+      _latency(scope.node, "latency_ns", "DMA round-trip (ns)")
 {
     _issueEvent.bind(eq, this);
 }
@@ -91,6 +93,16 @@ DmaPort::tryIssue()
         _pending.pop_front();
         txn->issuedAt = now();
         (txn->isWrite ? _writes : _reads) += 1;
+        if (_trace && _trace->wants(sim::TraceKind::kDmaIssue)) {
+            sim::TraceRecord r;
+            r.kind = sim::TraceKind::kDmaIssue;
+            r.comp = _comp;
+            r.addr = txn->gva.value();
+            r.arg = txn->bytes;
+            if (txn->isWrite)
+                r.flags |= sim::kTraceWrite;
+            _trace->emit(r);
+        }
         ++_outstanding;
         _nextIssueAllowed =
             now() +

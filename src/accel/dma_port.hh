@@ -38,7 +38,7 @@ class DmaPort : public sim::Clocked
                             sim::kCompletionCaptureBytes>;
 
     DmaPort(sim::EventQueue &eq, std::uint64_t freq_mhz,
-            std::string name, sim::StatGroup *stats = nullptr);
+            std::string name, sim::Scope scope = {});
 
     void attach(fpga::FabricPort *fabric) { _fabric = fabric; }
 
@@ -113,6 +113,9 @@ class DmaPort : public sim::Clocked
     std::uint64_t _epoch = 0;
     std::uint64_t _nextId = 1;
     std::function<void()> _drainCb;
+
+    sim::TraceBus *_trace = nullptr;
+    std::uint32_t _comp = 0;
 
     sim::Counter _reads;
     sim::Counter _writes;

@@ -10,9 +10,9 @@ namespace optimus::accel {
 
 GrsAccel::GrsAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
+                   sim::Scope scope)
     : StreamingAccelerator(eq, params, std::move(name), 200,
-                           Tuning{64, 4}, stats)
+                           Tuning{64, 4}, scope)
 {
 }
 
@@ -81,9 +81,9 @@ RowFilterAccel::RowFilterAccel(sim::EventQueue &eq,
                                const sim::PlatformParams &params,
                                std::string name,
                                std::uint32_t read_gap_cycles,
-                               sim::StatGroup *stats)
+                               sim::Scope scope)
     : StreamingAccelerator(eq, params, std::move(name), 200,
-                           Tuning{64, read_gap_cycles}, stats)
+                           Tuning{64, read_gap_cycles}, scope)
 {
 }
 
@@ -213,15 +213,15 @@ RowFilterAccel::restoreTransformState(
 
 GauAccel::GauAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
-    : RowFilterAccel(eq, params, std::move(name), 6, stats)
+                   sim::Scope scope)
+    : RowFilterAccel(eq, params, std::move(name), 6, scope)
 {
 }
 
 SblAccel::SblAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
-    : RowFilterAccel(eq, params, std::move(name), 6, stats)
+                   sim::Scope scope)
+    : RowFilterAccel(eq, params, std::move(name), 6, scope)
 {
 }
 

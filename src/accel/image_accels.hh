@@ -26,7 +26,7 @@ class GrsAccel : public StreamingAccelerator
 {
   public:
     GrsAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void streamBegin() override;
@@ -66,7 +66,7 @@ class RowFilterAccel : public StreamingAccelerator
     RowFilterAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
                    std::uint32_t read_gap_cycles,
-                   sim::StatGroup *stats = nullptr);
+                   sim::Scope scope = {});
 
   protected:
     /** The per-pixel arithmetic (Gaussian or Sobel). */
@@ -108,7 +108,7 @@ class GauAccel : public RowFilterAccel
 {
   public:
     GauAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     std::uint8_t filterPixel(const algo::GrayImage &window,
@@ -123,7 +123,7 @@ class SblAccel : public RowFilterAccel
 {
   public:
     SblAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     std::uint8_t filterPixel(const algo::GrayImage &window,

@@ -9,8 +9,8 @@ namespace optimus::accel {
 LinkedlistAccel::LinkedlistAccel(sim::EventQueue &eq,
                                  const sim::PlatformParams &params,
                                  std::string name,
-                                 sim::StatGroup *stats)
-    : Accelerator(eq, params, std::move(name), 400, stats)
+                                 sim::Scope scope)
+    : Accelerator(eq, params, std::move(name), 400, scope)
 {
     // Strictly serial: the next address is only known when the
     // current node arrives.

@@ -36,7 +36,7 @@ class LinkedlistAccel : public Accelerator
 
     LinkedlistAccel(sim::EventQueue &eq,
                     const sim::PlatformParams &params, std::string name,
-                    sim::StatGroup *stats = nullptr);
+                    sim::Scope scope = {});
 
     /** Nodes visited so far. */
     std::uint64_t nodesWalked() const { return progress(); }

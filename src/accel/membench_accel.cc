@@ -8,8 +8,8 @@ namespace optimus::accel {
 
 MembenchAccel::MembenchAccel(sim::EventQueue &eq,
                              const sim::PlatformParams &params,
-                             std::string name, sim::StatGroup *stats)
-    : Accelerator(eq, params, std::move(name), 400, stats)
+                             std::string name, sim::Scope scope)
+    : Accelerator(eq, params, std::move(name), 400, scope)
 {
     dma().setMaxOutstanding(256);
     _pumpEvent.bind(eq, this);

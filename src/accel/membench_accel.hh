@@ -40,7 +40,7 @@ class MembenchAccel : public Accelerator
 
     MembenchAccel(sim::EventQueue &eq,
                   const sim::PlatformParams &params, std::string name,
-                  sim::StatGroup *stats = nullptr);
+                  sim::Scope scope = {});
 
     /** Completed operations (PROGRESS register equivalent). */
     std::uint64_t completedOps() const { return progress(); }

@@ -22,62 +22,62 @@ allAppNames()
 std::unique_ptr<Accelerator>
 makeAccelerator(const std::string &app, sim::EventQueue &eq,
                 const sim::PlatformParams &params,
-                std::string instance_name, sim::StatGroup *stats)
+                std::string instance_name, sim::Scope scope)
 {
     if (app == "AES")
         return std::make_unique<AesAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "MD5")
         return std::make_unique<Md5Accel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "SHA")
         return std::make_unique<ShaAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "FIR")
         return std::make_unique<FirAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "GRN")
         return std::make_unique<GrnAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "RSD")
         return std::make_unique<RsdAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "SW")
         return std::make_unique<SwAccel>(eq, params,
                                          std::move(instance_name),
-                                         stats);
+                                         scope);
     if (app == "GAU")
         return std::make_unique<GauAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "GRS")
         return std::make_unique<GrsAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "SBL")
         return std::make_unique<SblAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "SSSP")
         return std::make_unique<SsspAccel>(eq, params,
                                            std::move(instance_name),
-                                           stats);
+                                           scope);
     if (app == "BTC")
         return std::make_unique<BtcAccel>(eq, params,
                                           std::move(instance_name),
-                                          stats);
+                                          scope);
     if (app == "MB")
         return std::make_unique<MembenchAccel>(
-            eq, params, std::move(instance_name), stats);
+            eq, params, std::move(instance_name), scope);
     if (app == "LL")
         return std::make_unique<LinkedlistAccel>(
-            eq, params, std::move(instance_name), stats);
+            eq, params, std::move(instance_name), scope);
     OPTIMUS_FATAL("unknown accelerator '%s'", app.c_str());
 }
 

@@ -25,7 +25,7 @@ const std::vector<std::string> &allAppNames();
 std::unique_ptr<Accelerator> makeAccelerator(
     const std::string &app, sim::EventQueue &eq,
     const sim::PlatformParams &params, std::string instance_name,
-    sim::StatGroup *stats = nullptr);
+    sim::Scope scope = {});
 
 } // namespace optimus::accel
 

@@ -11,9 +11,9 @@ namespace optimus::accel {
 
 FirAccel::FirAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
+                   sim::Scope scope)
     : StreamingAccelerator(eq, params, std::move(name), 200,
-                           Tuning{64, 11}, stats),
+                           Tuning{64, 11}, scope),
       _fir(algo::Fir16::defaultTaps())
 {
 }
@@ -62,8 +62,8 @@ FirAccel::restoreTransformState(const std::vector<std::uint8_t> &blob)
 
 GrnAccel::GrnAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
-    : Accelerator(eq, params, std::move(name), 200, stats)
+                   sim::Scope scope)
+    : Accelerator(eq, params, std::move(name), 200, scope)
 {
     dma().setMaxOutstanding(24);
     _pumpEvent.bind(eq, this);
@@ -166,9 +166,9 @@ GrnAccel::onResumed()
 
 RsdAccel::RsdAccel(sim::EventQueue &eq,
                    const sim::PlatformParams &params, std::string name,
-                   sim::StatGroup *stats)
+                   sim::Scope scope)
     : StreamingAccelerator(eq, params, std::move(name), 200,
-                           Tuning{64, 11}, stats)
+                           Tuning{64, 11}, scope)
 {
 }
 
@@ -238,8 +238,8 @@ RsdAccel::restoreTransformState(const std::vector<std::uint8_t> &blob)
 
 SwAccel::SwAccel(sim::EventQueue &eq,
                  const sim::PlatformParams &params, std::string name,
-                 sim::StatGroup *stats)
-    : Accelerator(eq, params, std::move(name), 100, stats)
+                 sim::Scope scope)
+    : Accelerator(eq, params, std::move(name), 100, scope)
 {
     dma().setMaxOutstanding(16);
 }

@@ -27,7 +27,7 @@ class FirAccel : public StreamingAccelerator
 {
   public:
     FirAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void streamBegin() override;
@@ -61,7 +61,7 @@ class GrnAccel : public Accelerator
     static constexpr std::uint32_t kDoublesPerLine = 8;
 
     GrnAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void onStart() override;
@@ -107,7 +107,7 @@ class RsdAccel : public StreamingAccelerator
     static constexpr std::uint64_t kSlotBytes = 256;
 
     RsdAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-             std::string name, sim::StatGroup *stats = nullptr);
+             std::string name, sim::Scope scope = {});
 
   protected:
     void streamBegin() override;
@@ -150,7 +150,7 @@ class SwAccel : public Accelerator
     static constexpr std::uint32_t kRegLenB = 3;
 
     SwAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-            std::string name, sim::StatGroup *stats = nullptr);
+            std::string name, sim::Scope scope = {});
 
   protected:
     void onStart() override;

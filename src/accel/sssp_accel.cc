@@ -20,8 +20,8 @@ lineBase(std::uint64_t addr)
 
 SsspAccel::SsspAccel(sim::EventQueue &eq,
                      const sim::PlatformParams &params,
-                     std::string name, sim::StatGroup *stats)
-    : Accelerator(eq, params, std::move(name), 200, stats)
+                     std::string name, sim::Scope scope)
+    : Accelerator(eq, params, std::move(name), 200, scope)
 {
     dma().setMaxOutstanding(64);
 }

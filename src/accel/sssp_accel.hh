@@ -40,7 +40,7 @@ class SsspAccel : public Accelerator
     static constexpr std::uint32_t kDefaultVertexWindow = 16;
 
     SsspAccel(sim::EventQueue &eq, const sim::PlatformParams &params,
-              std::string name, sim::StatGroup *stats = nullptr);
+              std::string name, sim::Scope scope = {});
 
     std::uint64_t relaxations() const { return _relaxations; }
     std::uint64_t rounds() const { return _rounds; }

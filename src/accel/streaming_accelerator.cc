@@ -10,8 +10,8 @@ namespace optimus::accel {
 StreamingAccelerator::StreamingAccelerator(
     sim::EventQueue &eq, const sim::PlatformParams &params,
     std::string name, std::uint64_t freq_mhz, Tuning tuning,
-    sim::StatGroup *stats)
-    : Accelerator(eq, params, std::move(name), freq_mhz, stats),
+    sim::Scope scope)
+    : Accelerator(eq, params, std::move(name), freq_mhz, scope),
       _tuning(tuning)
 {
     dma().setMaxOutstanding(_tuning.window);

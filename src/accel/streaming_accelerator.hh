@@ -49,7 +49,7 @@ class StreamingAccelerator : public Accelerator
                          const sim::PlatformParams &params,
                          std::string name, std::uint64_t freq_mhz,
                          Tuning tuning,
-                         sim::StatGroup *stats = nullptr);
+                         sim::Scope scope = {});
 
   protected:
     // ----- derived transform interface -----

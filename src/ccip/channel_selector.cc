@@ -7,36 +7,57 @@ namespace optimus::ccip {
 Link &
 ChannelSelector::select(const DmaTxn &txn)
 {
+    Link *pick = nullptr;
     switch (txn.vc) {
       case VChannel::kUpi:
-        return *_links[0];
+        pick = _links[0];
+        break;
       case VChannel::kPcie0:
-        return *_links[1];
+        pick = _links[1];
+        break;
       case VChannel::kPcie1:
-        return *_links[2];
+        pick = _links[2];
+        break;
       case VChannel::kAuto:
         break;
     }
 
-    const LinkDir data_dir =
-        txn.isWrite ? LinkDir::kToHost : LinkDir::kToFpga;
-    Link *best = nullptr;
-    sim::Tick best_done = 0;
-    for (std::uint32_t i = 0; i < _links.size(); ++i) {
-        // Rotate the probe order so that ties (idle links) spread
-        // packets across channels instead of always picking UPI.
-        Link *l = _links[(i + _rr) % _links.size()];
-        sim::Tick done =
-            std::max(l->nowTick(), l->nextFree(data_dir)) +
-            l->serialization(data_dir,
-                             l->pendingBytes(data_dir) + txn.bytes);
-        if (!best || done < best_done) {
-            best = l;
-            best_done = done;
+    if (!pick) {
+        const LinkDir data_dir =
+            txn.isWrite ? LinkDir::kToHost : LinkDir::kToFpga;
+        sim::Tick best_done = 0;
+        for (std::uint32_t i = 0; i < _links.size(); ++i) {
+            // Rotate the probe order so that ties (idle links) spread
+            // packets across channels instead of always picking UPI.
+            Link *l = _links[(i + _rr) % _links.size()];
+            sim::Tick done =
+                std::max(l->nowTick(), l->nextFree(data_dir)) +
+                l->serialization(data_dir,
+                                 l->pendingBytes(data_dir) + txn.bytes);
+            if (!pick || done < best_done) {
+                pick = l;
+                best_done = done;
+            }
         }
+        _rr = (_rr + 1) % static_cast<std::uint32_t>(_links.size());
     }
-    _rr = (_rr + 1) % static_cast<std::uint32_t>(_links.size());
-    return *best;
+
+    if (_trace && _trace->wants(sim::TraceKind::kChannelSelect)) {
+        sim::TraceRecord r;
+        r.kind = sim::TraceKind::kChannelSelect;
+        r.comp = _comp;
+        r.addr = txn.iova.value();
+        r.arg = static_cast<std::uint64_t>(
+            std::find(_links.begin(), _links.end(), pick) -
+            _links.begin());
+        r.tag = txn.tag;
+        r.vm = txn.vm;
+        r.proc = txn.proc;
+        if (txn.isWrite)
+            r.flags |= sim::kTraceWrite;
+        _trace->emit(r);
+    }
+    return *pick;
 }
 
 } // namespace optimus::ccip

@@ -23,8 +23,11 @@ namespace optimus::ccip {
 class ChannelSelector
 {
   public:
-    ChannelSelector(Link &upi, Link &pcie0, Link &pcie1)
-        : _links{&upi, &pcie0, &pcie1}
+    ChannelSelector(Link &upi, Link &pcie0, Link &pcie1,
+                    sim::Scope scope = {})
+        : _links{&upi, &pcie0, &pcie1},
+          _trace(scope.bus),
+          _comp(sim::traceComponent(scope, "selector"))
     {
     }
 
@@ -40,6 +43,8 @@ class ChannelSelector
   private:
     std::array<Link *, 3> _links; // UPI, PCIe0, PCIe1
     std::uint32_t _rr = 0;
+    sim::TraceBus *_trace = nullptr;
+    std::uint32_t _comp = 0;
 };
 
 } // namespace optimus::ccip

@@ -5,7 +5,7 @@
 namespace optimus::ccip {
 
 Link::Link(sim::EventQueue &eq, std::string name, sim::Tick latency,
-           double read_gbps, double write_gbps, sim::StatGroup *stats)
+           double read_gbps, double write_gbps, sim::Scope scope)
     : _eq(eq),
       _name(std::move(name)),
       _latency(latency),
@@ -13,9 +13,9 @@ Link::Link(sim::EventQueue &eq, std::string name, sim::Tick latency,
       _toFpgaBytesPerTick(read_gbps / static_cast<double>(sim::kTickNs)),
       _toHostBytesPerTick(write_gbps /
                           static_cast<double>(sim::kTickNs)),
-      _bytesToHost(stats, _name + ".bytes_to_host",
+      _bytesToHost(scope.node, "bytes_to_host",
                    "bytes carried toward the host"),
-      _bytesToFpga(stats, _name + ".bytes_to_fpga",
+      _bytesToFpga(scope.node, "bytes_to_fpga",
                    "bytes carried toward the FPGA")
 {
 }

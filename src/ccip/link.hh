@@ -11,6 +11,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "sim/types.hh"
 
 namespace optimus::ccip {
@@ -38,7 +39,7 @@ class Link
      */
     Link(sim::EventQueue &eq, std::string name, sim::Tick latency,
          double read_gbps, double write_gbps,
-         sim::StatGroup *stats = nullptr);
+         sim::Scope scope = {});
 
     const std::string &name() const { return _name; }
     sim::Tick latency() const { return _latency; }

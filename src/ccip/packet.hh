@@ -20,6 +20,7 @@
 
 #include "mem/address.hh"
 #include "sim/inline_function.hh"
+#include "sim/trace_bus.hh"
 #include "sim/types.hh"
 
 namespace optimus::ccip {
@@ -47,6 +48,11 @@ struct DmaTxn
     mem::Iova iova{};
     /** Accelerator ID tag stamped by the auditor (Section 4.1). */
     AccelTag tag = 0;
+    /** Owning tenant, stamped by the auditor alongside the tag so
+     *  every downstream counter and trace record knows whose DMA
+     *  this is (sim::kNoOwner until stamped). */
+    std::uint16_t vm = sim::kNoOwner;
+    std::uint16_t proc = sim::kNoOwner;
     /** Payload size; at most one cache line. */
     std::uint32_t bytes = sim::kCacheLineBytes;
     VChannel vc = VChannel::kAuto;

@@ -8,22 +8,27 @@ namespace optimus::ccip {
 
 Shell::Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
              mem::HostMemory &memory, mem::MemoryController &memctl,
-             iommu::Iommu &iommu, sim::StatGroup *stats)
+             iommu::Iommu &iommu, sim::Scope scope)
     : _eq(eq),
       _memory(memory),
       _memctl(memctl),
       _iommu(iommu),
       _upi(eq, "upi", params.upiLatency, params.upiReadGbps,
-           params.upiReadGbps * params.writeBwFactor, stats),
+           params.upiReadGbps * params.writeBwFactor,
+           scope.sub("upi")),
       _pcie0(eq, "pcie0", params.pcieLatency, params.pcieReadGbps,
-             params.pcieReadGbps * params.writeBwFactor, stats),
+             params.pcieReadGbps * params.writeBwFactor,
+             scope.sub("pcie0")),
       _pcie1(eq, "pcie1", params.pcieLatency, params.pcieReadGbps,
-             params.pcieReadGbps * params.writeBwFactor, stats),
-      _selector(_upi, _pcie0, _pcie1),
+             params.pcieReadGbps * params.writeBwFactor,
+             scope.sub("pcie1")),
+      _selector(_upi, _pcie0, _pcie1, scope.sub("selector")),
       _mmioLinkLatency(params.pcieLatency),
-      _dmaReads(stats, "shell.dma_reads", "DMA reads processed"),
-      _dmaWrites(stats, "shell.dma_writes", "DMA writes processed"),
-      _dmaFaults(stats, "shell.dma_faults",
+      _trace(scope.bus),
+      _comp(sim::traceComponent(scope, "shell")),
+      _dmaReads(scope.node, "dma_reads", "DMA reads processed"),
+      _dmaWrites(scope.node, "dma_writes", "DMA writes processed"),
+      _dmaFaults(scope.node, "dma_faults",
                  "DMAs rejected by IO page fault")
 {
 }
@@ -38,11 +43,14 @@ Shell::fromAfu(DmaTxnPtr txn)
     // per hop.
     mem::Iova iova = txn->iova;
     bool is_write = txn->isWrite;
+    std::uint16_t vm = txn->vm;
+    std::uint16_t proc = txn->proc;
     _iommu.translate(iova, is_write,
                      [this, txn = std::move(txn)](
                          iommu::TranslationResult tr) mutable {
                          onTranslated(std::move(txn), tr);
-                     });
+                     },
+                     vm, proc);
 }
 
 void
@@ -105,8 +113,22 @@ Shell::respond(DmaTxnPtr txn)
 {
     OPTIMUS_ASSERT(_responseSink != nullptr,
                    "shell has no AFU response sink");
-    if (_tracer)
-        _tracer(txn);
+    if (_trace && _trace->wants(sim::TraceKind::kDmaComplete)) {
+        sim::TraceRecord r;
+        r.kind = sim::TraceKind::kDmaComplete;
+        r.comp = _comp;
+        r.start = txn->issuedAt;
+        r.addr = txn->iova.value();
+        r.arg = txn->bytes;
+        r.tag = txn->tag;
+        r.vm = txn->vm;
+        r.proc = txn->proc;
+        if (txn->isWrite)
+            r.flags |= sim::kTraceWrite;
+        if (txn->error)
+            r.flags |= sim::kTraceError;
+        _trace->emit(r);
+    }
     _responseSink(std::move(txn));
 }
 

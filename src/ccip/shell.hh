@@ -36,7 +36,7 @@ class Shell
 
     Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
           mem::HostMemory &memory, mem::MemoryController &memctl,
-          iommu::Iommu &iommu, sim::StatGroup *stats = nullptr);
+          iommu::Iommu &iommu, sim::Scope scope = {});
 
     /**
      * Submit a DMA from the AFU side. The transaction's iova and tag
@@ -47,13 +47,6 @@ class Shell
 
     /** Where completed DMA responses are delivered on the AFU side. */
     void setResponseSink(DmaSink sink) { _responseSink = std::move(sink); }
-
-    /**
-     * Optional transaction tracer, invoked once per completed DMA
-     * (including faulted ones) at response time — the hook behind
-     * TraceWriter. Pass nullptr to disable.
-     */
-    void setTracer(DmaSink tracer) { _tracer = std::move(tracer); }
 
     /** Submit an MMIO operation from the host/hypervisor side. */
     void mmioFromHost(MmioOp op);
@@ -88,8 +81,10 @@ class Shell
     sim::Tick _mmioLinkLatency;
 
     DmaSink _responseSink;
-    DmaSink _tracer;
     MmioSink _mmioSink;
+
+    sim::TraceBus *_trace = nullptr;
+    std::uint32_t _comp = 0;
 
     sim::Counter _dmaReads;
     sim::Counter _dmaWrites;

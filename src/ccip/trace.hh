@@ -2,9 +2,13 @@
  * @file
  * CSV transaction tracing.
  *
- * Attach a TraceWriter to the shell to record every completed DMA —
- * useful for debugging accelerator memory behaviour and for offline
- * analysis of access patterns (the kind of data Figs 5/6 aggregate).
+ * A TraceWriter is a sim::TraceBus sink that records every completed
+ * DMA as one CSV row — useful for debugging accelerator memory
+ * behaviour and for offline analysis of access patterns (the kind of
+ * data Figs 5/6 aggregate).  Because it is an ordinary bus sink, any
+ * number of writers (and other sinks) can observe the same
+ * transactions concurrently; the old single-slot Shell::setTracer
+ * hook, which silently evicted the previous subscriber, is gone.
  */
 
 #ifndef OPTIMUS_CCIP_TRACE_HH
@@ -12,46 +16,48 @@
 
 #include <ostream>
 
-#include "ccip/packet.hh"
-#include "ccip/shell.hh"
-#include "sim/event_queue.hh"
+#include "sim/trace_bus.hh"
+#include "sim/types.hh"
 
 namespace optimus::ccip {
 
 /** Streams one CSV row per completed DMA transaction. */
-class TraceWriter
+class TraceWriter : public sim::TraceSink
 {
   public:
     /**
      * @param os Destination stream (kept by reference; must outlive
      *           the writer).
-     * @param shell The shell to attach to.
+     * @param bus The trace bus to subscribe to (e.g.
+     *            hv::System::trace).
      */
-    TraceWriter(std::ostream &os, Shell &shell, sim::EventQueue &eq)
-        : _os(os), _eq(eq)
+    TraceWriter(std::ostream &os, sim::TraceBus &bus)
+        : _os(os), _bus(&bus)
     {
         _os << "complete_ns,issue_ns,rw,tag,iova,bytes,error\n";
-        shell.setTracer([this](const DmaTxnPtr &txn) {
-            record(*txn);
-        });
+        bus.attach(this,
+                   sim::traceMask(sim::TraceKind::kDmaComplete));
+    }
+
+    ~TraceWriter() override { _bus->detach(this); }
+
+    void
+    record(const sim::TraceBus &,
+           const sim::TraceRecord &r) override
+    {
+        _os << r.at / sim::kTickNs << ',' << r.start / sim::kTickNs
+            << ',' << ((r.flags & sim::kTraceWrite) ? 'W' : 'R')
+            << ',' << r.tag << ",0x" << std::hex << r.addr
+            << std::dec << ',' << r.arg << ','
+            << ((r.flags & sim::kTraceError) ? 1 : 0) << '\n';
+        ++_rows;
     }
 
     std::uint64_t rows() const { return _rows; }
 
   private:
-    void
-    record(const DmaTxn &txn)
-    {
-        _os << _eq.now() / sim::kTickNs << ','
-            << txn.issuedAt / sim::kTickNs << ','
-            << (txn.isWrite ? 'W' : 'R') << ',' << txn.tag << ",0x"
-            << std::hex << txn.iova.value() << std::dec << ','
-            << txn.bytes << ',' << (txn.error ? 1 : 0) << '\n';
-        ++_rows;
-    }
-
     std::ostream &_os;
-    sim::EventQueue &_eq;
+    sim::TraceBus *_bus;
     std::uint64_t _rows = 0;
 };
 

@@ -6,12 +6,87 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <regex>
 #include <thread>
 
+#include "hv/system.hh"
+#include "sim/trace_sinks.hh"
+
 namespace optimus::exp {
+
+namespace {
+
+/** File-name-safe scenario label. */
+std::string
+sanitize(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '.';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/**
+ * Thread-local observer backing --telemetry: for every System a
+ * scenario creates, attach a Chrome-trace sink at birth and dump the
+ * telemetry tree (JSON) plus the collected trace at death. Installed
+ * per worker-scenario, so parallel workers dump independently.
+ */
+class TelemetryDumper : public hv::SystemObserver
+{
+  public:
+    TelemetryDumper(std::string dir, std::string scenario)
+        : _dir(std::move(dir)), _scenario(sanitize(scenario))
+    {
+        _prev = hv::SystemObserver::swap(this);
+    }
+
+    ~TelemetryDumper() override { hv::SystemObserver::swap(_prev); }
+
+    void
+    systemCreated(hv::System &sys) override
+    {
+        _sinks[&sys] =
+            std::make_unique<sim::ChromeTraceSink>(sys.trace);
+    }
+
+    void
+    systemDestroyed(hv::System &sys) override
+    {
+        std::string base = _dir + "/" + _scenario + ".sys" +
+                           std::to_string(_count++);
+        {
+            std::ofstream os(base + ".telemetry.json");
+            sys.telemetry.writeJson(os);
+        }
+        auto it = _sinks.find(&sys);
+        if (it != _sinks.end()) {
+            std::ofstream os(base + ".trace.json");
+            it->second->write(os);
+            _sinks.erase(it); // detaches while the bus still lives
+        }
+    }
+
+  private:
+    std::string _dir;
+    std::string _scenario;
+    unsigned _count = 0;
+    hv::SystemObserver *_prev = nullptr;
+    std::map<hv::System *, std::unique_ptr<sim::ChromeTraceSink>>
+        _sinks;
+};
+
+} // namespace
 
 Runner &
 Runner::table(std::string title, std::string paperRef)
@@ -57,8 +132,9 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
         std::fprintf(
             out,
             "usage: %s [--jobs N] [--filter REGEX] [--json PATH]\n"
-            "          [--csv PATH] [--time-scale F] [--list]"
-            " [--quiet]\n",
+            "          [--csv PATH] [--telemetry DIR]"
+            " [--time-scale F]\n"
+            "          [--list] [--quiet]\n",
             argc > 0 ? argv[0] : "bench");
     };
     for (int i = 1; i < argc; ++i) {
@@ -94,6 +170,11 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.csvPath = v;
+        } else if (a == "--telemetry") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.telemetryDir = v;
         } else if (a == "--time-scale") {
             const char *v = val();
             if (!v)
@@ -180,7 +261,14 @@ Runner::run(const Options &opts)
             const Job &j = jobs[i];
             const Scenario &s = _tables[j.table].scenarios[j.scen];
             try {
-                slots[i] = s.run(ctx);
+                if (!opts.telemetryDir.empty()) {
+                    TelemetryDumper dumper(
+                        opts.telemetryDir,
+                        "t" + std::to_string(j.table) + "." + s.name);
+                    slots[i] = s.run(ctx);
+                } else {
+                    slots[i] = s.run(ctx);
+                }
             } catch (const std::exception &e) {
                 std::lock_guard<std::mutex> g(errLock);
                 _errors.push_back(s.name + ": " + e.what());
@@ -190,6 +278,17 @@ Runner::run(const Options &opts)
             }
         }
     };
+
+    if (!opts.telemetryDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.telemetryDir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         opts.telemetryDir.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+    }
 
     auto t0 = std::chrono::steady_clock::now();
     unsigned nthreads = opts.jobs;

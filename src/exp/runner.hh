@@ -42,6 +42,11 @@ class Runner
         std::string filter;   ///< ECMAScript regex; empty = all
         std::string jsonPath; ///< write machine-readable JSON here
         std::string csvPath;  ///< write flat CSV here
+        /** Directory for per-scenario observability dumps: each
+         *  simulated System writes its telemetry tree as JSON plus a
+         *  Chrome-trace (Perfetto-loadable) event file. Excluded
+         *  from fingerprints; empty = disabled. */
+        std::string telemetryDir;
         bool list = false;    ///< print scenario names and exit
         bool quiet = false;   ///< suppress text tables
     };

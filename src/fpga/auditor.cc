@@ -9,16 +9,15 @@ namespace optimus::fpga {
 
 Auditor::Auditor(sim::EventQueue &eq, std::uint64_t freq_mhz,
                  ccip::AccelTag tag, std::uint32_t latency_cycles,
-                 sim::StatGroup *stats)
+                 sim::Scope scope)
     : sim::Clocked(eq, freq_mhz),
       _tag(tag),
       _latencyCycles(latency_cycles),
-      _rejected(stats, sim::strprintf("auditor%u.rejected_dmas", tag),
+      _rejected(scope.node, "rejected_dmas",
                 "DMA requests outside the allowed window"),
-      _discarded(stats,
-                 sim::strprintf("auditor%u.discarded_responses", tag),
+      _discarded(scope.node, "discarded_responses",
                  "downstream packets dropped by tag check"),
-      _forwarded(stats, sim::strprintf("auditor%u.forwarded", tag),
+      _forwarded(scope.node, "forwarded",
                  "DMA requests translated and forwarded")
 {
     _pumpEvent.bind(eq, this);
@@ -27,6 +26,10 @@ Auditor::Auditor(sim::EventQueue &eq, std::uint64_t freq_mhz,
 void
 Auditor::dmaFromAccel(ccip::DmaTxnPtr txn)
 {
+    // Attribution: everything this DMA touches downstream (IOTLB,
+    // links, shell counters, trace records) knows its tenant.
+    txn->vm = _vm;
+    txn->proc = _proc;
     const std::uint64_t gva = txn->gva.value();
     const bool in_window =
         _entry.valid && gva >= _entry.gvaBase &&

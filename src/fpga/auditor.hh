@@ -52,9 +52,24 @@ class Auditor : public sim::Clocked
 
     Auditor(sim::EventQueue &eq, std::uint64_t freq_mhz,
             ccip::AccelTag tag, std::uint32_t latency_cycles,
-            sim::StatGroup *stats = nullptr);
+            sim::Scope scope = {});
 
     ccip::AccelTag tag() const { return _tag; }
+
+    /**
+     * The tenant currently scheduled behind this auditor; every
+     * outgoing DMA is stamped with it (per-VM attribution).  The
+     * scheduler updates this on every context switch; pass
+     * sim::kNoOwner to mark the slot idle.
+     */
+    void
+    setOwner(std::uint16_t vm, std::uint16_t proc)
+    {
+        _vm = vm;
+        _proc = proc;
+    }
+    std::uint16_t ownerVm() const { return _vm; }
+    std::uint16_t ownerProc() const { return _proc; }
 
     /** The offset-table entry this auditor translates with. */
     void setOffsetEntry(const OffsetEntry &e) { _entry = e; }
@@ -115,6 +130,8 @@ class Auditor : public sim::Clocked
   private:
     ccip::AccelTag _tag;
     std::uint32_t _latencyCycles;
+    std::uint16_t _vm = sim::kNoOwner;
+    std::uint16_t _proc = sim::kNoOwner;
     OffsetEntry _entry;
     AccelDevice *_device = nullptr;
     Forward _upstream;

@@ -11,7 +11,7 @@ HardwareMonitor::HardwareMonitor(sim::EventQueue &eq,
                                  ccip::Shell &shell,
                                  std::uint32_t num_accels,
                                  std::uint32_t arity,
-                                 sim::StatGroup *stats)
+                                 sim::Scope scope)
     : _eq(eq),
       _shell(shell),
       _injectInterval(params.monitorInjectInterval),
@@ -20,10 +20,10 @@ HardwareMonitor::HardwareMonitor(sim::EventQueue &eq,
       _mmioTreeLatency((params.muxUpCyclesPerLevel +
                         params.muxDownCyclesPerLevel) *
                        sim::periodFromMhz(params.fpgaIfaceMhz)),
-      _tree(eq, params, num_accels, arity),
-      _droppedMmio(stats, "monitor.dropped_mmios",
+      _tree(eq, params, num_accels, arity, scope.sub("mux")),
+      _droppedMmio(scope.node, "dropped_mmios",
                    "MMIOs matching no accelerator page"),
-      _vcuMmios(stats, "monitor.vcu_mmios",
+      _vcuMmios(scope.node, "vcu_mmios",
                 "management MMIOs handled by the VCU")
 {
     OPTIMUS_ASSERT(num_accels >= 1 && num_accels <= 64,
@@ -32,7 +32,8 @@ HardwareMonitor::HardwareMonitor(sim::EventQueue &eq,
     for (std::uint32_t i = 0; i < num_accels; ++i) {
         _auditors.push_back(std::make_unique<Auditor>(
             eq, params.fpgaIfaceMhz, static_cast<ccip::AccelTag>(i),
-            params.auditorCycles, stats));
+            params.auditorCycles,
+            scope.sub(sim::strprintf("auditor%u", i))));
         _ports.push_back(std::make_unique<Port>(*this, i));
 
         Auditor *a = _auditors.back().get();

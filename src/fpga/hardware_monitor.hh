@@ -49,7 +49,7 @@ class HardwareMonitor
                     const sim::PlatformParams &params,
                     ccip::Shell &shell, std::uint32_t num_accels,
                     std::uint32_t arity = 2,
-                    sim::StatGroup *stats = nullptr);
+                    sim::Scope scope = {});
 
     std::uint32_t numAccels() const
     {

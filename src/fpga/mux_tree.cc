@@ -7,13 +7,16 @@
 namespace optimus::fpga {
 
 MuxNode::MuxNode(sim::EventQueue &eq, std::uint64_t freq_mhz,
-                 std::uint32_t arity, std::uint32_t up_latency_cycles)
+                 std::uint32_t arity, std::uint32_t up_latency_cycles,
+                 sim::Scope scope)
     : sim::Clocked(eq, freq_mhz),
       _upLatencyCycles(up_latency_cycles),
       _queues(arity),
       _reserved(arity, 0),
       _wake(arity),
-      _forwardedPerChild(arity, 0)
+      _forwardedPerChild(arity, 0),
+      _trace(scope.bus),
+      _comp(sim::traceComponent(scope, "mux"))
 {
     OPTIMUS_ASSERT(arity >= 2, "multiplexer arity must be >= 2");
     _serviceEvent.bind(eq, this);
@@ -84,6 +87,20 @@ MuxNode::service()
     ++_forwardedPerChild[pick];
     _rr = pick + 1 == n ? 0 : pick + 1;
 
+    if (_trace && _trace->wants(sim::TraceKind::kMuxGrant)) {
+        sim::TraceRecord r;
+        r.kind = sim::TraceKind::kMuxGrant;
+        r.comp = _comp;
+        r.addr = txn->iova.value();
+        r.arg = pick;
+        r.tag = txn->tag;
+        r.vm = txn->vm;
+        r.proc = txn->proc;
+        if (txn->isWrite)
+            r.flags |= sim::kTraceWrite;
+        _trace->emit(r);
+    }
+
     // One packet per cycle leaves this node; the packet itself takes
     // the pipeline latency to reach the next level.
     _busyUntil = now() + clockPeriod();
@@ -112,7 +129,8 @@ MuxNode::service()
 }
 
 MuxTree::MuxTree(sim::EventQueue &eq, const sim::PlatformParams &params,
-                 std::uint32_t leaves, std::uint32_t arity)
+                 std::uint32_t leaves, std::uint32_t arity,
+                 sim::Scope scope)
     : _eq(eq),
       _leaves(leaves),
       _arity(arity),
@@ -141,7 +159,9 @@ MuxTree::MuxTree(sim::EventQueue &eq, const sim::PlatformParams &params,
         for (std::uint64_t i = 0; i < nodes_at; ++i) {
             row.push_back(std::make_unique<MuxNode>(
                 eq, params.fpgaIfaceMhz, arity,
-                params.muxUpCyclesPerLevel));
+                params.muxUpCyclesPerLevel,
+                scope.sub(sim::strprintf("l%un%u", level,
+                                         static_cast<unsigned>(i)))));
         }
         nodes_at *= arity;
     }

@@ -52,7 +52,8 @@ class MuxNode : public sim::Clocked
     static constexpr std::uint32_t kQueueDepth = 8;
 
     MuxNode(sim::EventQueue &eq, std::uint64_t freq_mhz,
-            std::uint32_t arity, std::uint32_t up_latency_cycles);
+            std::uint32_t arity, std::uint32_t up_latency_cycles,
+            sim::Scope scope = {});
 
     /** Wire this node's output to input @p port of @p parent. */
     void
@@ -154,6 +155,9 @@ class MuxNode : public sim::Clocked
     MuxNode *_parent = nullptr;
     std::uint32_t _parentPort = 0;
     Deliver _rootSink;
+
+    sim::TraceBus *_trace = nullptr;
+    std::uint32_t _comp = 0;
 };
 
 /** The full multiplexer tree with its broadcast down-path. */
@@ -166,7 +170,8 @@ class MuxTree
      *              three-level binary tree with 8 accelerators).
      */
     MuxTree(sim::EventQueue &eq, const sim::PlatformParams &params,
-            std::uint32_t leaves, std::uint32_t arity = 2);
+            std::uint32_t leaves, std::uint32_t arity = 2,
+            sim::Scope scope = {});
 
     std::uint32_t leaves() const { return _leaves; }
     std::uint32_t levels() const { return _levels; }

@@ -6,15 +6,15 @@ namespace optimus::hostcentric {
 
 DmaEngine::DmaEngine(sim::EventQueue &eq,
                      const sim::PlatformParams &params,
-                     bool virtualized, sim::StatGroup *stats)
+                     bool virtualized, sim::Scope scope)
     : _eq(eq),
       _latency(params.pcieLatency),
       // Bulk transfers ride both PCIe links' payload bandwidth.
       _bytesPerTick(2.0 * params.pcieReadGbps /
                     static_cast<double>(sim::kTickNs)),
-      _transfers(stats, "dma_engine.transfers",
+      _transfers(scope.node, "transfers",
                  "engine transfers programmed"),
-      _bytes(stats, "dma_engine.bytes", "bytes moved by the engine")
+      _bytes(scope.node, "bytes", "bytes moved by the engine")
 {
     // Programming the engine: the address/length writes combine
     // into ~1.5 posted-MMIO times; under virtualization the doorbell

@@ -18,6 +18,7 @@
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 
 namespace optimus::hostcentric {
 
@@ -30,7 +31,7 @@ class DmaEngine
      *        emulated by a hypervisor.
      */
     DmaEngine(sim::EventQueue &eq, const sim::PlatformParams &params,
-              bool virtualized, sim::StatGroup *stats = nullptr);
+              bool virtualized, sim::Scope scope = {});
 
     /**
      * Program and run one transfer of @p bytes; @p done fires when

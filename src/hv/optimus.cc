@@ -15,17 +15,21 @@ namespace ctrl = accel::ctrl;
 OptimusHv::OptimusHv(Platform &platform)
     : _platform(platform),
       _slots(platform.numAccels()),
-      _traps(&platform.stats(), "hv.traps",
+      _trace(&platform.trace()),
+      _comp(platform.trace().registerComponent("hv")),
+      _traps(&platform.telemetry().node("hv"), "traps",
              "MMIO traps taken (trap-and-emulate)"),
-      _hypercalls(&platform.stats(), "hv.hypercalls",
+      _hypercalls(&platform.telemetry().node("hv"), "hypercalls",
                   "shadow-paging page registrations"),
-      _ctxSwitches(&platform.stats(), "hv.context_switches",
+      _ctxSwitches(&platform.telemetry().node("hv"),
+                   "context_switches",
                    "temporal-multiplexing context switches"),
-      _forcedResets(&platform.stats(), "hv.forced_resets",
+      _forcedResets(&platform.telemetry().node("hv"), "forced_resets",
                     "accelerators reset after preempt timeout"),
-      _rejectedPages(&platform.stats(), "hv.rejected_pages",
+      _rejectedPages(&platform.telemetry().node("hv"),
+                     "rejected_pages",
                      "page registrations outside the DMA window"),
-      _migrations(&platform.stats(), "hv.migrations",
+      _migrations(&platform.telemetry().node("hv"), "migrations",
                   "virtual accelerators migrated between slots")
 {
     for (std::uint32_t i = 0; i < platform.numAccels(); ++i) {
@@ -81,6 +85,21 @@ OptimusHv::createVirtualAccel(guest::Process &proc,
     v->_id = _nextVaccelId++;
     v->_slot = slot_idx;
     v->_proc = &proc;
+    for (std::uint32_t i = 0; i < _vms.size(); ++i) {
+        if (_vms[i].get() == &proc.vm())
+            v->_vmId = static_cast<std::uint16_t>(i);
+    }
+    const auto &procs = proc.vm().processes();
+    for (std::uint32_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].get() == &proc)
+            v->_procId = static_cast<std::uint16_t>(i);
+    }
+    // Scheduler telemetry lives under the owning VM/process, so the
+    // tree itself shows who held which slot for how long.
+    v->_sched = std::make_unique<VirtualAccel::SchedStats>(
+        &_platform.telemetry()
+             .node(proc.vm().name() + "." + proc.name())
+             .child(sim::strprintf("vaccel%u", v->_id)));
     if (optimusMode()) {
         v->_windowBytes = _platform.params().sliceBytes;
         v->_windowBase = proc.mmapNoReserve(v->_windowBytes);
@@ -382,6 +401,13 @@ void
 OptimusHv::scheduleVaccel(Slot &slot, VirtualAccel &v,
                           std::function<void()> done)
 {
+    if (v._sched)
+        ++v._sched->slices;
+    // Attribution: while v holds the slot, every DMA its auditor
+    // forwards is stamped with v's VM/process identity.
+    if (fpga::HardwareMonitor *m = _platform.monitor())
+        m->auditor(v._slot).setOwner(v._vmId, v._procId);
+
     // 1. Reset the physical accelerator (isolation: clear the
     //    previous tenant's state), via the VCU reset table.
     auto after_reset = [this, &slot, &v,
@@ -571,7 +597,7 @@ OptimusHv::performSwitch(std::uint32_t slot_idx, VirtualAccel *to)
         return;
     }
 
-    _occupancy[from->_id] += eventq().now() - slot.scheduledAt;
+    notePreempted(slot_idx, *from);
 
     if (from->_stateBufGva == 0 &&
         from->_visibleStatus == Status::kRunning) {
@@ -736,7 +762,7 @@ OptimusHv::migrate(VirtualAccel &v, std::uint32_t dst_idx,
     std::uint32_t src_idx = v._slot;
     src.switching = true;
     ++src.timerEpoch;
-    _occupancy[v._id] += eventq().now() - src.scheduledAt;
+    notePreempted(src_idx, v);
 
     std::uint64_t token = ++src.preemptToken;
     src.onSaved = [this, src_idx, &v,
@@ -775,6 +801,29 @@ OptimusHv::migrate(VirtualAccel &v, std::uint32_t dst_idx,
         });
     deviceMmio(true, accelRegOffset(src_idx, reg::kCtrl),
                ctrl::kPreempt, nullptr);
+}
+
+void
+OptimusHv::notePreempted(std::uint32_t slot_idx, VirtualAccel &v)
+{
+    Slot &slot = _slots[slot_idx];
+    sim::Tick held = eventq().now() - slot.scheduledAt;
+    _occupancy[v._id] += held;
+    if (v._sched) {
+        v._sched->occupancyTicks += held;
+        ++v._sched->preempts;
+    }
+    if (_trace && _trace->wants(sim::TraceKind::kSchedPreempt)) {
+        sim::TraceRecord r;
+        r.kind = sim::TraceKind::kSchedPreempt;
+        r.comp = _comp;
+        r.start = slot.scheduledAt;
+        r.addr = v._id;
+        r.arg = slot_idx;
+        r.vm = v._vmId;
+        r.proc = v._procId;
+        _trace->emit(r);
+    }
 }
 
 // -------------------------------------------------------- introspection

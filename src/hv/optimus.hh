@@ -54,6 +54,14 @@ class VirtualAccel
     std::uint32_t slot() const { return _slot; }
     guest::Process &process() const { return *_proc; }
 
+    /**
+     * Attribution indices stamped into every DMA this vaccel's
+     * tenant issues while scheduled: the owning VM's index among
+     * created VMs, and the process's index within that VM.
+     */
+    std::uint16_t vmId() const { return _vmId; }
+    std::uint16_t procId() const { return _procId; }
+
     /** Base of the guest-virtual DMA window (the 64 GB slice). */
     mem::Gva windowBase() const { return _windowBase; }
     std::uint64_t windowBytes() const { return _windowBytes; }
@@ -72,9 +80,31 @@ class VirtualAccel
   private:
     friend class OptimusHv;
 
+    /** Per-vaccel scheduler telemetry, grouped under the owning
+     *  VM/process node (e.g. sys.vm0.app.vaccel1). */
+    struct SchedStats
+    {
+        explicit SchedStats(sim::TelemetryNode *node)
+            : slices(node, "slices",
+                     "times scheduled onto the physical slot"),
+              preempts(node, "preempts",
+                       "times preempted off the physical slot"),
+              occupancyTicks(node, "occupancy_ticks",
+                             "accumulated physical-slot occupancy "
+                             "(ticks)")
+        {
+        }
+        sim::Counter slices;
+        sim::Counter preempts;
+        sim::Counter occupancyTicks;
+    };
+
     std::uint32_t _id = 0;
     std::uint32_t _slot = 0;
     guest::Process *_proc = nullptr;
+    std::uint16_t _vmId = sim::kNoOwner;
+    std::uint16_t _procId = sim::kNoOwner;
+    std::unique_ptr<SchedStats> _sched;
     mem::Gva _windowBase{};
     std::uint64_t _windowBytes = 0;
     /** IOVA base of this vaccel's slice (page table slicing). */
@@ -232,6 +262,8 @@ class OptimusHv
 
     void programOffsetEntry(VirtualAccel &v,
                             std::function<void()> done);
+    /** Account a preemption: occupancy, counters, trace record. */
+    void notePreempted(std::uint32_t slot_idx, VirtualAccel &v);
     void scheduleVaccel(Slot &slot, VirtualAccel &v,
                         std::function<void()> done);
     void armSliceTimer(std::uint32_t slot_idx);
@@ -254,6 +286,9 @@ class OptimusHv
 
     /** Per-vaccel accumulated occupancy, indexed by vaccel id. */
     std::vector<sim::Tick> _occupancy;
+
+    sim::TraceBus *_trace = nullptr;
+    std::uint32_t _comp = 0;
 
     sim::Counter _traps;
     sim::Counter _hypercalls;

@@ -5,15 +5,20 @@
 
 namespace optimus::hv {
 
-Platform::Platform(sim::EventQueue &eq, PlatformConfig config)
+Platform::Platform(sim::EventQueue &eq, PlatformConfig config,
+                   sim::Telemetry &telemetry, sim::TraceBus &trace)
     : _eq(eq),
       _config(std::move(config)),
-      _stats("platform"),
+      _telemetry(telemetry),
+      _trace(trace),
       _memory(188ULL << 30),
       _frames(mem::Hpa(mem::kPage2M), mem::Hpa(188ULL << 30)),
-      _memctl(eq, _config.params, &_stats),
-      _iommu(eq, _config.params, &_stats),
-      _shell(eq, _config.params, _memory, _memctl, _iommu, &_stats)
+      _memctl(eq, _config.params,
+              {&telemetry.node("mem"), &trace}),
+      _iommu(eq, _config.params,
+             {&telemetry.node("iommu"), &trace}),
+      _shell(eq, _config.params, _memory, _memctl, _iommu,
+             {&telemetry.node("shell"), &trace})
 {
     OPTIMUS_ASSERT(!_config.apps.empty(),
                    "platform needs at least one accelerator");
@@ -27,18 +32,21 @@ Platform::Platform(sim::EventQueue &eq, PlatformConfig config)
     }
 
     for (std::uint32_t i = 0; i < _config.apps.size(); ++i) {
+        std::string name = sim::strprintf(
+            "accel%u.%s", i, _config.apps[i].c_str());
+        // Instance names like "accel0.MB" address a nested telemetry
+        // node, so per-accelerator stats group under their slot.
         _accels.push_back(accel::makeAccelerator(
-            _config.apps[i], eq, _config.params,
-            sim::strprintf("accel%u.%s", i,
-                           _config.apps[i].c_str()),
-            &_stats));
+            _config.apps[i], eq, _config.params, name,
+            {&telemetry.node(name), &trace}));
     }
 
     if (_config.mode == FabricMode::kOptimus) {
         _monitor = std::make_unique<fpga::HardwareMonitor>(
             eq, _config.params, _shell,
             static_cast<std::uint32_t>(_config.apps.size()),
-            _config.treeArity, &_stats);
+            _config.treeArity,
+            sim::Scope{&telemetry.node("fabric"), &trace});
         for (std::uint32_t i = 0; i < _accels.size(); ++i) {
             _monitor->attachAccelerator(i, _accels[i].get());
             _accels[i]->attachFabric(&_monitor->port(i));

@@ -25,6 +25,8 @@
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
+#include "sim/trace_bus.hh"
 
 namespace optimus::hv {
 
@@ -50,7 +52,14 @@ struct PlatformConfig
 class Platform
 {
   public:
-    Platform(sim::EventQueue &eq, PlatformConfig config);
+    /**
+     * Every timed component is wired onto the observability spine at
+     * construction: @p telemetry supplies the stat tree nodes
+     * (mem/iommu/shell/fabric/accelN.APP) and @p trace the shared
+     * trace bus, so no component's stats can be silently dropped.
+     */
+    Platform(sim::EventQueue &eq, PlatformConfig config,
+             sim::Telemetry &telemetry, sim::TraceBus &trace);
 
     sim::EventQueue &eventq() { return _eq; }
     const PlatformConfig &config() const { return _config; }
@@ -76,7 +85,8 @@ class Platform
     /** The fabric attachment point for slot @p idx. */
     fpga::FabricPort &fabric(std::uint32_t idx);
 
-    sim::StatGroup &stats() { return _stats; }
+    sim::Telemetry &telemetry() { return _telemetry; }
+    sim::TraceBus &trace() { return _trace; }
 
   private:
     /** Direct shell attachment used by the pass-through baseline. */
@@ -94,6 +104,9 @@ class Platform
             // virtual address.
             txn->iova = mem::Iova(txn->gva.value());
             txn->tag = 0;
+            // Pass-through hosts exactly one VM with one process.
+            txn->vm = 0;
+            txn->proc = 0;
             _shell.fromAfu(std::move(txn));
         }
         std::uint32_t injectIntervalCycles() const override
@@ -107,7 +120,8 @@ class Platform
 
     sim::EventQueue &_eq;
     PlatformConfig _config;
-    sim::StatGroup _stats;
+    sim::Telemetry &_telemetry;
+    sim::TraceBus &_trace;
 
     mem::HostMemory _memory;
     mem::FrameAllocator _frames;

@@ -2,6 +2,39 @@
 
 namespace optimus::hv {
 
+namespace {
+thread_local SystemObserver *t_observer = nullptr;
+} // namespace
+
+SystemObserver *
+SystemObserver::swap(SystemObserver *obs)
+{
+    SystemObserver *prev = t_observer;
+    t_observer = obs;
+    return prev;
+}
+
+SystemObserver *
+SystemObserver::current()
+{
+    return t_observer;
+}
+
+System::System(PlatformConfig config)
+    : platform(eq, std::move(config), telemetry, trace),
+      hv(platform),
+      _observer(SystemObserver::current())
+{
+    if (_observer)
+        _observer->systemCreated(*this);
+}
+
+System::~System()
+{
+    if (_observer)
+        _observer->systemDestroyed(*this);
+}
+
 PlatformConfig
 makeOptimusConfig(const std::string &app, std::uint32_t n,
                   sim::PlatformParams params)

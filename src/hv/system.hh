@@ -19,6 +19,31 @@
 
 namespace optimus::hv {
 
+class System;
+
+/**
+ * Hook observing System construction/destruction on the current
+ * thread.
+ *
+ * Harnesses (e.g. the experiment runner's --telemetry dumper) install
+ * one to attach trace sinks the moment a context exists and to
+ * harvest its telemetry before it dies. The registration is
+ * thread-local, preserving the context-locality invariant: parallel
+ * experiment workers never observe each other's Systems.
+ */
+class SystemObserver
+{
+  public:
+    virtual ~SystemObserver() = default;
+    virtual void systemCreated(System &) {}
+    virtual void systemDestroyed(System &) {}
+
+    /** Install @p obs for this thread; returns the previous observer
+     *  (restore it when done). */
+    static SystemObserver *swap(SystemObserver *obs);
+    static SystemObserver *current();
+};
+
 /**
  * A fully assembled simulated machine.
  *
@@ -35,10 +60,10 @@ namespace optimus::hv {
 class System
 {
   public:
-    explicit System(PlatformConfig config)
-        : platform(eq, std::move(config)), hv(platform)
-    {
-    }
+    explicit System(PlatformConfig config);
+    ~System();
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
 
     /**
      * Create a VM (with one process) and attach a virtual
@@ -87,11 +112,18 @@ class System
     std::size_t numHandles() const { return _handles.size(); }
 
     sim::EventQueue eq;
+    /** Root of the observability spine: the stat tree ("sys.…") and
+     *  the trace bus every component publishes on. Declared before
+     *  the platform so components can wire onto them during
+     *  construction. */
+    sim::Telemetry telemetry{"sys"};
+    sim::TraceBus trace{eq};
     Platform platform;
     OptimusHv hv;
 
   private:
     std::vector<std::unique_ptr<AccelHandle>> _handles;
+    SystemObserver *_observer = nullptr;
 };
 
 /** Config helper: OPTIMUS mode with @p n copies of @p app. */

@@ -9,7 +9,7 @@
 namespace optimus::iommu {
 
 Iommu::Iommu(sim::EventQueue &eq, const sim::PlatformParams &params,
-             sim::StatGroup *stats)
+             sim::Scope scope)
     : _eq(eq),
       _hitLatency(params.iotlbHitCycles *
                   sim::periodFromMhz(params.fpgaIfaceMhz)),
@@ -20,10 +20,11 @@ Iommu::Iommu(sim::EventQueue &eq, const sim::PlatformParams &params,
       _maxConcurrentWalks(2),
       _pageBytes(params.pageBytes),
       _iopt(std::make_unique<mem::IoPageTable>(params.pageBytes)),
-      _iotlb(params.iotlbEntries, params.pageBytes, stats),
-      _walks(stats, "iommu.walks", "IO page table walks"),
-      _faults(stats, "iommu.faults", "IO page faults"),
-      _coalesced(stats, "iommu.coalesced_walks",
+      _iotlbScope(scope.sub("iotlb")),
+      _iotlb(params.iotlbEntries, params.pageBytes, _iotlbScope),
+      _walks(scope.node, "walks", "IO page table walks"),
+      _faults(scope.node, "faults", "IO page faults"),
+      _coalesced(scope.node, "coalesced_walks",
                  "misses that merged onto an in-flight walk")
 {
 }
@@ -36,14 +37,18 @@ Iommu::setPageBytes(std::uint64_t page_bytes)
                    "unsupported IOMMU page size");
     _pageBytes = page_bytes;
     _iopt = std::make_unique<mem::IoPageTable>(page_bytes);
-    _iotlb = Iotlb(_iotlb.entries(), page_bytes, nullptr);
+    // Rebuild on the same scope: the replacement's counters take over
+    // the old registrations (Stat move semantics), so the telemetry
+    // tree never holds pointers into the destroyed IOTLB.
+    _iotlb = Iotlb(_iotlb.entries(), page_bytes, _iotlbScope);
 }
 
 void
-Iommu::translate(mem::Iova iova, bool is_write, TranslateCallback cb)
+Iommu::translate(mem::Iova iova, bool is_write, TranslateCallback cb,
+                 std::uint16_t vm, std::uint16_t proc)
 {
     bool writable = true;
-    if (auto hpa = _iotlb.lookup(iova, &writable)) {
+    if (auto hpa = _iotlb.lookup(iova, &writable, vm, proc)) {
         // Fast path: permissions were validated at insert time by the
         // hypervisor; the hardware rechecks writability against the
         // permission bit cached in the IOTLB entry (mappings are
@@ -65,7 +70,8 @@ Iommu::translate(mem::Iova iova, bool is_write, TranslateCallback cb)
     // walker's MSHRs would).
     mem::Iova page = iova.pageBase(_pageBytes);
     auto [it, fresh] = _walkWaiters.try_emplace(page.value());
-    it->second.push_back(PendingWalk{iova, is_write, std::move(cb)});
+    it->second.push_back(
+        PendingWalk{iova, is_write, std::move(cb), vm, proc});
     if (!fresh) {
         ++_coalesced;
         return;
@@ -100,7 +106,11 @@ Iommu::finishWalk(mem::Iova page)
     OPTIMUS_ASSERT(!node.empty(), "walk completion without waiters");
     auto entry = _iopt->lookup(page);
     if (entry) {
-        _iotlb.insert(page, entry->base, entry->perms.writable);
+        // Attribute any conflict eviction to the tenant whose miss
+        // started this walk (the first waiter).
+        const PendingWalk &first = node.mapped().front();
+        _iotlb.insert(page, entry->base, entry->perms.writable,
+                      first.vm, first.proc);
     }
     for (PendingWalk &w : node.mapped()) {
         auto translated = _iopt->translate(w.iova, w.isWrite);

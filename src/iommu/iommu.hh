@@ -50,7 +50,7 @@ class Iommu
     using FaultHandler = std::function<void(mem::Iova, bool)>;
 
     Iommu(sim::EventQueue &eq, const sim::PlatformParams &params,
-          sim::StatGroup *stats = nullptr);
+          sim::Scope scope = {});
 
     /** The single IO page table (hypervisor-managed). */
     mem::IoPageTable &pageTable() { return *_iopt; }
@@ -69,10 +69,13 @@ class Iommu
 
     /**
      * Timed translation of @p iova. The callback fires when the
-     * translation (and any page walk) completes.
+     * translation (and any page walk) completes.  @p vm / @p proc
+     * attribute IOTLB trace records to the requesting tenant.
      */
     void translate(mem::Iova iova, bool is_write,
-                   TranslateCallback cb);
+                   TranslateCallback cb,
+                   std::uint16_t vm = sim::kNoOwner,
+                   std::uint16_t proc = sim::kNoOwner);
 
     void setFaultHandler(FaultHandler h) { _faultHandler = std::move(h); }
 
@@ -89,6 +92,8 @@ class Iommu
         mem::Iova iova;
         bool isWrite;
         TranslateCallback cb;
+        std::uint16_t vm = sim::kNoOwner;
+        std::uint16_t proc = sim::kNoOwner;
     };
 
     void startWalk(mem::Iova page);
@@ -107,6 +112,9 @@ class Iommu
 
     std::uint64_t _pageBytes;
     std::unique_ptr<mem::IoPageTable> _iopt;
+    /** Kept so setPageBytes() can rebuild the IOTLB registered on
+     *  the same telemetry node (counters move, never dangle). */
+    sim::Scope _iotlbScope;
     Iotlb _iotlb;
 
     FaultHandler _faultHandler;

@@ -7,14 +7,16 @@
 namespace optimus::iommu {
 
 Iotlb::Iotlb(std::uint32_t entries, std::uint64_t page_bytes,
-             sim::StatGroup *stats)
+             sim::Scope scope)
     : _pageBytes(page_bytes),
       _offsetBits(static_cast<std::uint64_t>(
           std::countr_zero(page_bytes))),
       _sets(entries),
-      _hits(stats, "iotlb.hits", "IOTLB hits"),
-      _misses(stats, "iotlb.misses", "IOTLB misses"),
-      _conflictEvictions(stats, "iotlb.conflict_evictions",
+      _trace(scope.bus),
+      _comp(sim::traceComponent(scope, "iotlb")),
+      _hits(scope.node, "hits", "IOTLB hits"),
+      _misses(scope.node, "misses", "IOTLB misses"),
+      _conflictEvictions(scope.node, "conflict_evictions",
                          "valid entries displaced by a different page")
 {
     OPTIMUS_ASSERT(std::has_single_bit(page_bytes),
@@ -33,29 +35,52 @@ Iotlb::setIndex(mem::Iova iova) const
     return static_cast<std::uint32_t>(vpn & (_sets.size() - 1));
 }
 
+void
+Iotlb::emit(sim::TraceKind kind, mem::Iova iova, std::uint16_t vm,
+            std::uint16_t proc)
+{
+    sim::TraceRecord r;
+    r.kind = kind;
+    r.comp = _comp;
+    r.addr = iova.value();
+    r.arg = setIndex(iova);
+    r.vm = vm;
+    r.proc = proc;
+    _trace->emit(r);
+}
+
 std::optional<mem::Hpa>
-Iotlb::lookup(mem::Iova iova, bool *writable)
+Iotlb::lookup(mem::Iova iova, bool *writable, std::uint16_t vm,
+              std::uint16_t proc)
 {
     std::uint64_t vpn = iova.value() >> _offsetBits;
     Set &s = _sets[setIndex(iova)];
     if (s.valid && s.vpn == vpn) {
         ++_hits;
+        if (_trace && _trace->wants(sim::TraceKind::kIotlbHit))
+            emit(sim::TraceKind::kIotlbHit, iova, vm, proc);
         if (writable)
             *writable = s.writable;
         return mem::Hpa(s.hpaBase +
                         iova.pageOffset(_pageBytes));
     }
     ++_misses;
+    if (_trace && _trace->wants(sim::TraceKind::kIotlbMiss))
+        emit(sim::TraceKind::kIotlbMiss, iova, vm, proc);
     return std::nullopt;
 }
 
 void
-Iotlb::insert(mem::Iova iova, mem::Hpa hpa_page_base, bool writable)
+Iotlb::insert(mem::Iova iova, mem::Hpa hpa_page_base, bool writable,
+              std::uint16_t vm, std::uint16_t proc)
 {
     std::uint64_t vpn = iova.value() >> _offsetBits;
     Set &s = _sets[setIndex(iova)];
-    if (s.valid && s.vpn != vpn)
+    if (s.valid && s.vpn != vpn) {
         ++_conflictEvictions;
+        if (_trace && _trace->wants(sim::TraceKind::kIotlbEvict))
+            emit(sim::TraceKind::kIotlbEvict, iova, vm, proc);
+    }
     s.valid = true;
     s.writable = writable;
     s.vpn = vpn;

@@ -19,6 +19,7 @@
 
 #include "mem/address.hh"
 #include "sim/stats.hh"
+#include "sim/trace_bus.hh"
 
 namespace optimus::iommu {
 
@@ -31,7 +32,7 @@ class Iotlb
      * @param page_bytes Translation granularity (4 KiB or 2 MiB).
      */
     Iotlb(std::uint32_t entries, std::uint64_t page_bytes,
-          sim::StatGroup *stats = nullptr);
+          sim::Scope scope = {});
 
     std::uint64_t pageBytes() const { return _pageBytes; }
     std::uint32_t entries() const
@@ -45,13 +46,18 @@ class Iotlb
     /** Look up a translation; records hit/miss statistics. On a hit,
      *  when @p writable is non-null it receives the cached write
      *  permission (hardware TLBs cache permission bits alongside the
-     *  translation, saving the re-walk on the hit path). */
+     *  translation, saving the re-walk on the hit path).  @p owner
+     *  attributes the emitted trace record. */
     std::optional<mem::Hpa> lookup(mem::Iova iova,
-                                   bool *writable = nullptr);
+                                   bool *writable = nullptr,
+                                   std::uint16_t vm = sim::kNoOwner,
+                                   std::uint16_t proc = sim::kNoOwner);
 
     /** Install a translation, evicting any conflicting entry. */
     void insert(mem::Iova iova, mem::Hpa hpa_page_base,
-                bool writable = true);
+                bool writable = true,
+                std::uint16_t vm = sim::kNoOwner,
+                std::uint16_t proc = sim::kNoOwner);
 
     /** Drop every entry (used on reset / page-size change). */
     void invalidateAll();
@@ -67,6 +73,9 @@ class Iotlb
     }
 
   private:
+    void emit(sim::TraceKind kind, mem::Iova iova, std::uint16_t vm,
+              std::uint16_t proc);
+
     struct Set
     {
         bool valid = false;
@@ -78,6 +87,8 @@ class Iotlb
     std::uint64_t _pageBytes;
     std::uint64_t _offsetBits;
     std::vector<Set> _sets;
+    sim::TraceBus *_trace = nullptr;
+    std::uint32_t _comp = 0;
     sim::Counter _hits;
     sim::Counter _misses;
     sim::Counter _conflictEvictions;

@@ -6,13 +6,13 @@ namespace optimus::mem {
 
 MemoryController::MemoryController(sim::EventQueue &eq,
                                    const sim::PlatformParams &params,
-                                   sim::StatGroup *stats)
+                                   sim::Scope scope)
     : _eq(eq),
       _latency(params.dramLatency),
       // GB/s == bytes per ns == bytes per 1000 ticks.
       _bytesPerTick(params.dramGbps / static_cast<double>(sim::kTickNs)),
-      _accesses(stats, "mem.accesses", "DRAM accesses"),
-      _bytes(stats, "mem.bytes", "DRAM bytes transferred")
+      _accesses(scope.node, "accesses", "DRAM accesses"),
+      _bytes(scope.node, "bytes", "DRAM bytes transferred")
 {
 }
 

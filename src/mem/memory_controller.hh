@@ -17,6 +17,7 @@
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "sim/types.hh"
 
 namespace optimus::mem {
@@ -33,7 +34,7 @@ class MemoryController
   public:
     MemoryController(sim::EventQueue &eq,
                      const sim::PlatformParams &params,
-                     sim::StatGroup *stats = nullptr);
+                     sim::Scope scope = {});
 
     /**
      * Schedule a timed access of @p bytes.

@@ -4,34 +4,92 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/telemetry.hh"
 
 namespace optimus::sim {
 
-Stat::Stat(StatGroup *group, std::string name, std::string desc)
-    : _name(std::move(name)), _desc(std::move(desc))
+Stat::Stat(TelemetryNode *node, std::string name, std::string desc)
+    : _node(node), _name(std::move(name)), _desc(std::move(desc))
 {
-    if (group)
-        group->registerStat(this);
+    if (_node)
+        _node->registerStat(this);
+}
+
+Stat::Stat(Stat &&other) noexcept
+    : _node(other._node),
+      _name(std::move(other._name)),
+      _desc(std::move(other._desc))
+{
+    if (_node) {
+        _node->replaceStat(&other, this);
+        other._node = nullptr;
+    }
+}
+
+Stat &
+Stat::operator=(Stat &&other) noexcept
+{
+    if (this != &other) {
+        if (_node)
+            _node->unregisterStat(this);
+        _node = other._node;
+        _name = std::move(other._name);
+        _desc = std::move(other._desc);
+        if (_node) {
+            _node->replaceStat(&other, this);
+            other._node = nullptr;
+        }
+    }
+    return *this;
+}
+
+Stat::~Stat()
+{
+    if (_node)
+        _node->unregisterStat(this);
 }
 
 void
-Counter::print(std::ostream &os) const
+Stat::print(std::ostream &os) const
 {
-    os << name() << " " << _value << " # " << desc() << "\n";
+    if (_node && !_node->path().empty())
+        os << _node->path() << ".";
+    os << _name << " ";
+    printValue(os);
+    os << " # " << _desc << "\n";
 }
 
 void
-Average::print(std::ostream &os) const
+Counter::printValue(std::ostream &os) const
 {
-    os << name() << " mean=" << mean() << " min=" << min()
-       << " max=" << max() << " n=" << _count << " # " << desc()
-       << "\n";
+    os << _value;
 }
 
-Histogram::Histogram(StatGroup *group, std::string name,
+void
+Counter::json(std::ostream &os) const
+{
+    os << _value;
+}
+
+void
+Average::printValue(std::ostream &os) const
+{
+    os << "mean=" << mean() << " min=" << min() << " max=" << max()
+       << " n=" << _count;
+}
+
+void
+Average::json(std::ostream &os) const
+{
+    os << "{\"count\": " << _count << ", \"sum\": " << _sum
+       << ", \"mean\": " << mean() << ", \"min\": " << min()
+       << ", \"max\": " << max() << "}";
+}
+
+Histogram::Histogram(TelemetryNode *node, std::string name,
                      std::string desc, double lo, double hi,
                      std::size_t buckets)
-    : Stat(group, std::move(name), std::move(desc)),
+    : Stat(node, std::move(name), std::move(desc)),
       _lo(lo),
       _hi(hi),
       _bucketWidth((hi - lo) / static_cast<double>(buckets)),
@@ -77,11 +135,18 @@ Histogram::percentile(double p) const
 }
 
 void
-Histogram::print(std::ostream &os) const
+Histogram::printValue(std::ostream &os) const
 {
-    os << name() << " mean=" << mean() << " p50=" << percentile(50)
-       << " p99=" << percentile(99) << " n=" << _count << " # "
-       << desc() << "\n";
+    os << "mean=" << mean() << " p50=" << percentile(50)
+       << " p99=" << percentile(99) << " n=" << _count;
+}
+
+void
+Histogram::json(std::ostream &os) const
+{
+    os << "{\"count\": " << _count << ", \"mean\": " << mean()
+       << ", \"p50\": " << percentile(50)
+       << ", \"p99\": " << percentile(99) << "}";
 }
 
 void
@@ -92,21 +157,6 @@ Histogram::reset()
     _over = 0;
     _count = 0;
     _sum = 0;
-}
-
-void
-StatGroup::dump(std::ostream &os) const
-{
-    os << "---------- " << _name << " ----------\n";
-    for (const Stat *s : _stats)
-        s->print(os);
-}
-
-void
-StatGroup::resetAll()
-{
-    for (Stat *s : _stats)
-        s->reset();
 }
 
 } // namespace optimus::sim

@@ -1,36 +1,54 @@
 /**
  * @file
  * A small statistics package: counters, averages, and histograms that
- * register themselves with a StatGroup so harnesses can dump them.
+ * register themselves with a telemetry node so harnesses can dump the
+ * whole tree (see sim/telemetry.hh).
  */
 
 #ifndef OPTIMUS_SIM_STATS_HH
 #define OPTIMUS_SIM_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace optimus::sim {
 
-class StatGroup;
+class TelemetryNode;
 
-/** Base class for all statistics. */
+/**
+ * Base class for all statistics.
+ *
+ * A stat registers itself with its TelemetryNode on construction and
+ * unregisters on destruction, so a component that dies before the
+ * tree is dumped never leaves a dangling pointer behind.  Stats are
+ * movable (the registration follows the object) but not copyable.
+ */
 class Stat
 {
   public:
-    Stat(StatGroup *group, std::string name, std::string desc);
-    virtual ~Stat() = default;
+    Stat(TelemetryNode *node, std::string name, std::string desc);
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+    Stat(Stat &&other) noexcept;
+    Stat &operator=(Stat &&other) noexcept;
+    virtual ~Stat();
 
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
+    TelemetryNode *node() const { return _node; }
 
-    virtual void print(std::ostream &os) const = 0;
+    void print(std::ostream &os) const;
+
+    /** One human-readable line: "<prefix><name> <values> # <desc>". */
+    virtual void printValue(std::ostream &os) const = 0;
+    /** This stat's value(s) as a single JSON value, no newline. */
+    virtual void json(std::ostream &os) const = 0;
     virtual void reset() = 0;
 
   private:
+    TelemetryNode *_node = nullptr;
     std::string _name;
     std::string _desc;
 };
@@ -53,7 +71,8 @@ class Counter : public Stat
     }
     std::uint64_t value() const { return _value; }
 
-    void print(std::ostream &os) const override;
+    void printValue(std::ostream &os) const override;
+    void json(std::ostream &os) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -83,7 +102,8 @@ class Average : public Stat
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }
 
-    void print(std::ostream &os) const override;
+    void printValue(std::ostream &os) const override;
+    void json(std::ostream &os) const override;
     void
     reset() override
     {
@@ -104,7 +124,7 @@ class Average : public Stat
 class Histogram : public Stat
 {
   public:
-    Histogram(StatGroup *group, std::string name, std::string desc,
+    Histogram(TelemetryNode *node, std::string name, std::string desc,
               double lo, double hi, std::size_t buckets);
 
     void sample(double v);
@@ -118,7 +138,8 @@ class Histogram : public Stat
     /** Linear-interpolated percentile in [0, 100]. */
     double percentile(double p) const;
 
-    void print(std::ostream &os) const override;
+    void printValue(std::ostream &os) const override;
+    void json(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -130,25 +151,6 @@ class Histogram : public Stat
     std::uint64_t _over = 0;
     std::uint64_t _count = 0;
     double _sum = 0;
-};
-
-/** A named collection of statistics. */
-class StatGroup
-{
-  public:
-    explicit StatGroup(std::string name) : _name(std::move(name)) {}
-
-    const std::string &name() const { return _name; }
-
-    void registerStat(Stat *s) { _stats.push_back(s); }
-    const std::vector<Stat *> &stats() const { return _stats; }
-
-    void dump(std::ostream &os) const;
-    void resetAll();
-
-  private:
-    std::string _name;
-    std::vector<Stat *> _stats;
 };
 
 } // namespace optimus::sim

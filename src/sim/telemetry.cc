@@ -1,0 +1,150 @@
+#include "sim/telemetry.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace optimus::sim {
+
+TelemetryNode::TelemetryNode(std::string name, TelemetryNode *parent)
+    : _name(std::move(name)), _parent(parent)
+{
+    if (_parent) {
+        OPTIMUS_ASSERT(_name.find('.') == std::string::npos,
+                       "telemetry node name '%s' contains '.'",
+                       _name.c_str());
+        OPTIMUS_ASSERT(!_name.empty(), "empty telemetry node name");
+        _path = _parent->_path.empty() ? _name
+                                       : _parent->_path + "." + _name;
+    }
+}
+
+TelemetryNode &
+TelemetryNode::child(const std::string &name)
+{
+    if (TelemetryNode *n = find(name))
+        return *n;
+    _children.push_back(std::make_unique<TelemetryNode>(name, this));
+    return *_children.back();
+}
+
+TelemetryNode *
+TelemetryNode::find(const std::string &name) const
+{
+    for (const auto &c : _children) {
+        if (c->_name == name)
+            return c.get();
+    }
+    return nullptr;
+}
+
+void
+TelemetryNode::registerStat(Stat *s)
+{
+    _stats.push_back(s);
+}
+
+void
+TelemetryNode::unregisterStat(Stat *s)
+{
+    _stats.erase(std::remove(_stats.begin(), _stats.end(), s),
+                 _stats.end());
+}
+
+void
+TelemetryNode::replaceStat(Stat *from, Stat *to)
+{
+    std::replace(_stats.begin(), _stats.end(), from, to);
+}
+
+void
+TelemetryNode::dump(std::ostream &os) const
+{
+    for (const Stat *s : _stats)
+        s->print(os);
+    for (const auto &c : _children)
+        c->dump(os);
+}
+
+void
+TelemetryNode::resetAll()
+{
+    for (Stat *s : _stats)
+        s->reset();
+    for (const auto &c : _children)
+        c->resetAll();
+}
+
+namespace {
+
+void
+jsonKey(std::ostream &os, const std::string &key, int indent)
+{
+    for (int i = 0; i < indent; ++i)
+        os << ' ';
+    os << '"' << key << "\": ";
+}
+
+} // namespace
+
+void
+TelemetryNode::writeJson(std::ostream &os, int indent) const
+{
+    os << "{";
+    bool first = true;
+    for (const Stat *s : _stats) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        jsonKey(os, s->name(), indent + 2);
+        s->json(os);
+    }
+    for (const auto &c : _children) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        jsonKey(os, c->name(), indent + 2);
+        c->writeJson(os, indent + 2);
+    }
+    if (!first) {
+        os << "\n";
+        for (int i = 0; i < indent; ++i)
+            os << ' ';
+    }
+    os << "}";
+}
+
+Telemetry::Telemetry(std::string root_name)
+    : _root(std::move(root_name), nullptr)
+{
+}
+
+TelemetryNode &
+Telemetry::node(const std::string &dotted_path)
+{
+    TelemetryNode *n = &_root;
+    std::size_t begin = 0;
+    while (begin < dotted_path.size()) {
+        std::size_t dot = dotted_path.find('.', begin);
+        if (dot == std::string::npos)
+            dot = dotted_path.size();
+        n = &n->child(dotted_path.substr(begin, dot - begin));
+        begin = dot + 1;
+    }
+    return *n;
+}
+
+void
+Telemetry::dump(std::ostream &os) const
+{
+    os << "---------- " << _root.name() << " ----------\n";
+    _root.dump(os);
+}
+
+void
+Telemetry::writeJson(std::ostream &os) const
+{
+    _root.writeJson(os, 0);
+    os << "\n";
+}
+
+} // namespace optimus::sim

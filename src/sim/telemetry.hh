@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Hierarchical telemetry tree: the observability spine every timed
+ * component registers its statistics into.
+ *
+ * A TelemetryNode is one named group in a tree; its dotted path
+ * ("iommu.iotlb", "accel0.MB.dma") is the component's stable address
+ * for dumps, JSON exports, and trace-bus component ids.  hv::System
+ * owns the root (via sim::Telemetry) and wires a sub-scope into every
+ * child it builds, so no component's counters are silently dropped
+ * the way an optional `StatGroup *stats = nullptr` parameter allowed.
+ *
+ * Scope bundles the node pointer with the trace bus (trace_bus.hh)
+ * so a single constructor parameter hands a component both halves of
+ * the spine.  A default-constructed Scope is valid and inert: stats
+ * register nowhere and tracing is compiled down to a null check.
+ */
+
+#ifndef OPTIMUS_SIM_TELEMETRY_HH
+#define OPTIMUS_SIM_TELEMETRY_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optimus::sim {
+
+class Stat;
+class TraceBus;
+
+/** One named group of stats, with named children. */
+class TelemetryNode
+{
+  public:
+    TelemetryNode(std::string name, TelemetryNode *parent);
+    TelemetryNode(const TelemetryNode &) = delete;
+    TelemetryNode &operator=(const TelemetryNode &) = delete;
+
+    const std::string &name() const { return _name; }
+    /** Dotted path from (but excluding) the root; "" for the root. */
+    const std::string &path() const { return _path; }
+    TelemetryNode *parent() const { return _parent; }
+
+    /** Get-or-create the named child. @p name must not contain '.'. */
+    TelemetryNode &child(const std::string &name);
+    /** Look up an existing child, or nullptr. */
+    TelemetryNode *find(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<TelemetryNode>> &children() const
+    {
+        return _children;
+    }
+    const std::vector<Stat *> &stats() const { return _stats; }
+
+    void registerStat(Stat *s);
+    void unregisterStat(Stat *s);
+    /** Swap a registration in place (keeps dump order); used by
+     *  Stat's move operations. */
+    void replaceStat(Stat *from, Stat *to);
+
+    /** Recursively print every stat, one line each, with full
+     *  dotted-path prefixes. */
+    void dump(std::ostream &os) const;
+    /** Recursively reset every stat. */
+    void resetAll();
+    /** Recursively emit a nested JSON object.  Deterministic:
+     *  children and stats appear in registration order. */
+    void writeJson(std::ostream &os, int indent = 0) const;
+
+  private:
+    std::string _name;
+    std::string _path;
+    TelemetryNode *_parent;
+    std::vector<std::unique_ptr<TelemetryNode>> _children;
+    std::vector<Stat *> _stats;
+};
+
+/** The root of a telemetry tree, with dotted-path addressing. */
+class Telemetry
+{
+  public:
+    explicit Telemetry(std::string root_name = "sys");
+
+    TelemetryNode &root() { return _root; }
+    const TelemetryNode &root() const { return _root; }
+
+    /** Get-or-create the node at a dotted path ("iommu.iotlb"). An
+     *  empty path names the root. */
+    TelemetryNode &node(const std::string &dotted_path);
+
+    void dump(std::ostream &os) const;
+    void writeJson(std::ostream &os) const;
+    void resetAll() { _root.resetAll(); }
+
+  private:
+    TelemetryNode _root;
+};
+
+/**
+ * The per-component slice of the observability spine: where my stats
+ * live, and which bus my trace records go to.  Passed by value;
+ * components keep sub-scoping with sub() as they build children.
+ */
+struct Scope {
+    TelemetryNode *node = nullptr;
+    TraceBus *bus = nullptr;
+
+    Scope() = default;
+    Scope(TelemetryNode *n, TraceBus *b) : node(n), bus(b) {}
+
+    /** Scope for a child component: same bus, child node. */
+    Scope
+    sub(const std::string &name) const
+    {
+        return {node ? &node->child(name) : nullptr, bus};
+    }
+};
+
+} // namespace optimus::sim
+
+#endif // OPTIMUS_SIM_TELEMETRY_HH

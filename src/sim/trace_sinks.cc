@@ -1,0 +1,92 @@
+#include "sim/trace_sinks.hh"
+
+#include <iomanip>
+#include <set>
+
+namespace optimus::sim {
+
+ChromeTraceSink::ChromeTraceSink(TraceBus &bus,
+                                 std::uint32_t kind_mask)
+    : _bus(bus)
+{
+    _bus.attach(this, kind_mask);
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    _bus.detach(this);
+}
+
+void
+ChromeTraceSink::record(const TraceBus &, const TraceRecord &r)
+{
+    _records.push_back(r);
+}
+
+namespace {
+
+/** Microseconds of simulated time with exact picosecond precision. */
+void
+writeUs(std::ostream &os, Tick ticks)
+{
+    os << ticks / kTickUs << '.' << std::setw(6) << std::setfill('0')
+       << ticks % kTickUs << std::setfill(' ');
+}
+
+bool
+hasDuration(TraceKind k)
+{
+    return k == TraceKind::kDmaComplete ||
+           k == TraceKind::kSchedPreempt;
+}
+
+} // namespace
+
+void
+ChromeTraceSink::write(std::ostream &os) const
+{
+    os << "{\"traceEvents\": [\n";
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"tid\": 0, \"args\": {\"name\": \"optimus\"}}";
+
+    // One named "thread" per component that actually appears.
+    std::set<std::uint32_t> comps;
+    for (const TraceRecord &r : _records)
+        comps.insert(r.comp);
+    for (std::uint32_t c : comps) {
+        const std::string &path = _bus.componentPath(c);
+        os << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+              "\"pid\": 0, \"tid\": "
+           << c << ", \"args\": {\"name\": \""
+           << (path.empty() ? "unknown" : path) << "\"}}";
+    }
+
+    for (const TraceRecord &r : _records) {
+        const bool dur = hasDuration(r.kind) && r.at >= r.start;
+        os << ",\n  {\"name\": \"" << traceKindName(r.kind)
+           << "\", \"ph\": \"" << (dur ? 'X' : 'i')
+           << "\", \"pid\": 0, \"tid\": " << r.comp << ", \"ts\": ";
+        writeUs(os, dur ? r.start : r.at);
+        if (dur) {
+            os << ", \"dur\": ";
+            writeUs(os, r.at - r.start);
+        } else {
+            os << ", \"s\": \"t\"";
+        }
+        os << ", \"args\": {\"addr\": \"0x" << std::hex << r.addr
+           << std::dec << "\", \"arg\": " << r.arg
+           << ", \"tag\": " << r.tag;
+        if (r.vm != kNoOwner)
+            os << ", \"vm\": " << r.vm;
+        if (r.proc != kNoOwner)
+            os << ", \"proc\": " << r.proc;
+        if (r.flags & kTraceWrite)
+            os << ", \"rw\": \"W\"";
+        if (r.flags & kTraceError)
+            os << ", \"error\": 1";
+        os << "}}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+} // namespace optimus::sim

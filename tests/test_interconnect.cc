@@ -20,6 +20,9 @@
 #include "mem/memory_controller.hh"
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
+#include "sim/telemetry.hh"
+#include "sim/trace_bus.hh"
+#include "sim/trace_sinks.hh"
 
 using namespace optimus;
 using namespace optimus::ccip;
@@ -233,10 +236,48 @@ TEST_F(ShellFixture, MmioRoundTripPaysLinkLatencyBothWays)
     EXPECT_EQ(done, 2 * params.pcieLatency);
 }
 
-TEST_F(ShellFixture, TraceWriterRecordsCompletedTransactions)
+/** Shell wired onto a trace bus, for the sink tests. */
+class TracedShellFixture : public ::testing::Test
+{
+  protected:
+    TracedShellFixture()
+        : bus(eq),
+          memctl(eq, params),
+          iommu(eq, params),
+          shell(eq, params, memory, memctl, iommu,
+                {&telemetry.node("shell"), &bus})
+    {
+        shell.setResponseSink([this](DmaTxnPtr txn) {
+            responses.push_back(std::move(txn));
+        });
+        iommu.pageTable().map(mem::Iova(0), mem::Hpa(mem::kPage2M));
+    }
+
+    DmaTxnPtr
+    makeTxn(bool write, std::uint64_t iova)
+    {
+        auto t = std::make_shared<DmaTxn>();
+        t->isWrite = write;
+        t->iova = mem::Iova(iova);
+        t->bytes = 64;
+        return t;
+    }
+
+    sim::EventQueue eq;
+    sim::PlatformParams params;
+    sim::Telemetry telemetry{"sys"};
+    sim::TraceBus bus;
+    mem::HostMemory memory{4ULL << 30};
+    mem::MemoryController memctl;
+    iommu::Iommu iommu;
+    Shell shell;
+    std::vector<DmaTxnPtr> responses;
+};
+
+TEST_F(TracedShellFixture, TraceWriterRecordsCompletedTransactions)
 {
     std::ostringstream os;
-    ccip::TraceWriter trace(os, shell, eq);
+    ccip::TraceWriter trace(os, bus);
 
     auto w = makeTxn(true, 0x40);
     shell.fromAfu(w);
@@ -250,6 +291,30 @@ TEST_F(ShellFixture, TraceWriterRecordsCompletedTransactions)
               std::string::npos);
     EXPECT_NE(csv.find(",W,"), std::string::npos);
     EXPECT_NE(csv.find(",1\n"), std::string::npos); // error row
+}
+
+TEST_F(TracedShellFixture, TwoSinksBothObserveTheSameTransaction)
+{
+    // Regression for the old Shell::setTracer single-slot design,
+    // where attaching a second tracer silently evicted the first.
+    std::ostringstream os;
+    ccip::TraceWriter writer(os, bus);
+    sim::CollectSink collector;
+    bus.attach(&collector,
+               sim::traceMask(sim::TraceKind::kDmaComplete));
+
+    auto w = makeTxn(true, 0x80);
+    shell.fromAfu(w);
+    eq.runAll();
+
+    EXPECT_EQ(writer.rows(), 1u);
+    ASSERT_EQ(collector.records().size(), 1u);
+    const sim::TraceRecord &r = collector.records()[0];
+    EXPECT_EQ(r.kind, sim::TraceKind::kDmaComplete);
+    EXPECT_EQ(r.addr, 0x80u);
+    EXPECT_NE(os.str().find(",W,"), std::string::npos);
+
+    bus.detach(&collector);
 }
 
 } // namespace

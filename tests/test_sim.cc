@@ -13,6 +13,7 @@
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "sim/types.hh"
 
 using namespace optimus::sim;
@@ -119,9 +120,9 @@ TEST(ClockedTest, ScheduleCyclesLandsOnEdges)
 
 TEST(StatsTest, CounterAndAverage)
 {
-    StatGroup g("test");
-    Counter c(&g, "c", "a counter");
-    Average a(&g, "a", "an average");
+    Telemetry t("test");
+    Counter c(&t.root(), "c", "a counter");
+    Average a(&t.root(), "a", "an average");
     c += 5;
     ++c;
     EXPECT_EQ(c.value(), 6u);
@@ -130,9 +131,9 @@ TEST(StatsTest, CounterAndAverage)
     EXPECT_DOUBLE_EQ(a.mean(), 2.0);
     EXPECT_DOUBLE_EQ(a.min(), 1.0);
     EXPECT_DOUBLE_EQ(a.max(), 3.0);
-    EXPECT_EQ(g.stats().size(), 2u);
+    EXPECT_EQ(t.root().stats().size(), 2u);
 
-    g.resetAll();
+    t.resetAll();
     EXPECT_EQ(c.value(), 0u);
     EXPECT_EQ(a.count(), 0u);
 }
@@ -154,12 +155,12 @@ TEST(StatsTest, HistogramPercentiles)
 
 TEST(StatsTest, DumpContainsNamesAndValues)
 {
-    StatGroup g("grp");
-    Counter c(&g, "my.counter", "desc");
+    Telemetry t("grp");
+    Counter c(&t.node("sub"), "my_counter", "desc");
     c += 42;
     std::ostringstream os;
-    g.dump(os);
-    EXPECT_NE(os.str().find("my.counter"), std::string::npos);
+    t.dump(os);
+    EXPECT_NE(os.str().find("sub.my_counter"), std::string::npos);
     EXPECT_NE(os.str().find("42"), std::string::npos);
 }
 

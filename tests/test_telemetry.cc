@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Observability-spine tests: the hierarchical telemetry tree, stat
+ * lifetime/move semantics, deterministic JSON export, the trace bus's
+ * disabled fast path, the Chrome-trace sink's output validity, and
+ * per-VM attribution of DMA trace records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/builders.hh"
+#include "hv/system.hh"
+#include "iommu/iommu.hh"
+#include "mem/address.hh"
+#include "sim/stats.hh"
+#include "sim/telemetry.hh"
+#include "sim/trace_bus.hh"
+#include "sim/trace_sinks.hh"
+
+using namespace optimus;
+
+namespace {
+
+// ----------------------------------------------------------------------
+// A tiny recursive-descent JSON validator: enough to prove the
+// exporters emit well-formed documents without adding a dependency.
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _s(text) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return _pos == _s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (_pos >= _s.size())
+            return false;
+        switch (_s[_pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (eat(','))
+                continue;
+            return eat('}');
+        }
+    }
+
+    bool
+    array()
+    {
+        if (!eat('['))
+            return false;
+        skipWs();
+        if (eat(']'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (eat(','))
+                continue;
+            return eat(']');
+        }
+    }
+
+    bool
+    string()
+    {
+        if (!eat('"'))
+            return false;
+        while (_pos < _s.size() && _s[_pos] != '"') {
+            if (_s[_pos] == '\\')
+                ++_pos;
+            ++_pos;
+        }
+        return eat('"');
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = _pos;
+        if (_pos < _s.size() && (_s[_pos] == '-' || _s[_pos] == '+'))
+            ++_pos;
+        while (_pos < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_pos])) ||
+                _s[_pos] == '.' || _s[_pos] == 'e' ||
+                _s[_pos] == 'E' || _s[_pos] == '-' ||
+                _s[_pos] == '+')) {
+            ++_pos;
+        }
+        return _pos > start;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (_s.compare(_pos, n, lit) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (_pos < _s.size() && _s[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+};
+
+// ----------------------------------------------------------------------
+// Telemetry tree
+
+TEST(TelemetryTreeTest, PathsAndGetOrCreate)
+{
+    sim::Telemetry t("sys");
+    EXPECT_EQ(t.root().path(), "");
+
+    sim::TelemetryNode &iotlb = t.node("iommu.iotlb");
+    EXPECT_EQ(iotlb.path(), "iommu.iotlb");
+    EXPECT_EQ(iotlb.name(), "iotlb");
+
+    // node() is get-or-create: the same path yields the same node,
+    // and the intermediate is shared.
+    EXPECT_EQ(&t.node("iommu.iotlb"), &iotlb);
+    EXPECT_EQ(&t.node("iommu"), iotlb.parent());
+    EXPECT_EQ(t.node("iommu").children().size(), 1u);
+
+    // child() on an existing name does not duplicate.
+    t.node("iommu").child("iotlb");
+    EXPECT_EQ(t.node("iommu").children().size(), 1u);
+    EXPECT_EQ(t.node("iommu").find("iotlb"), &iotlb);
+    EXPECT_EQ(t.node("iommu").find("nope"), nullptr);
+}
+
+TEST(TelemetryTreeTest, StatLifecycleAndMove)
+{
+    sim::Telemetry t("sys");
+    sim::TelemetryNode &n = t.node("grp");
+
+    {
+        sim::Counter a(&n, "a", "first");
+        EXPECT_EQ(n.stats().size(), 1u);
+
+        // Move: the registration follows the object in place.
+        sim::Counter b = std::move(a);
+        b += 7;
+        EXPECT_EQ(n.stats().size(), 1u);
+        std::ostringstream os;
+        t.dump(os);
+        EXPECT_NE(os.str().find("grp.a 7"), std::string::npos);
+    }
+    // Destruction unregisters: no dangling pointer in the tree.
+    EXPECT_EQ(n.stats().size(), 0u);
+    std::ostringstream os;
+    t.dump(os);
+    EXPECT_EQ(os.str().find("grp.a"), std::string::npos);
+}
+
+TEST(TelemetryTreeTest, SetPageBytesKeepsIotlbCountersRegistered)
+{
+    // Regression: rebuilding the IOTLB (page-size reconfiguration)
+    // used to leave dangling Stat pointers in the old registry.
+    sim::EventQueue eq;
+    sim::PlatformParams params;
+    sim::Telemetry t("sys");
+    iommu::Iommu mmu(eq, params, {&t.node("iommu"), nullptr});
+
+    mmu.setPageBytes(mem::kPage4K);
+    EXPECT_EQ(t.node("iommu.iotlb").stats().size(), 3u);
+
+    mmu.pageTable().map(mem::Iova(0), mem::Hpa(mem::kPage2M));
+    bool hit = false;
+    mmu.translate(mem::Iova(0x40), false,
+                  [&](iommu::TranslationResult r) {
+                      hit = !r.fault;
+                  });
+    eq.runAll();
+    EXPECT_TRUE(hit);
+
+    // The rebuilt IOTLB's counters are live and dumpable.
+    std::ostringstream os;
+    t.dump(os);
+    EXPECT_NE(os.str().find("iommu.iotlb.misses 1"),
+              std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// Whole-system exports
+
+/** Two MemBench tenants on separate slots, ready to run. */
+std::vector<hv::AccelHandle *>
+setupTwoTenantSystem(hv::System &sys)
+{
+    std::vector<hv::AccelHandle *> handles;
+    for (std::uint32_t slot = 0; slot < 2; ++slot) {
+        hv::AccelHandle &h = sys.attach(slot, 1ULL << 30);
+        exp::setupMembench(h, 1ULL << 20,
+                           accel::MembenchAccel::kRead, 7 + slot);
+        handles.push_back(&h);
+    }
+    for (auto *h : handles)
+        h->start();
+    return handles;
+}
+
+TEST(TelemetryJsonTest, DeterministicAcrossIdenticalRuns)
+{
+    auto run = []() {
+        hv::System sys(hv::makeOptimusConfig("MB", 2));
+        setupTwoTenantSystem(sys);
+        sys.eq.runUntil(sim::kTickMs);
+        std::ostringstream os;
+        sys.telemetry.writeJson(os);
+        return os.str();
+    };
+
+    std::string first = run();
+    std::string second = run();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+
+    JsonParser p(first);
+    EXPECT_TRUE(p.parse()) << first.substr(0, 400);
+
+    // The spine wired every layer in: spot-check one leaf per layer.
+    for (const char *key :
+         {"\"mem\"", "\"iommu\"", "\"iotlb\"", "\"shell\"",
+          "\"fabric\"", "\"hv\"", "\"accel0\"", "\"dma\"",
+          "\"vaccel0\"", "\"accesses\"", "\"hits\"",
+          "\"dma_reads\"", "\"slices\""}) {
+        EXPECT_NE(first.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ChromeTraceTest, EmitsValidParsableJson)
+{
+    hv::System sys(hv::makeOptimusConfig("MB", 2));
+    sim::ChromeTraceSink chrome(sys.trace);
+    setupTwoTenantSystem(sys);
+    sys.eq.runUntil(200 * sim::kTickUs);
+
+    EXPECT_GT(chrome.size(), 0u);
+    std::ostringstream os;
+    chrome.write(os);
+    std::string doc = os.str();
+
+    JsonParser p(doc);
+    EXPECT_TRUE(p.parse()) << doc.substr(0, 400);
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    // Thread names carry telemetry paths, so traces are addressable.
+    EXPECT_NE(doc.find("shell"), std::string::npos);
+}
+
+TEST(TraceBusTest, DisabledBusFastPathAddsNoRecords)
+{
+    // No sink attached: every emission site must bail on the mask
+    // check, so a full simulation dispatches exactly zero records.
+    hv::System sys(hv::makeOptimusConfig("MB", 2));
+    setupTwoTenantSystem(sys);
+    sys.eq.runUntil(sim::kTickMs);
+
+    EXPECT_EQ(sys.trace.dispatched(), 0u);
+
+    // Attaching a sink turns the same sites on, mid-simulation.
+    sim::CollectSink sink;
+    sys.trace.attach(&sink);
+    sys.eq.runUntil(sys.eq.now() + 100 * sim::kTickUs);
+    EXPECT_GT(sys.trace.dispatched(), 0u);
+    EXPECT_EQ(sys.trace.dispatched(), sink.records().size());
+    sys.trace.detach(&sink);
+}
+
+TEST(AttributionTest, DmaRecordsCarryVmAndProc)
+{
+    hv::System sys(hv::makeOptimusConfig("MB", 2));
+    sim::CollectSink sink;
+    sys.trace.attach(&sink,
+                     sim::traceMask(sim::TraceKind::kDmaComplete));
+    setupTwoTenantSystem(sys);
+    sys.eq.runUntil(sim::kTickMs);
+
+    ASSERT_GT(sink.records().size(), 0u);
+    bool saw_vm0 = false;
+    bool saw_vm1 = false;
+    for (const sim::TraceRecord &r : sink.records()) {
+        ASSERT_NE(r.vm, sim::kNoOwner);
+        EXPECT_EQ(r.proc, 0u); // one process per VM here
+        if (r.vm == 0)
+            saw_vm0 = true;
+        if (r.vm == 1)
+            saw_vm1 = true;
+    }
+    // Both tenants' DMAs are attributed to their own VM.
+    EXPECT_TRUE(saw_vm0);
+    EXPECT_TRUE(saw_vm1);
+    sys.trace.detach(&sink);
+}
+
+} // namespace

@@ -228,7 +228,7 @@ main(int argc, char **argv)
 
     if (o.stats) {
         std::ostringstream os;
-        sys.platform.stats().dump(os);
+        sys.telemetry.dump(os);
         std::fputs(os.str().c_str(), stdout);
     }
     return 0;
