@@ -43,8 +43,12 @@ Accelerator::dmaResponse(ccip::DmaTxnPtr txn)
 std::uint64_t
 Accelerator::mmioRead(std::uint64_t offset)
 {
+    if (_mmioWedged)
+        return ~0ULL;
     switch (offset) {
       case reg::kCtrl:
+        return 0;
+      case reg::kErrStatus:
         return 0;
       case reg::kStatus:
         return static_cast<std::uint64_t>(_status);
@@ -70,6 +74,8 @@ Accelerator::mmioRead(std::uint64_t offset)
 void
 Accelerator::mmioWrite(std::uint64_t offset, std::uint64_t value)
 {
+    if (_mmioWedged)
+        return;
     if (offset == reg::kCtrl) {
         command(value);
         return;
@@ -93,6 +99,8 @@ Accelerator::mmioWrite(std::uint64_t offset, std::uint64_t value)
 void
 Accelerator::command(std::uint64_t bits)
 {
+    if (_wedged)
+        return; // pipeline hung: only a VCU hard reset recovers
     if (bits & ctrl::kSoftReset) {
         ++_epoch;
         _dma.reset();
@@ -133,8 +141,28 @@ Accelerator::hardReset()
     _progress = 0;
     _stateBuf = 0;
     _doneDuringSave = false;
+    _wedged = false;
+    _mmioWedged = false;
     _appRegs.fill(0);
     onSoftReset();
+}
+
+void
+Accelerator::wedge()
+{
+    if (_wedged)
+        return;
+    _wedged = true;
+    // The epoch bump kills every guarded callback, so the pipeline
+    // genuinely stops: no more progress, no completion, no doorbell.
+    ++_epoch;
+    _dma.reset();
+}
+
+void
+Accelerator::wedgeMmio()
+{
+    _mmioWedged = true;
 }
 
 void
@@ -162,6 +190,11 @@ Accelerator::fail()
 void
 Accelerator::raiseDoorbell()
 {
+    // A wedged MMIO plane swallows the interrupt as well: the guest
+    // never learns the job finished, which is exactly the silent
+    // failure the watchdog detects via frozen progress.
+    if (_mmioWedged)
+        return;
     if (_doorbell)
         _doorbell(*this);
 }

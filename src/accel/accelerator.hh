@@ -77,6 +77,25 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
     void mmioWrite(std::uint64_t offset, std::uint64_t value) override;
     void hardReset() override;
 
+    // ----- fault plane -----
+    /**
+     * Wedge the pipeline: every in-flight callback dies (epoch bump),
+     * DMA stops, the status register freezes at its current value and
+     * commands are ignored.  Only a VCU hardReset() recovers — the
+     * exact failure the hypervisor watchdog exists to catch.
+     */
+    void wedge();
+
+    /**
+     * Wedge the MMIO register file: reads return all-ones, writes are
+     * dropped, and the doorbell is suppressed so completions become
+     * invisible to the host.  The job itself keeps running.
+     */
+    void wedgeMmio();
+
+    bool wedged() const { return _wedged; }
+    bool mmioWedged() const { return _mmioWedged; }
+
   protected:
     /** Begin the configured job (app registers hold parameters). */
     virtual void onStart() = 0;
@@ -167,6 +186,8 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
     std::uint64_t _stateBuf = 0;
     std::array<std::uint64_t, reg::kNumAppRegs> _appRegs{};
     bool _doneDuringSave = false;
+    bool _wedged = false;
+    bool _mmioWedged = false;
     std::uint64_t _syntheticStateBytes = 0;
     std::uint64_t _epoch = 0;
 

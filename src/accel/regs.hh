@@ -29,6 +29,11 @@ constexpr std::uint64_t kStateSize = 0x18;
 constexpr std::uint64_t kResult = 0x20;
 /** Job progress counter, app-defined units (read-only). */
 constexpr std::uint64_t kProgress = 0x28;
+/** Guest-visible error status (read-only, hypervisor-maintained).
+ *  The device itself always reads 0 here; OptimusHv overlays the
+ *  per-vaccel error bits so each tenant observes only its own
+ *  faults. */
+constexpr std::uint64_t kErrStatus = 0x30;
 /** First application register; 32 of them, 8 bytes apart. */
 constexpr std::uint64_t kApp0 = 0x40;
 constexpr std::uint32_t kNumAppRegs = 32;
@@ -50,6 +55,18 @@ constexpr std::uint64_t kPreempt = 1 << 1;
 constexpr std::uint64_t kResume = 1 << 2;
 constexpr std::uint64_t kSoftReset = 1 << 3;
 } // namespace ctrl
+
+/** ERR_STATUS bits (hypervisor-maintained, per-vaccel). */
+namespace errst {
+/** Watchdog expired with no forward progress; vaccel quarantined. */
+constexpr std::uint64_t kWatchdog = 1 << 0;
+/** Accelerator failed to cede on preempt; VCU force-reset the slot. */
+constexpr std::uint64_t kForcedReset = 1 << 1;
+/** A DMA of this tenant took an IO page fault. */
+constexpr std::uint64_t kDmaFault = 1 << 2;
+/** The device itself reported an error completion. */
+constexpr std::uint64_t kDeviceError = 1 << 3;
+} // namespace errst
 
 /** Accelerator job status values. */
 enum class Status : std::uint64_t

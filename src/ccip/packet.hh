@@ -58,6 +58,8 @@ struct DmaTxn
     VChannel vc = VChannel::kAuto;
     /** Set when the transaction faulted or was discarded. */
     bool error = false;
+    /** Times the shell re-issued this txn after an injected drop. */
+    std::uint8_t retries = 0;
 
     /** Write payload on the way up; read data on the way back. */
     std::array<std::uint8_t, sim::kCacheLineBytes> data{};

@@ -24,12 +24,18 @@ Shell::Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
              scope.sub("pcie1")),
       _selector(_upi, _pcie0, _pcie1, scope.sub("selector")),
       _mmioLinkLatency(params.pcieLatency),
+      _dmaMaxRetries(params.dmaMaxRetries),
+      _dmaRetryBackoff(params.dmaRetryBackoff),
       _trace(scope.bus),
       _comp(sim::traceComponent(scope, "shell")),
       _dmaReads(scope.node, "dma_reads", "DMA reads processed"),
       _dmaWrites(scope.node, "dma_writes", "DMA writes processed"),
       _dmaFaults(scope.node, "dma_faults",
-                 "DMAs rejected by IO page fault")
+                 "DMAs rejected by IO page fault"),
+      _dmaRetries(scope.node, "dma_retries",
+                  "dropped responses re-issued"),
+      _dmaDropped(scope.node, "dma_dropped",
+                  "responses dropped by fault injection")
 {
 }
 
@@ -37,6 +43,12 @@ void
 Shell::fromAfu(DmaTxnPtr txn)
 {
     (txn->isWrite ? _dmaWrites : _dmaReads) += 1;
+    issue(std::move(txn));
+}
+
+void
+Shell::issue(DmaTxnPtr txn)
+{
     // The txn travels by move through the whole per-DMA closure chain
     // (here through translation, then link, memory controller and the
     // return leg) so one DMA costs one shared_ptr reference, not one
@@ -110,6 +122,51 @@ Shell::onTranslated(DmaTxnPtr txn, iommu::TranslationResult tr)
 
 void
 Shell::respond(DmaTxnPtr txn)
+{
+    if (_faultHook && !txn->error) {
+        sim::Tick extra = 0;
+        switch (_faultHook->onDmaResponse(*txn, &extra)) {
+          case DmaFaultHook::Action::kNone:
+            break;
+          case DmaFaultHook::Action::kDrop:
+            ++_dmaDropped;
+            if (txn->retries < _dmaMaxRetries) {
+                ++txn->retries;
+                ++_dmaRetries;
+                if (_trace && _trace->wants(sim::TraceKind::kDmaRetry)) {
+                    sim::TraceRecord r;
+                    r.kind = sim::TraceKind::kDmaRetry;
+                    r.comp = _comp;
+                    r.start = txn->issuedAt;
+                    r.addr = txn->iova.value();
+                    r.arg = txn->retries;
+                    r.tag = txn->tag;
+                    r.vm = txn->vm;
+                    r.proc = txn->proc;
+                    _trace->emit(r);
+                }
+                _eq.scheduleIn(_dmaRetryBackoff,
+                               [this, txn = std::move(txn)]() mutable {
+                                   issue(std::move(txn));
+                               });
+                return;
+            }
+            // Retries exhausted: surface a hard error to the AFU.
+            txn->error = true;
+            break;
+          case DmaFaultHook::Action::kDelay:
+            _eq.scheduleIn(extra,
+                           [this, txn = std::move(txn)]() mutable {
+                               deliver(std::move(txn));
+                           });
+            return;
+        }
+    }
+    deliver(std::move(txn));
+}
+
+void
+Shell::deliver(DmaTxnPtr txn)
 {
     OPTIMUS_ASSERT(_responseSink != nullptr,
                    "shell has no AFU response sink");

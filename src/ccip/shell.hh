@@ -34,6 +34,25 @@ class Shell
     using DmaSink = std::function<void(DmaTxnPtr)>;
     using MmioSink = std::function<void(MmioOp)>;
 
+    /**
+     * Fault-plane hook consulted once per completed DMA response
+     * (before delivery to the AFU).  kDrop models a lost CCI-P
+     * response: the shell re-issues the transaction after a bounded
+     * backoff, and marks it errored when retries are exhausted.
+     * kDelay models a transient link stall of *extra ticks.  Null by
+     * default; the fault-free path pays one pointer test.
+     */
+    class DmaFaultHook
+    {
+      public:
+        enum class Action { kNone, kDrop, kDelay };
+        virtual ~DmaFaultHook() = default;
+        virtual Action onDmaResponse(const DmaTxn &txn,
+                                     sim::Tick *extra) = 0;
+    };
+
+    void setFaultHook(DmaFaultHook *hook) { _faultHook = hook; }
+
     Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
           mem::HostMemory &memory, mem::MemoryController &memctl,
           iommu::Iommu &iommu, sim::Scope scope = {});
@@ -61,10 +80,14 @@ class Shell
 
     std::uint64_t dmaReads() const { return _dmaReads.value(); }
     std::uint64_t dmaWrites() const { return _dmaWrites.value(); }
+    std::uint64_t dmaRetries() const { return _dmaRetries.value(); }
+    std::uint64_t dmaDropped() const { return _dmaDropped.value(); }
 
   private:
+    void issue(DmaTxnPtr txn);
     void onTranslated(DmaTxnPtr txn, iommu::TranslationResult tr);
     void respond(DmaTxnPtr txn);
+    void deliver(DmaTxnPtr txn);
 
     /** Small header/ack size accompanying each transfer. */
     static constexpr std::uint64_t kCtrlBytes = 16;
@@ -79,9 +102,12 @@ class Shell
     Link _pcie1;
     ChannelSelector _selector;
     sim::Tick _mmioLinkLatency;
+    std::uint32_t _dmaMaxRetries;
+    sim::Tick _dmaRetryBackoff;
 
     DmaSink _responseSink;
     MmioSink _mmioSink;
+    DmaFaultHook *_faultHook = nullptr;
 
     sim::TraceBus *_trace = nullptr;
     std::uint32_t _comp = 0;
@@ -89,6 +115,8 @@ class Shell
     sim::Counter _dmaReads;
     sim::Counter _dmaWrites;
     sim::Counter _dmaFaults;
+    sim::Counter _dmaRetries;
+    sim::Counter _dmaDropped;
 };
 
 } // namespace optimus::ccip

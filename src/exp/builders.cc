@@ -15,6 +15,15 @@ sizeLabel(std::uint64_t bytes)
     return sim::strprintf("%lluK", v >> 10);
 }
 
+std::unique_ptr<fault::FaultInjector>
+installFaults(hv::System &sys, const std::string &plan)
+{
+    if (plan.empty())
+        return nullptr;
+    return std::make_unique<fault::FaultInjector>(
+        sys, fault::FaultPlan::parse(plan));
+}
+
 std::vector<std::uint64_t>
 measureWindow(hv::System &sys,
               const std::vector<hv::AccelHandle *> &handles,

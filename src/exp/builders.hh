@@ -11,12 +11,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "accel/linkedlist_accel.hh"
 #include "accel/membench_accel.hh"
 #include "ccip/packet.hh"
+#include "fault/fault_injector.hh"
 #include "hv/system.hh"
 #include "hv/workloads.hh"
 #include "sim/types.hh"
@@ -50,6 +52,16 @@ void setupLinkedList(hv::AccelHandle &h, std::uint64_t wset_bytes,
 
 /** Human size label for sweep axes: "32K", "64M", "8G". */
 std::string sizeLabel(std::uint64_t bytes);
+
+/**
+ * Parse @p plan (fault::FaultPlan grammar, e.g. from
+ * RunContext::faults) and attach a FaultInjector to @p sys. Returns
+ * nullptr — and perturbs nothing — when the plan is empty; the
+ * injector must outlive the simulation it arms. Throws
+ * std::invalid_argument on a malformed plan.
+ */
+std::unique_ptr<fault::FaultInjector>
+installFaults(hv::System &sys, const std::string &plan);
 
 /** GB/s from a line-ops count over @p ns. */
 inline double

@@ -134,7 +134,8 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             "usage: %s [--jobs N] [--filter REGEX] [--json PATH]\n"
             "          [--csv PATH] [--telemetry DIR]"
             " [--time-scale F]\n"
-            "          [--list] [--quiet]\n",
+            "          [--faults PLAN] [--fail-fast]"
+            " [--list] [--quiet]\n",
             argc > 0 ? argv[0] : "bench");
     };
     for (int i = 1; i < argc; ++i) {
@@ -182,6 +183,13 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             opts.timeScale = std::strtod(v, nullptr);
             if (opts.timeScale <= 0)
                 opts.timeScale = 1.0;
+        } else if (a == "--faults") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.faults = v;
+        } else if (a == "--fail-fast") {
+            opts.failFast = true;
         } else if (a == "--list") {
             opts.list = true;
         } else if (a == "--quiet" || a == "-q") {
@@ -250,10 +258,30 @@ Runner::run(const Options &opts)
     std::vector<std::optional<ResultRow>> slots(jobs.size());
     RunContext ctx;
     ctx.timeScale = opts.timeScale;
+    ctx.faults = opts.faults;
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
     std::mutex errLock;
+    // A scenario that throws must not take the whole run down: record
+    // a FAILED row in its declaration slot (so tables stay aligned),
+    // remember the error for the nonzero exit, and keep going unless
+    // --fail-fast asked for an immediate stop.
+    auto fail = [&](std::size_t i, const std::string &name,
+                    const std::string &what) {
+        ResultRow row(name);
+        row.str("status", "FAILED: " + what);
+        slots[i] = std::move(row);
+        {
+            std::lock_guard<std::mutex> g(errLock);
+            _errors.push_back(name + ": " + what);
+        }
+        if (opts.failFast)
+            abort.store(true, std::memory_order_relaxed);
+    };
     auto worker = [&]() {
         for (;;) {
+            if (abort.load(std::memory_order_relaxed))
+                return;
             std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
@@ -270,11 +298,9 @@ Runner::run(const Options &opts)
                     slots[i] = s.run(ctx);
                 }
             } catch (const std::exception &e) {
-                std::lock_guard<std::mutex> g(errLock);
-                _errors.push_back(s.name + ": " + e.what());
+                fail(i, s.name, e.what());
             } catch (...) {
-                std::lock_guard<std::mutex> g(errLock);
-                _errors.push_back(s.name + ": unknown exception");
+                fail(i, s.name, "unknown exception");
             }
         }
     };

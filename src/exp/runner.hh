@@ -47,8 +47,14 @@ class Runner
          *  Chrome-trace (Perfetto-loadable) event file. Excluded
          *  from fingerprints; empty = disabled. */
         std::string telemetryDir;
+        /** Fault-campaign plan (fault::FaultPlan syntax) forwarded
+         *  to scenarios via RunContext::faults; empty = fault-free. */
+        std::string faults;
         bool list = false;    ///< print scenario names and exit
         bool quiet = false;   ///< suppress text tables
+        /** Abort the whole run on the first scenario failure instead
+         *  of recording a FAILED row and continuing. */
+        bool failFast = false;
     };
 
     /** A finished table: declaration metadata plus result rows in
@@ -97,6 +103,12 @@ class Runner
 
     /** Wall-clock of the last run()'s execute phase, ms. */
     double wallMs() const { return _wallMs; }
+
+    /** "name: reason" for every scenario the last run() failed. */
+    const std::vector<std::string> &errors() const
+    {
+        return _errors;
+    }
 
   private:
     struct TableSpec

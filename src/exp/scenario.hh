@@ -28,6 +28,11 @@ struct RunContext
 {
     double timeScale = 1.0;
 
+    /** Fault-campaign plan (fault::FaultPlan grammar) from --faults.
+     *  Scenarios that support injection pass this to
+     *  builders::installFaults(); empty = fault-free run. */
+    std::string faults;
+
     /** Scale a simulated duration (never below one tick). */
     sim::Tick
     scaled(sim::Tick t) const

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic fault-campaign plans.
+ *
+ * A FaultPlan is a parsed, seeded description of every failure a
+ * campaign injects: one-shot events pinned to simulation time
+ * (accelerator hangs, IOTLB poisoning, wild DMAs) and rate rules
+ * evaluated per transaction (dropped/delayed CCI-P responses, forced
+ * translation faults).  Plans come from the `--faults` experiment
+ * flag as a compact string:
+ *
+ *     plan      := directive (';' directive)*
+ *     directive := kind ['@' slot] [':' key=value (',' key=value)*]
+ *     kind      := hang | wedge_mmio | drop | delay | iommu_fault
+ *                | poison_iotlb | wild_dma | watchdog
+ *
+ * Times accept ns/us/ms/s suffixes (bare numbers are ticks).  Example:
+ *
+ *     hang@0:at=1ms;watchdog:deadline=1ms
+ *     drop:rate=0.01,seed=7;delay:rate=0.005,extra=4us
+ *
+ * Everything is derived from the plan text plus simulation time —
+ * never from wall-clock randomness — so a campaign replays
+ * bit-identically.
+ */
+
+#ifndef OPTIMUS_FAULT_FAULT_PLAN_HH
+#define OPTIMUS_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace optimus::fault {
+
+/** One parsed plan directive. */
+struct FaultDirective
+{
+    enum class Kind
+    {
+        kHang,        ///< wedge an accelerator's pipeline
+        kWedgeMmio,   ///< wedge an accelerator's register file
+        kDrop,        ///< drop CCI-P responses (rate rule)
+        kDelay,       ///< delay CCI-P responses (rate rule)
+        kIommuFault,  ///< force IOMMU translation faults (rate rule)
+        kPoisonIotlb, ///< poison an IOTLB set
+        kWildDma,     ///< emit an out-of-window DMA at the auditor
+        kWatchdog,    ///< arm the hypervisor watchdog
+    };
+
+    Kind kind = Kind::kHang;
+    /** Physical slot target; -1 = slot 0 for one-shots, any slot for
+     *  rate rules. */
+    std::int32_t slot = -1;
+    /** Tenant filter for rate rules; -1 = any VM. */
+    std::int32_t vm = -1;
+    /** One-shots fire at this tick; rate rules only match after it. */
+    sim::Tick at = 0;
+    /** Match probability per transaction (rate rules); 1.0 = always. */
+    double rate = 1.0;
+    /** Per-directive RNG seed salt. */
+    std::uint64_t seed = 0;
+    /** Injection budget; 0 = unlimited (rate rules) / 1 (one-shots). */
+    std::uint64_t count = 0;
+    /** Added response latency for kDelay. */
+    sim::Tick extra = 0;
+    /** Repeat period for one-shots; 0 = fire once. */
+    sim::Tick period = 0;
+    /** IOTLB set index for kPoisonIotlb. */
+    std::uint32_t set = 0;
+    /** Watchdog deadline for kWatchdog. */
+    sim::Tick deadline = 0;
+};
+
+const char *kindName(FaultDirective::Kind k);
+
+/** An immutable, parsed fault campaign. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Parse the `--faults` string; throws std::invalid_argument on
+     *  malformed input.  An empty string yields an empty plan. */
+    static FaultPlan parse(const std::string &text);
+
+    bool empty() const { return _directives.empty(); }
+    const std::vector<FaultDirective> &directives() const
+    {
+        return _directives;
+    }
+
+    /** One-line human-readable form (for bench row labels/logs). */
+    std::string summary() const;
+
+  private:
+    std::vector<FaultDirective> _directives;
+};
+
+} // namespace optimus::fault
+
+#endif // OPTIMUS_FAULT_FAULT_PLAN_HH

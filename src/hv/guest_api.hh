@@ -85,6 +85,14 @@ class AccelHandle
         return mmioRead(accel::reg::kProgress);
     }
 
+    /** Read the guest-visible ERR_STATUS register (accel::errst
+     *  bits); how a VM observes its own faults after wait() returns
+     *  kError. */
+    std::uint64_t errorStatus()
+    {
+        return mmioRead(accel::reg::kErrStatus);
+    }
+
     /** Run the event loop until @p pred holds (library internal). */
     void pumpUntil(const std::function<bool()> &pred);
 

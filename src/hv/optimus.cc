@@ -30,18 +30,28 @@ OptimusHv::OptimusHv(Platform &platform)
                      "rejected_pages",
                      "page registrations outside the DMA window"),
       _migrations(&platform.telemetry().node("hv"), "migrations",
-                  "virtual accelerators migrated between slots")
+                  "virtual accelerators migrated between slots"),
+      _watchdogFires(&platform.telemetry().node("hv"),
+                     "watchdog_fires",
+                     "vaccels quarantined for lack of progress"),
+      _slotResets(&platform.telemetry().node("hv"), "slot_resets",
+                  "VCU slot resets issued for fault recovery")
 {
     for (std::uint32_t i = 0; i < platform.numAccels(); ++i) {
         platform.accel(i).setDoorbell(
             [this, i](accel::Accelerator &a) { onDoorbell(i, a); });
     }
     _platform.iommu().setFaultHandler(
-        [](mem::Iova iova, bool is_write) {
+        [this](mem::Iova iova, bool is_write) {
             OPTIMUS_WARN("IO page fault at IOVA 0x%llx (%s)",
                          static_cast<unsigned long long>(
                              iova.value()),
                          is_write ? "write" : "read");
+            // Attribute the fault to the tenant whose slice the
+            // faulting IOVA falls into, so it surfaces in that
+            // guest's ERR_STATUS and nowhere else.
+            if (VirtualAccel *v = vaccelForIova(iova))
+                noteError(*v, accel::errst::kDmaFault);
         });
 }
 
@@ -116,6 +126,7 @@ OptimusHv::createVirtualAccel(guest::Process &proc,
     _occupancy.push_back(0);
 
     VirtualAccel *raw = v.get();
+    _byId.push_back(raw);
     slot.vaccels.push_back(std::move(v));
 
     if (slot.scheduled == nullptr && !slot.switching) {
@@ -198,17 +209,34 @@ OptimusHv::mmioWrite(VirtualAccel &v, std::uint64_t r,
                 v._cachedResult = 0;
                 v._cachedProgress = 0;
                 v._savedContext = false;
+                // A fresh START acknowledges and clears any earlier
+                // fault; a quarantined vaccel becomes eligible again.
+                v._errStatus = 0;
+                v._quarantined = false;
                 if (!sched) {
                     v._pendingStart = true;
-                    armSliceTimer(v._slot);
+                    Slot &slot = _slots[v._slot];
+                    if (optimusMode() && slot.scheduled == nullptr &&
+                        !slot.switching) {
+                        // The slot sits vacant (e.g. after a
+                        // quarantine reset emptied it): claim it now
+                        // — the dormant slice timer would never fire.
+                        performSwitch(v._slot, &v);
+                    } else {
+                        armSliceTimer(v._slot);
+                    }
+                    armWatchdog(v);
                     done();
                     return;
                 }
+                armWatchdog(v);
             }
             if (bits & ctrl::kSoftReset) {
                 v._visibleStatus = Status::kIdle;
                 v._pendingStart = false;
                 v._savedContext = false;
+                v._errStatus = 0;
+                v._quarantined = false;
                 if (!sched) {
                     done();
                     return;
@@ -270,6 +298,12 @@ OptimusHv::mmioRead(VirtualAccel &v, std::uint64_t r,
             // The hypervisor hides the physical accelerator's
             // status (it may be running someone else's job).
             done(static_cast<std::uint64_t>(v._visibleStatus));
+            return;
+        }
+        if (r == reg::kErrStatus) {
+            // Hypervisor-owned: each tenant observes only its own
+            // faults, never the physical device's (or a co-tenant's).
+            done(v._errStatus);
             return;
         }
         if ((r == reg::kResult || r == reg::kProgress) && !sched) {
@@ -587,6 +621,14 @@ OptimusHv::performSwitch(std::uint32_t slot_idx, VirtualAccel *to)
                     s3.scheduledAt = eventq().now();
                     s3.switching = false;
                     armSliceTimer(slot_idx);
+                    // The tenant only now gained the hardware: the
+                    // no-progress deadline restarts from this instant,
+                    // invalidating any check armed while the switch
+                    // (38us of software cost plus the VCU sequence)
+                    // was still in flight — that one would expire
+                    // before the device had a chance to move.
+                    to->_wdArmed = false;
+                    armWatchdog(*to);
                 });
             });
         (void)s;
@@ -604,6 +646,7 @@ OptimusHv::performSwitch(std::uint32_t slot_idx, VirtualAccel *to)
         // The accelerator does not implement the preemption
         // interface (no state buffer): forcibly reset it.
         ++_forcedResets;
+        noteError(*from, accel::errst::kForcedReset);
         from->_visibleStatus = Status::kError;
         from->_savedContext = false;
         deviceMmio(true,
@@ -635,6 +678,7 @@ OptimusHv::performSwitch(std::uint32_t slot_idx, VirtualAccel *to)
             return; // save completed in time
         s.onSaved = nullptr;
         ++_forcedResets;
+        noteError(*from, accel::errst::kForcedReset);
         from->_visibleStatus = Status::kError;
         from->_savedContext = false;
         deviceMmio(true,
@@ -666,6 +710,8 @@ OptimusHv::onDoorbell(std::uint32_t slot_idx, accel::Accelerator &a)
         return;
     }
     if (st == Status::kDone || st == Status::kError) {
+        if (st == Status::kError)
+            noteError(*v, accel::errst::kDeviceError);
         v->_visibleStatus = st;
         v->_cachedResult = a.result();
         v->_cachedProgress = a.progress();
@@ -786,6 +832,7 @@ OptimusHv::migrate(VirtualAccel &v, std::uint32_t dst_idx,
             // the migration (the vaccel stays, errored, on src).
             s.onSaved = nullptr;
             ++_forcedResets;
+            noteError(v, accel::errst::kForcedReset);
             v._visibleStatus = Status::kError;
             v._savedContext = false;
             deviceMmio(
@@ -824,6 +871,171 @@ OptimusHv::notePreempted(std::uint32_t slot_idx, VirtualAccel &v)
         r.proc = v._procId;
         _trace->emit(r);
     }
+}
+
+// -------------------------------------------------- watchdog & recovery
+
+void
+OptimusHv::setWatchdog(sim::Tick deadline)
+{
+    _wdDeadline = deadline;
+    if (deadline == 0)
+        return;
+    for (auto &slot : _slots) {
+        for (auto &v : slot.vaccels) {
+            if (v->_visibleStatus == Status::kRunning)
+                armWatchdog(*v);
+        }
+    }
+}
+
+void
+OptimusHv::armWatchdog(VirtualAccel &v)
+{
+    if (_wdDeadline == 0 || v._wdArmed)
+        return;
+    v._wdArmed = true;
+    v._wdLastProgress = peekProgress(v);
+    std::uint64_t epoch = ++v._wdEpoch;
+    VirtualAccel *vp = &v;
+    eventq().scheduleIn(_wdDeadline, [this, vp, epoch]() {
+        watchdogCheck(vp, epoch);
+    });
+}
+
+void
+OptimusHv::watchdogCheck(VirtualAccel *v, std::uint64_t epoch)
+{
+    if (epoch != v->_wdEpoch)
+        return;
+    v->_wdArmed = false;
+    if (_wdDeadline == 0)
+        return;
+    if (v->_visibleStatus != Status::kRunning)
+        return; // finished or reset; the next START re-arms
+    Slot &slot = _slots[v->_slot];
+    if (slot.scheduled != v || slot.switching) {
+        // Descheduled by temporal multiplexing: progress legitimately
+        // cannot advance, so the deadline restarts from here.
+        armWatchdog(*v);
+        return;
+    }
+    // The health probe is an MMIO read of PROGRESS: a device whose
+    // MMIO interface wedged answers all-ones, which can never match
+    // a live progress counter — the probe fails, the tenant is
+    // quarantined even though the datapath may still be moving.
+    std::uint64_t p = _platform.accel(v->_slot).mmioWedged()
+                          ? ~0ULL
+                          : peekProgress(*v);
+    if (p != v->_wdLastProgress && p != ~0ULL) {
+        v->_wdLastProgress = p;
+        v->_wdArmed = true;
+        std::uint64_t next = ++v->_wdEpoch;
+        eventq().scheduleIn(_wdDeadline, [this, v, next]() {
+            watchdogCheck(v, next);
+        });
+        return;
+    }
+    quarantine(*v);
+}
+
+void
+OptimusHv::quarantine(VirtualAccel &v)
+{
+    ++_watchdogFires;
+    if (v._sched)
+        ++v._sched->watchdogFires;
+    noteError(v, accel::errst::kWatchdog);
+    v._visibleStatus = Status::kError;
+    v._quarantined = true;
+    v._pendingStart = false;
+    v._savedContext = false;
+    if (_trace && _trace->wants(sim::TraceKind::kWatchdogFire)) {
+        sim::TraceRecord r;
+        r.kind = sim::TraceKind::kWatchdogFire;
+        r.comp = _comp;
+        r.addr = v._id;
+        r.arg = v._slot;
+        r.vm = v._vmId;
+        r.proc = v._procId;
+        _trace->emit(r);
+    }
+    if (v._completion)
+        v._completion(Status::kError);
+    resetSlot(v._slot);
+}
+
+void
+OptimusHv::resetSlot(std::uint32_t slot_idx)
+{
+    Slot &slot = _slots[slot_idx];
+    ++_slotResets;
+    if (_trace && _trace->wants(sim::TraceKind::kSlotReset)) {
+        sim::TraceRecord r;
+        r.kind = sim::TraceKind::kSlotReset;
+        r.comp = _comp;
+        r.addr = slot_idx;
+        r.arg = 1ULL << slot_idx;
+        if (slot.scheduled) {
+            r.vm = slot.scheduled->_vmId;
+            r.proc = slot.scheduled->_procId;
+        }
+        _trace->emit(r);
+    }
+    if (slot.scheduled)
+        notePreempted(slot_idx, *slot.scheduled);
+
+    if (!optimusMode()) {
+        // Pass-through has no VCU: reset the device directly. The
+        // sole tenant keeps its binding to the slot.
+        slot.scheduledAt = eventq().now();
+        _platform.accel(slot_idx).hardReset();
+        return;
+    }
+
+    slot.switching = true;
+    ++slot.timerEpoch;   // cancel the pending slice timer
+    ++slot.preemptToken; // cancel any pending preempt timeout
+    slot.onSaved = nullptr;
+    deviceMmio(true, fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
+               1ULL << slot_idx, [this, slot_idx](std::uint64_t) {
+                   Slot &s = _slots[slot_idx];
+                   s.scheduled = nullptr;
+                   s.switching = false;
+                   // Co-tenants keep their shares: the next eligible
+                   // vaccel takes the slot through the full reattach
+                   // path (VCU reset, offset entry, register replay).
+                   if (VirtualAccel *next = pickNext(s))
+                       performSwitch(slot_idx, next);
+               });
+}
+
+void
+OptimusHv::noteError(VirtualAccel &v, std::uint64_t bits)
+{
+    v._errStatus |= bits;
+    if (v._sched)
+        ++v._sched->faults;
+}
+
+VirtualAccel *
+OptimusHv::vaccelForIova(mem::Iova iova)
+{
+    if (optimusMode()) {
+        // Page table slicing: slice k belongs to vaccel id k-1.
+        std::uint64_t k = iova.value() / sliceStride();
+        if (k == 0 || k > _byId.size())
+            return nullptr;
+        return _byId[k - 1];
+    }
+    // Pass-through: identity IOVA, scan the DMA windows.
+    for (VirtualAccel *v : _byId) {
+        if (iova.value() >= v->_windowBase.value() &&
+            iova.value() < v->_windowBase.value() + v->_windowBytes) {
+            return v;
+        }
+    }
+    return nullptr;
 }
 
 // -------------------------------------------------------- introspection

@@ -65,11 +65,20 @@ class VirtualAccel
     /** Base of the guest-virtual DMA window (the 64 GB slice). */
     mem::Gva windowBase() const { return _windowBase; }
     std::uint64_t windowBytes() const { return _windowBytes; }
+    /** IOVA base of this vaccel's page-table slice; co-tenants in
+     *  one VM share a windowBase but never a slice. */
+    std::uint64_t sliceIovaBase() const { return _sliceIovaBase; }
 
     /** The hypervisor-maintained job status the guest observes. */
     accel::Status visibleStatus() const { return _visibleStatus; }
     std::uint64_t cachedResult() const { return _cachedResult; }
     std::uint64_t cachedProgress() const { return _cachedProgress; }
+
+    /** Guest-visible error bits (accel::errst); the ERR_STATUS
+     *  register this tenant reads.  Cleared by START / SOFT_RESET. */
+    std::uint64_t errorStatus() const { return _errStatus; }
+    /** Whether the watchdog quarantined this vaccel. */
+    bool quarantined() const { return _quarantined; }
 
     /** Invoked (like an interrupt) on job DONE / ERROR. */
     void setCompletionHandler(CompletionHandler h)
@@ -91,12 +100,18 @@ class VirtualAccel
                        "times preempted off the physical slot"),
               occupancyTicks(node, "occupancy_ticks",
                              "accumulated physical-slot occupancy "
-                             "(ticks)")
+                             "(ticks)"),
+              watchdogFires(node, "watchdog_fires",
+                            "watchdog quarantines of this vaccel"),
+              faults(node, "faults_observed",
+                     "error bits raised into ERR_STATUS")
         {
         }
         sim::Counter slices;
         sim::Counter preempts;
         sim::Counter occupancyTicks;
+        sim::Counter watchdogFires;
+        sim::Counter faults;
     };
 
     std::uint32_t _id = 0;
@@ -119,6 +134,13 @@ class VirtualAccel
     accel::Status _visibleStatus = accel::Status::kIdle;
     std::uint64_t _cachedResult = 0;
     std::uint64_t _cachedProgress = 0;
+
+    std::uint64_t _errStatus = 0;
+    bool _quarantined = false;
+    /** Watchdog state: arm epoch, armed flag, last progress seen. */
+    std::uint64_t _wdEpoch = 0;
+    bool _wdArmed = false;
+    std::uint64_t _wdLastProgress = 0;
 
     double _weight = 1.0;
     std::int32_t _priority = 0;
@@ -185,6 +207,27 @@ class OptimusHv
                  std::function<void(bool)> done);
 
     std::uint64_t migrations() const { return _migrations.value(); }
+
+    // --------------------------------------------- watchdog & recovery
+    /**
+     * Arm a forward-progress watchdog on every running virtual
+     * accelerator: if a vaccel that holds its slot makes no progress
+     * within @p deadline ticks, it is quarantined (guest sees ERROR
+     * plus the kWatchdog ERR_STATUS bit) and the slot is reset via
+     * the VCU and handed to the next tenant.  0 disables (the
+     * default — the fault-free path never schedules a check).
+     */
+    void setWatchdog(sim::Tick deadline);
+    sim::Tick watchdogDeadline() const { return _wdDeadline; }
+
+    std::uint64_t watchdogFires() const
+    {
+        return _watchdogFires.value();
+    }
+    std::uint64_t slotResets() const { return _slotResets.value(); }
+
+    /** The vaccel owning the IOVA slice containing @p iova, if any. */
+    VirtualAccel *vaccelForIova(mem::Iova iova);
 
     // ------------------------------------------------ scheduling policy
     void setPolicy(std::uint32_t slot, SchedPolicy policy,
@@ -262,6 +305,13 @@ class OptimusHv
 
     void programOffsetEntry(VirtualAccel &v,
                             std::function<void()> done);
+    void armWatchdog(VirtualAccel &v);
+    void watchdogCheck(VirtualAccel *v, std::uint64_t epoch);
+    void quarantine(VirtualAccel &v);
+    /** Reset a physical slot via the VCU and reschedule its tenants. */
+    void resetSlot(std::uint32_t slot_idx);
+    /** Raise ERR_STATUS bits on @p v (guest-visible, per-tenant). */
+    void noteError(VirtualAccel &v, std::uint64_t bits);
     /** Account a preemption: occupancy, counters, trace record. */
     void notePreempted(std::uint32_t slot_idx, VirtualAccel &v);
     void scheduleVaccel(Slot &slot, VirtualAccel &v,
@@ -286,6 +336,9 @@ class OptimusHv
 
     /** Per-vaccel accumulated occupancy, indexed by vaccel id. */
     std::vector<sim::Tick> _occupancy;
+    /** Every vaccel ever created, indexed by id (owner: its slot). */
+    std::vector<VirtualAccel *> _byId;
+    sim::Tick _wdDeadline = 0;
 
     sim::TraceBus *_trace = nullptr;
     std::uint32_t _comp = 0;
@@ -296,6 +349,8 @@ class OptimusHv
     sim::Counter _forcedResets;
     sim::Counter _rejectedPages;
     sim::Counter _migrations;
+    sim::Counter _watchdogFires;
+    sim::Counter _slotResets;
 };
 
 } // namespace optimus::hv

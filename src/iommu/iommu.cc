@@ -47,6 +47,11 @@ void
 Iommu::translate(mem::Iova iova, bool is_write, TranslateCallback cb,
                  std::uint16_t vm, std::uint16_t proc)
 {
+    if (_injectHook && _injectHook->forceFault(iova, is_write, vm, proc)) {
+        fault(PendingWalk{iova, is_write, std::move(cb), vm, proc});
+        return;
+    }
+
     bool writable = true;
     if (auto hpa = _iotlb.lookup(iova, &writable, vm, proc)) {
         // Fast path: permissions were validated at insert time by the

@@ -49,6 +49,20 @@ class Iommu
     /** Invoked on an IO page fault (address, was it a write). */
     using FaultHandler = std::function<void(mem::Iova, bool)>;
 
+    /**
+     * Fault-plane hook consulted at the head of translate(): when it
+     * returns true the translation takes the synchronous fault path
+     * exactly as a permission violation would.  Null by default.
+     */
+    class TranslationFaultHook
+    {
+      public:
+        virtual ~TranslationFaultHook() = default;
+        virtual bool forceFault(mem::Iova iova, bool is_write,
+                                std::uint16_t vm,
+                                std::uint16_t proc) = 0;
+    };
+
     Iommu(sim::EventQueue &eq, const sim::PlatformParams &params,
           sim::Scope scope = {});
 
@@ -78,6 +92,10 @@ class Iommu
                    std::uint16_t proc = sim::kNoOwner);
 
     void setFaultHandler(FaultHandler h) { _faultHandler = std::move(h); }
+    void setTranslationFaultHook(TranslationFaultHook *hook)
+    {
+        _injectHook = hook;
+    }
 
     std::uint64_t walks() const { return _walks.value(); }
     std::uint64_t faults() const { return _faults.value(); }
@@ -118,6 +136,7 @@ class Iommu
     Iotlb _iotlb;
 
     FaultHandler _faultHandler;
+    TranslationFaultHook *_injectHook = nullptr;
     sim::Counter _walks;
     sim::Counter _faults;
     sim::Counter _coalesced;

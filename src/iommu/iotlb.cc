@@ -17,7 +17,9 @@ Iotlb::Iotlb(std::uint32_t entries, std::uint64_t page_bytes,
       _hits(scope.node, "hits", "IOTLB hits"),
       _misses(scope.node, "misses", "IOTLB misses"),
       _conflictEvictions(scope.node, "conflict_evictions",
-                         "valid entries displaced by a different page")
+                         "valid entries displaced by a different page"),
+      _poisonDrops(scope.node, "poison_drops",
+                   "poisoned entries dropped on lookup")
 {
     OPTIMUS_ASSERT(std::has_single_bit(page_bytes),
                    "IOTLB page size must be a power of two");
@@ -55,6 +57,13 @@ Iotlb::lookup(mem::Iova iova, bool *writable, std::uint16_t vm,
 {
     std::uint64_t vpn = iova.value() >> _offsetBits;
     Set &s = _sets[setIndex(iova)];
+    if (s.valid && s.vpn == vpn && s.poisoned) {
+        // A poisoned entry cannot be trusted: drop it and force the
+        // requester onto the walk path.
+        s.valid = false;
+        s.poisoned = false;
+        ++_poisonDrops;
+    }
     if (s.valid && s.vpn == vpn) {
         ++_hits;
         if (_trace && _trace->wants(sim::TraceKind::kIotlbHit))
@@ -78,13 +87,19 @@ Iotlb::insert(mem::Iova iova, mem::Hpa hpa_page_base, bool writable,
     Set &s = _sets[setIndex(iova)];
     if (s.valid && s.vpn != vpn) {
         ++_conflictEvictions;
+        // The record describes the displaced entry, so it carries
+        // the victim's stored attribution — co-tenant interference
+        // shows up under the tenant who lost the entry.
         if (_trace && _trace->wants(sim::TraceKind::kIotlbEvict))
-            emit(sim::TraceKind::kIotlbEvict, iova, vm, proc);
+            emit(sim::TraceKind::kIotlbEvict, iova, s.vm, s.proc);
     }
     s.valid = true;
     s.writable = writable;
+    s.poisoned = false;
     s.vpn = vpn;
     s.hpaBase = hpa_page_base.value();
+    s.vm = vm;
+    s.proc = proc;
 }
 
 void
@@ -101,6 +116,28 @@ Iotlb::invalidate(mem::Iova iova)
     Set &s = _sets[setIndex(iova)];
     if (s.valid && s.vpn == vpn)
         s.valid = false;
+}
+
+bool
+Iotlb::poison(mem::Iova iova)
+{
+    std::uint64_t vpn = iova.value() >> _offsetBits;
+    Set &s = _sets[setIndex(iova)];
+    if (!s.valid || s.vpn != vpn)
+        return false;
+    s.poisoned = true;
+    return true;
+}
+
+bool
+Iotlb::poisonSet(std::uint32_t idx)
+{
+    OPTIMUS_ASSERT(idx < _sets.size(), "IOTLB set index out of range");
+    Set &s = _sets[idx];
+    if (!s.valid)
+        return false;
+    s.poisoned = true;
+    return true;
 }
 
 } // namespace optimus::iommu

@@ -65,12 +65,24 @@ class Iotlb
     /** Invalidate the entry covering @p iova if present. */
     void invalidate(mem::Iova iova);
 
+    /**
+     * Fault plane: mark the entry covering @p iova as poisoned.  A
+     * poisoned entry is dropped on its next lookup, which counts as a
+     * miss (forcing a fresh walk) plus a poison_drops tick.  Returns
+     * true when a valid entry was poisoned.
+     */
+    bool poison(mem::Iova iova);
+
+    /** Poison whichever valid entry sits in set @p idx, if any. */
+    bool poisonSet(std::uint32_t idx);
+
     std::uint64_t hits() const { return _hits.value(); }
     std::uint64_t misses() const { return _misses.value(); }
     std::uint64_t conflictEvictions() const
     {
         return _conflictEvictions.value();
     }
+    std::uint64_t poisonDrops() const { return _poisonDrops.value(); }
 
   private:
     void emit(sim::TraceKind kind, mem::Iova iova, std::uint16_t vm,
@@ -80,8 +92,14 @@ class Iotlb
     {
         bool valid = false;
         bool writable = true;
+        bool poisoned = false;
         std::uint64_t vpn = 0;
         std::uint64_t hpaBase = 0;
+        /** Tenant whose walk installed this entry; a conflict
+         *  eviction is attributed to this victim, not the
+         *  requester displacing it. */
+        std::uint16_t vm = sim::kNoOwner;
+        std::uint16_t proc = sim::kNoOwner;
     };
 
     std::uint64_t _pageBytes;
@@ -92,6 +110,7 @@ class Iotlb
     sim::Counter _hits;
     sim::Counter _misses;
     sim::Counter _conflictEvictions;
+    sim::Counter _poisonDrops;
 };
 
 } // namespace optimus::iommu

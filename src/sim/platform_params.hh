@@ -111,6 +111,12 @@ struct PlatformParams
      */
     double stateSaveGbps = 3.4;
 
+    // ------------------------------------------------------- fault handling
+    /** Bounded retries for transiently dropped CCI-P responses. */
+    std::uint32_t dmaMaxRetries = 3;
+    /** Backoff before a dropped response is re-issued. */
+    Tick dmaRetryBackoff = 2 * kTickUs;
+
     // ---------------------------------------------------- address layout
     /** Per-virtual-accelerator IOVA slice (64 GiB default, Sec. 5). */
     std::uint64_t sliceBytes = 64ULL << 30;

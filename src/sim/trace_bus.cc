@@ -27,6 +27,14 @@ traceKindName(TraceKind k)
         return "channel_select";
       case TraceKind::kSchedPreempt:
         return "sched_preempt";
+      case TraceKind::kFaultInject:
+        return "fault_inject";
+      case TraceKind::kWatchdogFire:
+        return "watchdog_fire";
+      case TraceKind::kSlotReset:
+        return "slot_reset";
+      case TraceKind::kDmaRetry:
+        return "dma_retry";
     }
     return "unknown";
 }

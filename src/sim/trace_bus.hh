@@ -44,9 +44,13 @@ enum class TraceKind : std::uint8_t {
     kMuxGrant,       ///< mux-tree node granted a child port (arg)
     kChannelSelect,  ///< channel selector picked a link (arg)
     kSchedPreempt,   ///< scheduler switched a slot away from a vaccel
+    kFaultInject,    ///< fault plane injected a failure
+    kWatchdogFire,   ///< hypervisor watchdog quarantined a vaccel
+    kSlotReset,      ///< VCU reset-table slot reset issued
+    kDmaRetry,       ///< shell re-issued a dropped CCI-P response
 };
 
-inline constexpr std::size_t kNumTraceKinds = 8;
+inline constexpr std::size_t kNumTraceKinds = 12;
 
 constexpr std::uint32_t
 traceMask(TraceKind k)
@@ -76,6 +80,12 @@ inline constexpr std::uint8_t kTraceError = 1 << 1;
  *  - kChannelSelect:         addr=iova, arg=physical link (0/1/2)
  *  - kSchedPreempt:          addr=outgoing vaccel id, arg=slot,
  *                            start=tick the slice began
+ *  - kFaultInject:           addr=kind-specific target (slot, iova,
+ *                            set), arg=directive index in the plan
+ *  - kWatchdogFire:          addr=vaccel id, arg=slot
+ *  - kSlotReset:             addr=slot, arg=reset-table mask
+ *  - kDmaRetry:              addr=iova, arg=retry ordinal,
+ *                            start=original issue tick
  */
 struct TraceRecord {
     Tick at = 0;     ///< stamped by TraceBus::emit

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,75 @@ TEST(ExpRunner, FilterSelectsByName)
     ASSERT_EQ(r.run(o), 0);
     ASSERT_EQ(r.results()[0].rows.size(), 1u);
     EXPECT_EQ(r.results()[0].rows[0].label, "beta");
+}
+
+TEST(ExpRunner, ThrowingScenarioRecordsFailedRowAndContinues)
+{
+    exp::Runner r("t");
+    r.table("tbl", "test");
+    r.add("good_before", [](const exp::RunContext &) {
+        return exp::ResultRow("good_before").count("v", 1);
+    });
+    r.add("boom", [](const exp::RunContext &) -> exp::ResultRow {
+        throw std::runtime_error("injected failure");
+    });
+    r.add("good_after", [](const exp::RunContext &) {
+        return exp::ResultRow("good_after").count("v", 2);
+    });
+
+    exp::Runner::Options o;
+    o.quiet = true;
+    // Nonzero exit (one failure), but the sweep ran to completion.
+    EXPECT_EQ(r.run(o), 1);
+    ASSERT_EQ(r.errors().size(), 1u);
+    EXPECT_EQ(r.errors()[0], "boom: injected failure");
+
+    // The failed scenario holds its declaration slot as a FAILED row,
+    // so the table stays aligned and the reason is visible.
+    const auto &rows = r.results()[0].rows;
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[1].label, "boom");
+    ASSERT_EQ(rows[1].metrics.size(), 1u);
+    EXPECT_EQ(rows[1].metrics[0].key, "status");
+    EXPECT_EQ(rows[1].metrics[0].text, "FAILED: injected failure");
+    EXPECT_EQ(rows[0].label, "good_before");
+    EXPECT_EQ(rows[2].label, "good_after");
+}
+
+TEST(ExpRunner, FailFastStopsAfterFirstFailure)
+{
+    exp::Runner r("t");
+    r.table("tbl", "test");
+    r.add("boom", [](const exp::RunContext &) -> exp::ResultRow {
+        throw std::runtime_error("injected failure");
+    });
+    r.add("never_runs", [](const exp::RunContext &) {
+        return exp::ResultRow("never_runs").count("v", 1);
+    });
+
+    exp::Runner::Options o;
+    o.quiet = true;
+    o.failFast = true;
+    EXPECT_NE(r.run(o), 0);
+    // The failure aborted the sweep: only the FAILED row made it.
+    ASSERT_EQ(r.results()[0].rows.size(), 1u);
+    EXPECT_EQ(r.results()[0].rows[0].label, "boom");
+}
+
+TEST(ExpRunner, FaultsFlagReachesScenarios)
+{
+    exp::Runner r("t");
+    r.table("tbl", "test");
+    r.add("echo", [](const exp::RunContext &ctx) {
+        return exp::ResultRow("echo").str("plan", ctx.faults);
+    });
+
+    exp::Runner::Options o;
+    o.quiet = true;
+    o.faults = "hang@0:at=1ms";
+    ASSERT_EQ(r.run(o), 0);
+    EXPECT_EQ(r.results()[0].rows[0].metrics[0].text,
+              "hang@0:at=1ms");
 }
 
 TEST(ExpRunner, WallClockCellsAreOutsideTheContract)

@@ -234,7 +234,8 @@ TEST(TelemetryTreeTest, SetPageBytesKeepsIotlbCountersRegistered)
     iommu::Iommu mmu(eq, params, {&t.node("iommu"), nullptr});
 
     mmu.setPageBytes(mem::kPage4K);
-    EXPECT_EQ(t.node("iommu.iotlb").stats().size(), 3u);
+    // hits, misses, conflict_evicts, poison_drops.
+    EXPECT_EQ(t.node("iommu.iotlb").stats().size(), 4u);
 
     mmu.pageTable().map(mem::Iova(0), mem::Hpa(mem::kPage2M));
     bool hit = false;
