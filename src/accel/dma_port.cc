@@ -31,7 +31,9 @@ DmaPort::DmaPort(sim::EventQueue &eq, std::uint64_t freq_mhz,
       _reads(scope.node, "reads", "DMA reads issued"),
       _writes(scope.node, "writes", "DMA writes issued"),
       _errors(scope.node, "errors", "DMA completions with error"),
-      _latency(scope.node, "latency_ns", "DMA round-trip (ns)")
+      _latency(scope.node, "latency_ns", "DMA round-trip (ns)"),
+      _latencyHist(scope.node, "latency_hist_ns",
+                   "DMA round-trip percentiles (ns)")
 {
     _issueEvent.bind(eq, this);
 }
@@ -124,6 +126,7 @@ DmaPort::onResponse(std::uint64_t epoch, ccip::DmaTxn &txn,
         ++_errors;
     _latency.sample(static_cast<double>(now() - txn.issuedAt) /
                     static_cast<double>(sim::kTickNs));
+    _latencyHist.sample((now() - txn.issuedAt) / sim::kTickNs);
 
     if (cb)
         cb(txn);

@@ -83,6 +83,7 @@ class DmaPort : public sim::Clocked
     std::uint64_t writesIssued() const { return _writes.value(); }
     std::uint64_t errors() const { return _errors.value(); }
     const sim::Average &latency() const { return _latency; }
+    const sim::Histogram &latencyHist() const { return _latencyHist; }
 
   private:
     void enqueue(ccip::DmaTxnPtr txn, Completion cb);
@@ -121,6 +122,9 @@ class DmaPort : public sim::Clocked
     sim::Counter _writes;
     sim::Counter _errors;
     sim::Average _latency;
+    /** Percentile companion to the mean: correlates fabric-level
+     *  tail latency with the service-plane's request tails. */
+    sim::Histogram _latencyHist;
 };
 
 } // namespace optimus::accel

@@ -1,7 +1,9 @@
 #include "exp/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -134,7 +136,7 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             "usage: %s [--jobs N] [--filter REGEX] [--json PATH]\n"
             "          [--csv PATH] [--telemetry DIR]"
             " [--time-scale F]\n"
-            "          [--faults PLAN] [--fail-fast]"
+            "          [--faults PLAN] [--repeat N] [--fail-fast]"
             " [--list] [--quiet]\n",
             argc > 0 ? argv[0] : "bench");
     };
@@ -188,6 +190,14 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.faults = v;
+        } else if (a == "--repeat") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.repeat = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+            if (opts.repeat == 0)
+                opts.repeat = 1;
         } else if (a == "--fail-fast") {
             opts.failFast = true;
         } else if (a == "--list") {
@@ -278,6 +288,43 @@ Runner::run(const Options &opts)
         if (opts.failFast)
             abort.store(true, std::memory_order_relaxed);
     };
+    // One scenario, opts.repeat times: the deterministic cells must
+    // agree across repeats (a mismatch is a determinism regression
+    // and fails the scenario), and each wall-clock cell reports the
+    // median observation so the text tables stabilize.
+    auto execute = [&](const Scenario &s) -> ResultRow {
+        ResultRow first = s.run(ctx);
+        if (opts.repeat <= 1)
+            return first;
+        std::vector<ResultRow> reps;
+        reps.push_back(std::move(first));
+        for (unsigned r = 1; r < opts.repeat; ++r) {
+            reps.push_back(s.run(ctx));
+            if (!sameResults(reps.front(), reps.back()))
+                throw std::runtime_error(
+                    "deterministic cells differ between repeat 0 "
+                    "and repeat " + std::to_string(r));
+        }
+        ResultRow out = reps.front();
+        for (std::size_t m = 0; m < out.metrics.size(); ++m) {
+            if (out.metrics[m].deterministic)
+                continue;
+            // sameResults aligned the deterministic cells, and the
+            // volatile ones come from the same declaration path, so
+            // position m carries the same key in every repeat.
+            std::vector<Metric> obs;
+            for (const ResultRow &rr : reps)
+                if (m < rr.metrics.size() &&
+                    rr.metrics[m].key == out.metrics[m].key)
+                    obs.push_back(rr.metrics[m]);
+            std::sort(obs.begin(), obs.end(),
+                      [](const Metric &a, const Metric &b) {
+                          return a.value < b.value;
+                      });
+            out.metrics[m] = obs[(obs.size() - 1) / 2];
+        }
+        return out;
+    };
     auto worker = [&]() {
         for (;;) {
             if (abort.load(std::memory_order_relaxed))
@@ -293,9 +340,9 @@ Runner::run(const Options &opts)
                     TelemetryDumper dumper(
                         opts.telemetryDir,
                         "t" + std::to_string(j.table) + "." + s.name);
-                    slots[i] = s.run(ctx);
+                    slots[i] = execute(s);
                 } else {
-                    slots[i] = s.run(ctx);
+                    slots[i] = execute(s);
                 }
             } catch (const std::exception &e) {
                 fail(i, s.name, e.what());

@@ -50,6 +50,13 @@ class Runner
         /** Fault-campaign plan (fault::FaultPlan syntax) forwarded
          *  to scenarios via RunContext::faults; empty = fault-free. */
         std::string faults;
+        /** Run every selected scenario this many times: the
+         *  deterministic cells must agree byte-for-byte across
+         *  repeats (a mismatch fails the scenario), and each
+         *  wall-clock cell reports the median across repeats —
+         *  stabilizing the one class of cell the determinism
+         *  contract cannot pin down. */
+        unsigned repeat = 1;
         bool list = false;    ///< print scenario names and exit
         bool quiet = false;   ///< suppress text tables
         /** Abort the whole run on the first scenario failure instead

@@ -1043,7 +1043,15 @@ OptimusHv::vaccelForIova(mem::Iova iova)
 bool
 OptimusHv::isScheduled(const VirtualAccel &v) const
 {
-    return _slots[v._slot].scheduled == &v;
+    // A slot that is mid-switch no longer belongs to the outgoing
+    // tenant even though `scheduled` still names it: a guest MMIO
+    // trap landing in that window must take the descheduled path
+    // (register cache / pendingStart) or it would race the
+    // save/reset/reprogram sequence — a forwarded START would land
+    // on a device about to be reset for the incoming tenant, and
+    // the job would be lost with the vaccel stuck in kRunning.
+    const Slot &slot = _slots[v._slot];
+    return slot.scheduled == &v && !slot.switching;
 }
 
 std::uint64_t

@@ -86,77 +86,139 @@ Average::json(std::ostream &os) const
        << ", \"max\": " << max() << "}";
 }
 
-Histogram::Histogram(TelemetryNode *node, std::string name,
-                     std::string desc, double lo, double hi,
-                     std::size_t buckets)
-    : Stat(node, std::move(name), std::move(desc)),
-      _lo(lo),
-      _hi(hi),
-      _bucketWidth((hi - lo) / static_cast<double>(buckets)),
-      _bkts(buckets, 0)
+std::uint32_t
+Histogram::bucketIndex(std::uint64_t v)
 {
-    OPTIMUS_ASSERT(hi > lo && buckets > 0, "bad histogram bounds");
+    if (v < kLinearMax)
+        return static_cast<std::uint32_t>(v);
+    // Octave of v (position of its highest set bit), then the top
+    // kSubBits bits select the sub-bucket within the octave.
+    auto msb = static_cast<std::uint32_t>(63 - __builtin_clzll(v));
+    std::uint64_t sub = v >> (msb - (kSubBits - 1));
+    return static_cast<std::uint32_t>(
+        kLinearMax + (msb - kSubBits) * kSubPerOctave +
+        (sub - kSubPerOctave));
+}
+
+std::uint64_t
+Histogram::bucketLo(std::uint32_t idx)
+{
+    if (idx < kLinearMax)
+        return idx;
+    std::uint32_t r = idx - static_cast<std::uint32_t>(kLinearMax);
+    std::uint32_t octave = kSubBits + r / kSubPerOctave;
+    std::uint64_t sub = kSubPerOctave + r % kSubPerOctave;
+    return sub << (octave - (kSubBits - 1));
+}
+
+std::uint64_t
+Histogram::bucketHi(std::uint32_t idx)
+{
+    if (idx < kLinearMax)
+        return idx + 1;
+    std::uint32_t r = idx - static_cast<std::uint32_t>(kLinearMax);
+    std::uint32_t octave = kSubBits + r / kSubPerOctave;
+    std::uint64_t hi = bucketLo(idx) + (1ULL << (octave - (kSubBits - 1)));
+    // The very top bucket's exclusive bound (2^64) is unrepresentable;
+    // saturate so [lo, hi) still covers every sampleable value.
+    return hi == 0 ? ~std::uint64_t{0} : hi;
 }
 
 void
-Histogram::sample(double v)
+Histogram::sample(std::uint64_t v)
 {
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
     ++_count;
     _sum += v;
-    if (v < _lo) {
-        ++_under;
-    } else if (v >= _hi) {
-        ++_over;
-    } else {
-        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
-        idx = std::min(idx, _bkts.size() - 1);
-        ++_bkts[idx];
-    }
+    std::uint32_t idx = bucketIndex(v);
+    if (idx >= _bkts.size())
+        _bkts.resize(idx + 1, 0);
+    ++_bkts[idx];
 }
 
-double
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        _min = other._min;
+        _max = other._max;
+    } else {
+        _min = std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+    }
+    _count += other._count;
+    _sum += other._sum;
+    if (other._bkts.size() > _bkts.size())
+        _bkts.resize(other._bkts.size(), 0);
+    for (std::size_t i = 0; i < other._bkts.size(); ++i)
+        _bkts[i] += other._bkts[i];
+}
+
+std::uint64_t
 Histogram::percentile(double p) const
 {
     if (_count == 0)
-        return 0.0;
-    double target = p / 100.0 * static_cast<double>(_count);
-    double cum = static_cast<double>(_under);
-    if (cum >= target)
-        return _lo;
+        return 0;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(_count)));
+    rank = std::max<std::uint64_t>(1, std::min(rank, _count));
+    std::uint64_t cum = 0;
     for (std::size_t i = 0; i < _bkts.size(); ++i) {
-        double next = cum + static_cast<double>(_bkts[i]);
-        if (next >= target && _bkts[i] > 0) {
-            double frac = (target - cum) / static_cast<double>(_bkts[i]);
-            return _lo + (static_cast<double>(i) + frac) * _bucketWidth;
+        cum += _bkts[i];
+        if (cum >= rank) {
+            auto idx = static_cast<std::uint32_t>(i);
+            std::uint64_t lo = bucketLo(idx);
+            std::uint64_t width = bucketHi(idx) - lo;
+            return lo + (width - 1) / 2;
         }
-        cum = next;
     }
-    return _hi;
+    return _max;
 }
 
 void
 Histogram::printValue(std::ostream &os) const
 {
-    os << "mean=" << mean() << " p50=" << percentile(50)
-       << " p99=" << percentile(99) << " n=" << _count;
+    os << "mean=" << mean() << " p50=" << p50() << " p95=" << p95()
+       << " p99=" << p99() << " p999=" << p999()
+       << " min=" << min() << " max=" << max() << " n=" << _count;
 }
 
 void
 Histogram::json(std::ostream &os) const
 {
-    os << "{\"count\": " << _count << ", \"mean\": " << mean()
-       << ", \"p50\": " << percentile(50)
-       << ", \"p99\": " << percentile(99) << "}";
+    os << "{\"count\": " << _count << ", \"sum\": " << _sum
+       << ", \"min\": " << min() << ", \"max\": " << max()
+       << ", \"p50\": " << p50() << ", \"p95\": " << p95()
+       << ", \"p99\": " << p99() << ", \"p999\": " << p999()
+       << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t i = 0; i < _bkts.size(); ++i) {
+        if (_bkts[i] == 0)
+            continue;
+        os << (first ? "" : ", ") << "["
+           << bucketLo(static_cast<std::uint32_t>(i)) << ", "
+           << _bkts[i] << "]";
+        first = false;
+    }
+    os << "]}";
 }
 
 void
 Histogram::reset()
 {
-    std::fill(_bkts.begin(), _bkts.end(), 0);
-    _under = 0;
-    _over = 0;
+    _bkts.clear();
     _count = 0;
     _sum = 0;
+    _min = 0;
+    _max = 0;
 }
 
 } // namespace optimus::sim

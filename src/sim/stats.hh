@@ -120,37 +120,79 @@ class Average : public Stat
     double _max = 0;
 };
 
-/** Fixed-bucket histogram over [lo, hi). */
+/**
+ * Log-bucketed histogram over the full uint64 range (latencies,
+ * sizes, queue depths).
+ *
+ * Bucketing is log-linear, HDR-style: values below 2^kSubBits land
+ * in width-1 buckets (exact), every later power-of-two octave is
+ * split into kSubPerOctave equal sub-buckets, so the relative
+ * quantization error is bounded by 2 / 2^kSubBits (~3.1%) at any
+ * magnitude. All state is integral, so merge(), percentile(), and
+ * the JSON export are byte-deterministic for identical sample
+ * streams.
+ */
 class Histogram : public Stat
 {
   public:
-    Histogram(TelemetryNode *node, std::string name, std::string desc,
-              double lo, double hi, std::size_t buckets);
+    static constexpr std::uint32_t kSubBits = 6;
+    /** Values below this are bucketed exactly (width-1 buckets). */
+    static constexpr std::uint64_t kLinearMax = 1ULL << kSubBits;
+    static constexpr std::uint32_t kSubPerOctave = 1u
+                                                   << (kSubBits - 1);
 
-    void sample(double v);
+    using Stat::Stat;
+
+    void sample(std::uint64_t v);
+
+    /** Fold @p other's samples into this histogram (same bucket
+     *  layout by construction; counts, sum, min/max all combine). */
+    void merge(const Histogram &other);
 
     std::uint64_t count() const { return _count; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
-    const std::vector<std::uint64_t> &buckets() const { return _bkts; }
-    std::uint64_t underflows() const { return _under; }
-    std::uint64_t overflows() const { return _over; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t min() const { return _count ? _min : 0; }
+    std::uint64_t max() const { return _count ? _max : 0; }
+    double
+    mean() const
+    {
+        return _count ? static_cast<double>(_sum) /
+                            static_cast<double>(_count)
+                      : 0.0;
+    }
 
-    /** Linear-interpolated percentile in [0, 100]. */
-    double percentile(double p) const;
+    /**
+     * Value at percentile @p p in [0, 100]: the midpoint of the
+     * bucket holding the ceil(p/100 * count)-th smallest sample
+     * (exact for values < kLinearMax, where buckets have width 1).
+     */
+    std::uint64_t percentile(double p) const;
+
+    std::uint64_t p50() const { return percentile(50); }
+    std::uint64_t p95() const { return percentile(95); }
+    std::uint64_t p99() const { return percentile(99); }
+    std::uint64_t p999() const { return percentile(99.9); }
+
+    /** Bucket index for a value (shared layout for all instances). */
+    static std::uint32_t bucketIndex(std::uint64_t v);
+    /** Inclusive lower bound of bucket @p idx. */
+    static std::uint64_t bucketLo(std::uint32_t idx);
+    /** Exclusive upper bound of bucket @p idx. */
+    static std::uint64_t bucketHi(std::uint32_t idx);
+
+    /** Bucket counts, sized to the highest bucket touched. */
+    const std::vector<std::uint64_t> &buckets() const { return _bkts; }
 
     void printValue(std::ostream &os) const override;
     void json(std::ostream &os) const override;
     void reset() override;
 
   private:
-    double _lo;
-    double _hi;
-    double _bucketWidth;
     std::vector<std::uint64_t> _bkts;
-    std::uint64_t _under = 0;
-    std::uint64_t _over = 0;
     std::uint64_t _count = 0;
-    double _sum = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = 0;
+    std::uint64_t _max = 0;
 };
 
 } // namespace optimus::sim

@@ -1,0 +1,382 @@
+#include "svc/service_plane.hh"
+
+#include <algorithm>
+#include "sim/logging.hh"
+#include "sim/telemetry.hh"
+
+namespace optimus::svc {
+
+namespace {
+
+/** Local FNV-1a so svc does not depend on the exp layer. */
+class Fnv
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            _h ^= (v >> (8 * i)) & 0xff;
+            _h *= 0x100000001b3ULL;
+        }
+    }
+    void
+    add(const std::string &s)
+    {
+        for (unsigned char c : s) {
+            _h ^= c;
+            _h *= 0x100000001b3ULL;
+        }
+    }
+    std::uint64_t value() const { return _h; }
+
+  private:
+    std::uint64_t _h = 0xcbf29ce484222325ULL;
+};
+
+void
+foldHistogram(Fnv &f, const sim::Histogram &h)
+{
+    f.add(h.count());
+    f.add(h.sum());
+    f.add(h.min());
+    f.add(h.max());
+    const auto &b = h.buckets();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        if (b[i] == 0)
+            continue;
+        f.add(i);
+        f.add(b[i]);
+    }
+}
+
+} // namespace
+
+Tenant::Tenant(ServicePlane &plane, const TenantConfig &cfg,
+               sim::TelemetryNode *node)
+    : _plane(plane),
+      _cfg(cfg),
+      _arrivals(node, "arrivals", "requests generated"),
+      _admitted(node, "admitted", "requests accepted into the queue"),
+      _rejected(node, "rejected",
+                "requests refused by admission control (queue full)"),
+      _completed(node, "completed", "requests finished successfully"),
+      _errors(node, "errors", "request attempts completed as ERROR"),
+      _retries(node, "retries", "error'd requests re-queued"),
+      _dropped(node, "dropped",
+               "requests abandoned after maxAttempts errors"),
+      _batches(node, "batches", "dispatch batches issued"),
+      _sloViolations(node, "slo_violations",
+                     "completions over the SLO target"),
+      _goodput(node, "goodput", "completions within the SLO target"),
+      _verifyFailures(node, "verify_failures",
+                      "completions whose output failed verify()"),
+      _queueNs(node, "queue_ns", "admission-to-issue wait (ns)"),
+      _serviceNs(node, "service_ns", "issue-to-completion time (ns)"),
+      _e2eNs(node, "e2e_ns", "admission-to-completion latency (ns)")
+{
+    if (_cfg.users == 0)
+        _gen = std::make_unique<ArrivalGen>(_cfg.arrivals, _cfg.seed);
+}
+
+ServicePlane::ServicePlane(hv::System &sys)
+    : _sys(sys), _node(&sys.telemetry.node("svc"))
+{
+}
+
+Tenant &
+ServicePlane::addTenant(const TenantConfig &cfg)
+{
+    if (cfg.vaccels == 0)
+        OPTIMUS_FATAL("svc: tenant '%s' needs at least one vaccel",
+                   cfg.name.c_str());
+    if (cfg.queueDepth == 0)
+        OPTIMUS_FATAL("svc: tenant '%s' needs a nonzero queueDepth",
+                   cfg.name.c_str());
+
+    auto t = std::unique_ptr<Tenant>(new Tenant(
+        *this, cfg, &_sys.telemetry.node("svc." + cfg.name)));
+
+    // One VM per tenant; each worker is a process of that VM with
+    // its own virtual accelerator on the tenant's slot (temporal
+    // multiplexing among workers and with co-tenant VMs).
+    auto &vm = _sys.hv.createVm("svc_" + cfg.name, 10ULL << 30);
+    for (unsigned i = 0; i < cfg.vaccels; ++i) {
+        auto &proc =
+            vm.createProcess(sim::strprintf("worker%u", i));
+        auto &vaccel = _sys.hv.createVirtualAccel(proc, cfg.slot);
+        _handles.push_back(
+            std::make_unique<hv::AccelHandle>(_sys.hv, vaccel));
+        hv::AccelHandle &h = *_handles.back();
+
+        auto w = std::make_unique<Tenant::Worker>();
+        w->handle = &h;
+        // Prepare the job once (synchronous, top level); every
+        // request re-STARTs the cached registers.
+        w->wl = hv::workload::Workload::create(
+            cfg.app, h, cfg.bytes, cfg.seed + i);
+        w->wl->program();
+        h.setupStateBuffer();
+
+        Tenant::Worker *wp = w.get();
+        vaccel.setCompletionHandler([this, wp](accel::Status st) {
+            // Event-callback context: record only, never pump.
+            wp->done = true;
+            wp->doneStatus = st;
+            wp->doneTick = _sys.eq.now();
+        });
+        t->_workers.push_back(std::move(w));
+    }
+
+    _tenants.push_back(std::move(t));
+    return *_tenants.back();
+}
+
+bool
+ServicePlane::admit(Tenant &t, int user)
+{
+    ++t._arrivals;
+    if (t._queue.size() >= t._cfg.queueDepth) {
+        // Backpressure: counted, never silently dropped.
+        ++t._rejected;
+        return false;
+    }
+    ++t._admitted;
+    Request r;
+    r.id = t._nextId++;
+    r.arrival = _sys.eq.now();
+    r.user = user;
+    t._queue.push_back(r);
+    return true;
+}
+
+void
+ServicePlane::scheduleOpenArrival(Tenant &t)
+{
+    sim::Tick at = t._epoch + t._gen->nextOffset();
+    if (at >= _horizon)
+        return;
+    _sys.eq.scheduleAt(at, [this, &t]() { onOpenArrival(t); });
+}
+
+void
+ServicePlane::onOpenArrival(Tenant &t)
+{
+    admit(t, -1);
+    scheduleOpenArrival(t);
+}
+
+void
+ServicePlane::onClosedArrival(Tenant &t, int user)
+{
+    if (_sys.eq.now() >= _horizon)
+        return;
+    if (!admit(t, user)) {
+        // Rejected user backs off and retries; the 1us floor keeps a
+        // zero-think population from spinning the event queue.
+        sim::Tick backoff =
+            std::max<sim::Tick>(t._cfg.think, sim::kTickUs);
+        _sys.eq.scheduleIn(backoff,
+                           [this, &t, user]() {
+                               onClosedArrival(t, user);
+                           });
+    }
+}
+
+void
+ServicePlane::run(sim::Tick window)
+{
+    _horizon = _sys.eq.now() + window;
+    for (auto &tp : _tenants) {
+        Tenant &t = *tp;
+        t._epoch = _sys.eq.now();
+        if (t._gen) {
+            scheduleOpenArrival(t);
+        } else {
+            // Closed loop: stagger the initial population by 1us per
+            // user so the opening burst is spread deterministically.
+            for (unsigned u = 0; u < t._cfg.users; ++u) {
+                int user = static_cast<int>(u);
+                _sys.eq.scheduleIn(
+                    static_cast<sim::Tick>(u) * sim::kTickUs,
+                    [this, &t, user]() {
+                        onClosedArrival(t, user);
+                    });
+            }
+        }
+    }
+
+    // Top-level driver: interleave event processing with the
+    // dispatch/drain fixpoint. After the horizon the generators are
+    // quiet and the loop runs until every queue is empty and every
+    // worker idle (the drain).
+    pump();
+    while (true) {
+        if (_sys.eq.now() >= _horizon && idle())
+            break;
+        if (!_sys.eq.runOne())
+            break;
+        pump();
+    }
+}
+
+void
+ServicePlane::pump()
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &t : _tenants) {
+            progress |= drainCompletions(*t);
+            progress |= dispatch(*t);
+        }
+    }
+}
+
+bool
+ServicePlane::drainCompletions(Tenant &t)
+{
+    bool progress = false;
+    for (auto &wp : t._workers) {
+        Tenant::Worker &w = *wp;
+        if (!w.done || !w.busy)
+            continue;
+        w.done = false;
+        w.busy = false;
+        progress = true;
+
+        if (w.doneStatus == accel::Status::kDone) {
+            std::uint64_t service =
+                (w.doneTick - w.issued) / sim::kTickNs;
+            std::uint64_t e2e =
+                (w.doneTick - w.cur.arrival) / sim::kTickNs;
+            // Synchronous guest-API call; safe here (top level).
+            if (!w.wl->verify())
+                ++t._verifyFailures;
+            ++t._completed;
+            t._serviceNs.sample(service);
+            t._e2eNs.sample(e2e);
+            if (t._cfg.sloNs != 0 && e2e > t._cfg.sloNs)
+                ++t._sloViolations;
+            else
+                ++t._goodput;
+            if (w.cur.user >= 0 && _sys.eq.now() < _horizon) {
+                // Closed loop: the user thinks, then returns.
+                sim::Tick target = w.doneTick + t._cfg.think;
+                sim::Tick now = _sys.eq.now();
+                int user = w.cur.user;
+                Tenant *tp2 = &t;
+                _sys.eq.scheduleIn(
+                    target > now ? target - now : sim::Tick{0},
+                    [this, tp2, user]() {
+                        onClosedArrival(*tp2, user);
+                    });
+            }
+        } else {
+            // ERROR: the fault path (e.g. a watchdog quarantine)
+            // completed this request with ERR_STATUS bits set. The
+            // plane retries up to maxAttempts; the retry's START
+            // clears the quarantine and reclaims a slot.
+            ++t._errors;
+            if (w.cur.attempts < t._cfg.maxAttempts) {
+                ++t._retries;
+                t._queue.push_front(w.cur);
+            } else {
+                ++t._dropped;
+                if (w.cur.user >= 0 && _sys.eq.now() < _horizon) {
+                    int user = w.cur.user;
+                    Tenant *tp2 = &t;
+                    _sys.eq.scheduleIn(
+                        std::max<sim::Tick>(t._cfg.think,
+                                            sim::kTickUs),
+                        [this, tp2, user]() {
+                            onClosedArrival(*tp2, user);
+                        });
+                }
+            }
+        }
+    }
+    return progress;
+}
+
+bool
+ServicePlane::dispatch(Tenant &t)
+{
+    bool progress = false;
+    for (auto &wp : t._workers) {
+        Tenant::Worker &w = *wp;
+        if (w.busy || t._queue.empty())
+            continue;
+        if (w.batchLeft == 0) {
+            // Batch formation: while arrivals can still come, wait
+            // for batchMin queued requests; once the window closes
+            // serve whatever is left so the drain cannot deadlock.
+            if (_sys.eq.now() < _horizon &&
+                t._queue.size() < t._cfg.batchMin)
+                continue;
+            w.batchLeft = static_cast<unsigned>(
+                std::min<std::size_t>(std::max(1u, t._cfg.batchMax),
+                                      t._queue.size()));
+            ++t._batches;
+        }
+        w.cur = t._queue.front();
+        t._queue.pop_front();
+        --w.batchLeft;
+        ++w.cur.attempts;
+        w.busy = true;
+        w.done = false;
+        w.issued = _sys.eq.now();
+        t._queueNs.sample((w.issued - w.cur.arrival) / sim::kTickNs);
+        // Asynchronous START: schedule the trap and move on without
+        // pumping. Each tenant's daemon would issue from its own
+        // core, so dispatches must overlap in simulated time — a
+        // synchronous start() here would serialize every tenant's
+        // 2.2us trap through this one loop and cap aggregate
+        // dispatch at ~450k req/s. Nothing waits on the write: the
+        // worker stays busy until its completion doorbell.
+        _sys.hv.mmioWrite(w.handle->vaccel(), accel::reg::kCtrl,
+                          accel::ctrl::kStart, nullptr);
+        progress = true;
+    }
+    return progress;
+}
+
+bool
+ServicePlane::idle() const
+{
+    for (const auto &t : _tenants) {
+        if (!t->_queue.empty())
+            return false;
+        for (const auto &w : t->_workers)
+            if (w->busy)
+                return false;
+    }
+    return true;
+}
+
+std::uint64_t
+ServicePlane::fingerprint() const
+{
+    Fnv f;
+    for (const auto &tp : _tenants) {
+        const Tenant &t = *tp;
+        f.add(t.name());
+        f.add(t.arrivals());
+        f.add(t.admitted());
+        f.add(t.rejected());
+        f.add(t.completed());
+        f.add(t.errors());
+        f.add(t.retries());
+        f.add(t.dropped());
+        f.add(t.batches());
+        f.add(t.sloViolations());
+        f.add(t.goodput());
+        f.add(t.verifyFailures());
+        foldHistogram(f, t.queueHist());
+        foldHistogram(f, t.serviceHist());
+        foldHistogram(f, t.e2eHist());
+    }
+    return f.value();
+}
+
+} // namespace optimus::svc

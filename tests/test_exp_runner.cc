@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -195,6 +196,77 @@ TEST(ExpRunner, FaultsFlagReachesScenarios)
     ASSERT_EQ(r.run(o), 0);
     EXPECT_EQ(r.results()[0].rows[0].metrics[0].text,
               "hang@0:at=1ms");
+}
+
+TEST(ExpRunner, RepeatReportsMedianWallClockCells)
+{
+    // Each repeat produces the same deterministic cells but a
+    // different wall-clock observation; --repeat must keep the
+    // former byte-identical and report the median of the latter.
+    auto counter = std::make_shared<int>(0);
+    exp::Runner r("t");
+    r.table("tbl", "test");
+    r.add("timed", [counter](const exp::RunContext &) {
+        double fake_wall = 10.0 * ++*counter; // 10, 20, 30
+        return exp::ResultRow("timed").count("ops", 7).wall(
+            "wall_ms", "%.1f", fake_wall);
+    });
+
+    exp::Runner::Options o;
+    o.quiet = true;
+    o.repeat = 3;
+    ASSERT_EQ(r.run(o), 0);
+    EXPECT_EQ(*counter, 3);
+    const auto &row = r.results()[0].rows[0];
+    ASSERT_EQ(row.metrics.size(), 2u);
+    EXPECT_EQ(row.metrics[0].key, "ops");
+    EXPECT_EQ(row.metrics[0].value, 7.0);
+    EXPECT_EQ(row.metrics[1].key, "wall_ms");
+    EXPECT_EQ(row.metrics[1].text, "20.0"); // the median repeat
+}
+
+TEST(ExpRunner, RepeatAssertsDeterministicCellsIdentical)
+{
+    // A scenario whose *deterministic* cells drift across repeats is
+    // a determinism regression: --repeat must fail it.
+    auto counter = std::make_shared<int>(0);
+    exp::Runner r("t");
+    r.table("tbl", "test");
+    r.add("drifty", [counter](const exp::RunContext &) {
+        return exp::ResultRow("drifty").count("ops", ++*counter);
+    });
+
+    exp::Runner::Options o;
+    o.quiet = true;
+    o.repeat = 2;
+    EXPECT_EQ(r.run(o), 1);
+    ASSERT_EQ(r.errors().size(), 1u);
+    EXPECT_NE(r.errors()[0].find("differ between repeat"),
+              std::string::npos);
+}
+
+TEST(ExpRunner, RepeatKeepsSimulationFingerprintsIdentical)
+{
+    exp::Runner once("t");
+    once.table("tbl", "test");
+    once.add("mb", membenchScenario);
+    exp::Runner::Options o1;
+    o1.quiet = true;
+    ASSERT_EQ(once.run(o1), 0);
+
+    exp::Runner thrice("t");
+    thrice.table("tbl", "test");
+    thrice.add("mb", membenchScenario);
+    exp::Runner::Options o3 = o1;
+    o3.repeat = 3;
+    ASSERT_EQ(thrice.run(o3), 0);
+
+    // Repeats re-run the simulation from scratch: fingerprints (and
+    // the whole table) must match a single run exactly.
+    EXPECT_EQ(once.results()[0].rows[0].fingerprint(),
+              thrice.results()[0].rows[0].fingerprint());
+    EXPECT_EQ(once.results()[0].fingerprint,
+              thrice.results()[0].fingerprint);
 }
 
 TEST(ExpRunner, WallClockCellsAreOutsideTheContract)

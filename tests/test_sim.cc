@@ -140,17 +140,23 @@ TEST(StatsTest, CounterAndAverage)
 
 TEST(StatsTest, HistogramPercentiles)
 {
-    Histogram h(nullptr, "h", "latency", 0.0, 100.0, 100);
-    for (int i = 0; i < 100; ++i)
-        h.sample(i + 0.5);
-    EXPECT_EQ(h.count(), 100u);
-    EXPECT_NEAR(h.percentile(50), 50.0, 1.5);
-    EXPECT_NEAR(h.percentile(99), 99.0, 1.5);
-    EXPECT_EQ(h.underflows(), 0u);
-    h.sample(-1);
-    h.sample(1000);
-    EXPECT_EQ(h.underflows(), 1u);
-    EXPECT_EQ(h.overflows(), 1u);
+    Histogram h(nullptr, "h", "latency");
+    for (std::uint64_t i = 1; i <= 50; ++i)
+        h.sample(i); // width-1 buckets below 64: exact
+    EXPECT_EQ(h.count(), 50u);
+    EXPECT_EQ(h.percentile(50), 25u);
+    EXPECT_EQ(h.percentile(100), 50u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 50u);
+    h.sample(1'000'000);
+    EXPECT_EQ(h.max(), 1'000'000u);
+    // ceil(0.99 * 51) = 51: p99 is now the outlier, reported as its
+    // log-bucket midpoint within the ~3.1% quantization bound.
+    std::uint64_t p99 = h.percentile(99);
+    EXPECT_GE(p99, 1'000'000u * 31 / 32);
+    EXPECT_LE(p99, 1'000'000u * 33 / 32);
+    // ceil(0.95 * 51) = 49, still in the exact linear region.
+    EXPECT_EQ(h.percentile(95), 49u);
 }
 
 TEST(StatsTest, DumpContainsNamesAndValues)
