@@ -101,7 +101,7 @@ runCampaign(const std::string &plan, const exp::RunContext &ctx)
     // deliberately NOT time-scaled: plan times (at=, deadline=) are
     // absolute, so the watchdog needs the same absolute headroom at
     // every --time-scale.
-    sys.eq.runUntil(sys.eq.now() + 2 * sim::kTickMs);
+    sys.run(sys.now() + 2 * sim::kTickMs);
 
     out.aStatus = sys.hv.peekStatus(a.vaccel());
     out.aErr = a.vaccel().errorStatus();

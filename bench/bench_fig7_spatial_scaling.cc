@@ -77,12 +77,11 @@ aggregateRate(const std::string &app, std::uint32_t jobs,
 
     double ns = 0;
     if (job_counted) {
-        sys.eq.runUntil(sys.eq.now() +
-                        ctx.scaled(250 * sim::kTickUs));
+        sys.run(sys.now() + ctx.scaled(250 * sim::kTickUs));
         std::vector<std::uint64_t> before = completions;
-        sim::Tick t0 = sys.eq.now();
-        sys.eq.runUntil(t0 + ctx.scaled(1500 * sim::kTickUs));
-        ns = static_cast<double>(sys.eq.now() - t0);
+        sim::Tick t0 = sys.now();
+        sys.run(t0 + ctx.scaled(1500 * sim::kTickUs));
+        ns = static_cast<double>(sys.now() - t0);
         std::uint64_t done = 0;
         for (std::uint32_t j = 0; j < jobs; ++j)
             done += completions[j] - before[j];

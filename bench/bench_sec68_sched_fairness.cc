@@ -61,13 +61,13 @@ runPolicy(hv::SchedPolicy policy, std::uint32_t jobs,
 
     // Let the rotation settle, then measure across many rotations.
     sim::Tick t0 = sys.eq.now();
-    sys.eq.runUntil(t0 + 6 * jobs * slice);
+    sys.run(t0 + 6 * jobs * slice);
     std::vector<sim::Tick> occ0;
     for (auto *h : handles)
         occ0.push_back(sys.hv.occupancy(h->vaccel()));
     sim::Tick w0 = sys.eq.now();
     // Many full rotations so edge-of-window truncation is small.
-    sys.eq.runUntil(w0 + 48 * jobs * slice);
+    sys.run(w0 + 48 * jobs * slice);
     // Normalize by total *occupied* time: expected shares describe
     // how accelerator time divides among tenants (the fixed
     // context-switch cost is reported separately in Fig 8).

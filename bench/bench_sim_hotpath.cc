@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Read/write-isolated microbenchmarks of the simulation kernel's
+ * three hottest data structures — the DmaTxn pool arena, the
+ * three-level calendar rings, and the telemetry stat counters — plus
+ * the conservative epoch scheduler's barrier machinery. Where
+ * bench_sim_kernel measures the kernel end-to-end (full platform
+ * traffic), this bench separates the *production* side of each
+ * structure from its *consumption* side, so a regression in one
+ * half cannot hide behind an improvement in the other.
+ *
+ * Every scenario reports deterministic checksums (fingerprinted,
+ * identical at any --jobs/--sim-threads) alongside volatile
+ * wall-clock rate cells excluded from the determinism contract.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccip/packet.hh"
+#include "exp/builders.hh"
+#include "exp/runner.hh"
+#include "sim/domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/pool_alloc.hh"
+#include "sim/stats.hh"
+#include "sim/telemetry.hh"
+
+using namespace optimus;
+
+namespace {
+
+/** Deterministic cells + two isolated wall-rate cells. */
+exp::ResultRow
+isoRow(const std::string &name, std::uint64_t items,
+       std::uint64_t checksum, double write_ms, double read_ms,
+       const char *write_col, const char *read_col)
+{
+    exp::ResultRow row(name);
+    row.count("items", items);
+    row.str("checksum",
+            sim::strprintf("%016llx",
+                           static_cast<unsigned long long>(
+                               checksum)));
+    auto rate = [items](double ms) {
+        return items > 0 && ms > 0
+                   ? ms * 1e6 / static_cast<double>(items)
+                   : 0.0;
+    };
+    row.wall(write_col, "%.1f", rate(write_ms));
+    row.wall(read_col, "%.1f", rate(read_ms));
+    return row;
+}
+
+// ---------------------------------------------------------------
+// Calendar rings: schedule (write half) vs drain (read half).
+// ---------------------------------------------------------------
+
+/**
+ * @p spread selects which calendar level absorbs the inserts: 0 =
+ * all same-tick FIFO (one near-ring bucket), small = near ring,
+ * large = far ring / overflow heap.
+ */
+exp::ResultRow
+ringScenario(const std::string &name, std::uint64_t events,
+             sim::Tick spread)
+{
+    sim::EventQueue eq;
+    std::uint64_t acc = 0;
+
+    exp::WallTimer tw;
+    for (std::uint64_t e = 0; e < events; ++e) {
+        sim::Tick when =
+            spread == 0 ? 1 : 1 + (e * 2654435761u) % spread;
+        eq.scheduleAt(when, [&acc, e]() { acc += e; });
+    }
+    double write_ms = tw.ms();
+
+    exp::WallTimer tr;
+    eq.runAll();
+    double read_ms = tr.ms();
+
+    std::uint64_t checksum = acc ^ (eq.now() << 20) ^ eq.executed();
+    exp::ResultRow row = isoRow(name, events, checksum, write_ms,
+                                read_ms, "sched_ns_per_ev",
+                                "drain_ns_per_ev");
+    row.fp.add(acc).add(eq.now()).add(eq.executed());
+    row.sealFingerprint();
+    return row;
+}
+
+// ---------------------------------------------------------------
+// DmaTxn pool: churn (alloc/free), write-stamp, read-walk.
+// ---------------------------------------------------------------
+
+/** Steady-state pool churn: allocate a window, release it, repeat —
+ *  after the first window every block comes off the free list. */
+exp::ResultRow
+dmaPoolChurn(std::uint64_t rounds, std::size_t window)
+{
+    sim::EventQueue eq; // owns the arena, like a System context
+    sim::PoolAlloc<ccip::DmaTxn> alloc(eq.arena());
+    std::vector<ccip::DmaTxnPtr> live;
+    live.reserve(window);
+    std::uint64_t acc = 0;
+
+    exp::WallTimer tw;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = 0; i < window; ++i) {
+            auto txn = std::allocate_shared<ccip::DmaTxn>(alloc);
+            txn->id = r * window + i;
+            live.push_back(std::move(txn));
+        }
+        acc += live.back()->id;
+        live.clear(); // returns the window to the arena free list
+    }
+    double write_ms = tw.ms();
+
+    // Read half: one resident window, walked repeatedly.
+    for (std::size_t i = 0; i < window; ++i) {
+        auto txn = std::allocate_shared<ccip::DmaTxn>(alloc);
+        txn->id = i;
+        txn->bytes = static_cast<std::uint32_t>(64 + (i % 4) * 64);
+        live.push_back(std::move(txn));
+    }
+    exp::WallTimer tr;
+    for (std::uint64_t r = 0; r < rounds; ++r)
+        for (const auto &txn : live)
+            acc += txn->id + txn->bytes + txn->retries;
+    double read_ms = tr.ms();
+    live.clear();
+
+    std::uint64_t items = rounds * window;
+    exp::ResultRow row =
+        isoRow("dma_pool_churn_w" + std::to_string(window), items,
+               acc, write_ms, read_ms, "alloc_ns_per_txn",
+               "walk_ns_per_txn");
+    row.fp.add(acc).add(items);
+    row.sealFingerprint();
+    return row;
+}
+
+/** Field-stamp half vs completion-walk half on a resident set —
+ *  the auditor/shell write path vs the response read path. */
+exp::ResultRow
+dmaPoolStampWalk(std::uint64_t rounds, std::size_t resident)
+{
+    sim::EventQueue eq;
+    sim::PoolAlloc<ccip::DmaTxn> alloc(eq.arena());
+    std::vector<ccip::DmaTxnPtr> txns;
+    txns.reserve(resident);
+    for (std::size_t i = 0; i < resident; ++i)
+        txns.push_back(std::allocate_shared<ccip::DmaTxn>(alloc));
+
+    // Write half: what the auditor + IOMMU stamp per hop.
+    exp::WallTimer tw;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = 0; i < resident; ++i) {
+            ccip::DmaTxn &t = *txns[i];
+            t.gva = mem::Gva((r << 12) + i * 64);
+            t.iova = mem::Iova(t.gva.value() + (1ULL << 30));
+            t.tag = static_cast<ccip::AccelTag>(i & 7);
+            t.vm = static_cast<std::uint16_t>(i & 3);
+            t.proc = 0;
+            t.issuedAt = static_cast<sim::Tick>(r);
+            t.vc = (i & 1) ? ccip::VChannel::kUpi
+                           : ccip::VChannel::kPcie0;
+        }
+    }
+    double write_ms = tw.ms();
+
+    // Read half: what the completion path inspects.
+    std::uint64_t acc = 0;
+    exp::WallTimer tr;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = 0; i < resident; ++i) {
+            const ccip::DmaTxn &t = *txns[i];
+            acc += t.iova.value() + t.tag + t.vm +
+                   static_cast<std::uint64_t>(t.vc) + t.issuedAt;
+        }
+    }
+    double read_ms = tr.ms();
+
+    std::uint64_t items = rounds * resident;
+    exp::ResultRow row =
+        isoRow("dma_pool_stamp_r" + std::to_string(resident), items,
+               acc, write_ms, read_ms, "stamp_ns_per_txn",
+               "read_ns_per_txn");
+    row.fp.add(acc).add(items);
+    row.sealFingerprint();
+    return row;
+}
+
+// ---------------------------------------------------------------
+// Telemetry stats: increment half vs export/percentile half.
+// ---------------------------------------------------------------
+
+exp::ResultRow
+statIncrement(std::uint64_t incrs)
+{
+    sim::Telemetry tel("bench");
+    sim::TelemetryNode &n = tel.node("hot");
+    sim::Counter a(&n, "a", "hot counter a");
+    sim::Counter b(&n, "b", "hot counter b");
+    sim::Average avg(&n, "avg", "hot average");
+
+    exp::WallTimer tw;
+    for (std::uint64_t i = 0; i < incrs; ++i) {
+        ++a;
+        b += i & 7;
+        avg.sample(static_cast<double>(i & 1023));
+    }
+    double write_ms = tw.ms();
+
+    std::uint64_t acc = 0;
+    exp::WallTimer tr;
+    for (std::uint64_t i = 0; i < incrs / 64 + 1; ++i)
+        acc += a.value() + b.value();
+    double read_ms = tr.ms();
+
+    acc ^= a.value() + b.value();
+    exp::ResultRow row = isoRow("stat_incr", incrs, acc, write_ms,
+                                read_ms, "incr_ns_per_op",
+                                "read_ns_per_op");
+    row.fp.add(a.value()).add(b.value());
+    row.sealFingerprint();
+    return row;
+}
+
+exp::ResultRow
+histogramRecord(std::uint64_t samples)
+{
+    sim::Telemetry tel("bench");
+    sim::Histogram h(&tel.node("hot"), "lat", "latency histogram");
+
+    exp::WallTimer tw;
+    for (std::uint64_t i = 0; i < samples; ++i)
+        h.sample(1 + (i * 2654435761u) % 100000);
+    double write_ms = tw.ms();
+
+    std::uint64_t acc = 0;
+    exp::WallTimer tr;
+    for (std::uint64_t i = 0; i < samples / 256 + 1; ++i)
+        acc += h.p50() + h.p95() + h.p99();
+    double read_ms = tr.ms();
+
+    std::uint64_t checksum =
+        h.p50() ^ (h.p95() << 16) ^ (h.p99() << 32) ^ (acc & 1);
+    exp::ResultRow row = isoRow("hist_record", samples, checksum,
+                                write_ms, read_ms,
+                                "sample_ns_per_op",
+                                "pctile_ns_per_read");
+    row.fp.add(h.p50()).add(h.p95()).add(h.p99());
+    row.sealFingerprint();
+    return row;
+}
+
+// ---------------------------------------------------------------
+// Epoch scheduler: cross-domain ping-pong, serial vs pooled.
+// ---------------------------------------------------------------
+
+/** Barrier-heavy worst case: every epoch carries exactly one
+ *  cross-domain message, so this prices the scheduler's
+ *  epoch/delivery machinery rather than useful event work. */
+exp::ResultRow
+epochPingPong(const std::string &name, unsigned threads, int legs)
+{
+    sim::DomainSet set(2);
+    const sim::Tick lat = 400; // ~UPI propagation, in ticks
+    sim::Channel<int> ping(set, 0, 1, lat, "ping");
+    sim::Channel<int> pong(set, 1, 0, lat, "pong");
+    std::uint64_t hops = 0;
+    ping.onReceive([&](int v) {
+        ++hops;
+        if (v < legs)
+            pong.send(v + 1);
+    });
+    pong.onReceive([&](int v) {
+        ++hops;
+        if (v < legs)
+            ping.send(v + 1);
+    });
+
+    sim::EpochScheduler sched(set, threads);
+    set.queue(0).scheduleAt(0, [&]() { ping.send(1); });
+    exp::WallTimer t;
+    sched.run();
+    double wall_ms = t.ms();
+
+    exp::ResultRow row(name);
+    row.count("hops", hops);
+    row.count("epochs", sched.epochs());
+    row.count("delivered", sched.delivered());
+    row.count("end_tick",
+              std::max(set.queue(0).now(), set.queue(1).now()));
+    row.wall("wall_ms", "%.2f", wall_ms);
+    row.wall("epochs_per_sec", "%.0f",
+             wall_ms > 0 ? static_cast<double>(sched.epochs()) /
+                               (wall_ms / 1e3)
+                         : 0);
+    row.fp.add(hops).add(sched.delivered());
+    row.fp.add(set.queue(0).now()).add(set.queue(1).now());
+    row.sealFingerprint();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    exp::Runner r("sim_hotpath");
+
+    r.table("Calendar rings: schedule vs drain, by level",
+            "DESIGN.md §7 (three-level calendar)")
+        .add("ring_same_tick_fifo",
+             [](const exp::RunContext &ctx) {
+                 return ringScenario(
+                     "ring_same_tick_fifo",
+                     ctx.scaledCount(2'000'000, 1000), 0);
+             })
+        .add("ring_near",
+             [](const exp::RunContext &ctx) {
+                 return ringScenario("ring_near",
+                                     ctx.scaledCount(2'000'000,
+                                                     1000),
+                                     1500);
+             })
+        .add("ring_far_overflow",
+             [](const exp::RunContext &ctx) {
+                 return ringScenario(
+                     "ring_far_overflow",
+                     ctx.scaledCount(1'000'000, 1000),
+                     40'000'000);
+             })
+        .note("write half = scheduleAt into the chosen calendar "
+              "level; read half = runAll drain. ns/op cells are "
+              "wall-clock (volatile).");
+
+    r.table("DmaTxn pool arena: producer vs consumer half",
+            "DESIGN.md §8 (PoolArena)")
+        .add("dma_pool_churn_w64",
+             [](const exp::RunContext &ctx) {
+                 return dmaPoolChurn(ctx.scaledCount(40'000, 50),
+                                     64);
+             })
+        .add("dma_pool_churn_w512",
+             [](const exp::RunContext &ctx) {
+                 return dmaPoolChurn(ctx.scaledCount(5'000, 10),
+                                     512);
+             })
+        .add("dma_pool_stamp_r256",
+             [](const exp::RunContext &ctx) {
+                 return dmaPoolStampWalk(
+                     ctx.scaledCount(10'000, 20), 256);
+             });
+
+    r.table("Telemetry stat hot path",
+            "DESIGN.md §9 (observability spine)")
+        .add("stat_incr",
+             [](const exp::RunContext &ctx) {
+                 return statIncrement(
+                     ctx.scaledCount(4'000'000, 2000));
+             })
+        .add("hist_record", [](const exp::RunContext &ctx) {
+            return histogramRecord(
+                ctx.scaledCount(2'000'000, 1000));
+        });
+
+    r.table("Epoch scheduler barrier cost (2-domain ping-pong)",
+            "DESIGN.md §12 (parallel core)")
+        .add("pingpong_serial",
+             [](const exp::RunContext &ctx) {
+                 return epochPingPong(
+                     "pingpong_serial", 1,
+                     static_cast<int>(
+                         ctx.scaledCount(50'000, 200)));
+             })
+        .add("pingpong_pool2",
+             [](const exp::RunContext &ctx) {
+                 return epochPingPong(
+                     "pingpong_pool2", 2,
+                     static_cast<int>(
+                         ctx.scaledCount(50'000, 200)));
+             })
+        .footer([](const std::vector<exp::ResultRow> &rows)
+                    -> std::vector<std::string> {
+            if (rows.size() < 2)
+                return {};
+            bool same =
+                rows[0].fingerprint() == rows[1].fingerprint();
+            return {std::string("serial vs pool2 fingerprints: ") +
+                    (same ? "IDENTICAL" : "DIVERGED")};
+        });
+
+    return r.main(argc, argv);
+}

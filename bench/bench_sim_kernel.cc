@@ -111,15 +111,15 @@ membench(const std::string &name, std::uint32_t jobs,
     for (auto *h : handles)
         h->start();
 
-    sys.eq.runUntil(sys.eq.now() + warmup);
+    sys.run(sys.now() + warmup);
     std::vector<std::uint64_t> before;
     for (auto *h : handles)
         before.push_back(sys.hv.peekProgress(h->vaccel()));
 
     std::uint64_t ev0 = sys.eq.executed();
-    sim::Tick t0 = sys.eq.now();
+    sim::Tick t0 = sys.now();
     exp::WallTimer t;
-    sys.eq.runUntil(t0 + window);
+    sys.run(t0 + window);
     double wall_ms = t.ms();
     std::uint64_t events = sys.eq.executed() - ev0;
 

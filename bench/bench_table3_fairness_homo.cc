@@ -81,11 +81,11 @@ normalizedRange(const std::string &app, const exp::RunContext &ctx)
     // quantization in the range statistic.
     sim::Tick window = ctx.scaled(
         job_counted ? 12 * sim::kTickMs : 1500 * sim::kTickUs);
-    sys.eq.runUntil(sys.eq.now() + ctx.scaled(400 * sim::kTickUs));
+    sys.run(sys.now() + ctx.scaled(400 * sim::kTickUs));
     std::vector<std::uint64_t> before(8);
     for (std::uint32_t j = 0; j < 8; ++j)
         before[j] = snapshot(j);
-    sys.eq.runUntil(sys.eq.now() + window);
+    sys.run(sys.now() + window);
 
     double mn = 1e30;
     double mx = 0;

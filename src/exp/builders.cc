@@ -30,15 +30,15 @@ measureWindow(hv::System &sys,
               sim::Tick warmup, sim::Tick window,
               double *elapsed_ns)
 {
-    sys.eq.runUntil(sys.eq.now() + warmup);
+    sys.run(sys.now() + warmup);
     std::vector<std::uint64_t> before;
     before.reserve(handles.size());
     for (auto *h : handles)
         before.push_back(sys.hv.peekProgress(h->vaccel()));
-    sim::Tick t0 = sys.eq.now();
-    sys.eq.runUntil(t0 + window);
+    sim::Tick t0 = sys.now();
+    sys.run(t0 + window);
     if (elapsed_ns) {
-        *elapsed_ns = static_cast<double>(sys.eq.now() - t0) /
+        *elapsed_ns = static_cast<double>(sys.now() - t0) /
                       static_cast<double>(sim::kTickNs);
     }
     std::vector<std::uint64_t> delta;

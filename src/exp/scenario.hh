@@ -33,6 +33,16 @@ struct RunContext
      *  builders::installFaults(); empty = fault-free run. */
     std::string faults;
 
+    /**
+     * Effective per-System worker-pool width (from --sim-threads,
+     * capped against --jobs so jobs × sim-threads never oversubscribes
+     * the host). The runner installs it as sim::defaultSimThreads()
+     * on every worker, so scenarios pick it up without plumbing;
+     * it is mirrored here for scenarios that want to report it.
+     * Never affects results — only wall-clock.
+     */
+    unsigned simThreads = 1;
+
     /** Scale a simulated duration (never below one tick). */
     sim::Tick
     scaled(sim::Tick t) const

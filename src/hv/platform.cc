@@ -5,23 +5,38 @@
 
 namespace optimus::hv {
 
-Platform::Platform(sim::EventQueue &eq, PlatformConfig config,
+Platform::Platform(sim::DomainSet &domains, PlatformConfig config,
                    sim::Telemetry &telemetry, sim::TraceBus &trace)
-    : _eq(eq),
+    : _domains(domains),
+      _eq(domains.queue(config.domains.hv)),
       _config(std::move(config)),
       _telemetry(telemetry),
       _trace(trace),
       _memory(188ULL << 30),
       _frames(mem::Hpa(mem::kPage2M), mem::Hpa(188ULL << 30)),
-      _memctl(eq, _config.params,
+      _memctl(domains.queue(_config.domains.mem), _config.params,
               {&telemetry.node("mem"), &trace}),
-      _iommu(eq, _config.params,
+      _iommu(domains.queue(_config.domains.iommu), _config.params,
              {&telemetry.node("iommu"), &trace}),
-      _shell(eq, _config.params, _memory, _memctl, _iommu,
+      _shell(domains.queue(_config.domains.ccip), _config.params,
+             _memory, _memctl, _iommu,
              {&telemetry.node("shell"), &trace})
 {
     OPTIMUS_ASSERT(!_config.apps.empty(),
                    "platform needs at least one accelerator");
+    OPTIMUS_ASSERT(_config.domains.domainCount() <= domains.size(),
+                   "domain plan references shard %u but the set has "
+                   "%u domains",
+                   _config.domains.domainCount() - 1, domains.size());
+    // The stock component graph is one synchronous coupling class
+    // (direct call edges accel↔fabric, ccip↔iommu↔mem, hv↔all), so a
+    // split plan would let one domain mutate another's components
+    // mid-epoch. Until those edges are carried by sim::Channels,
+    // every group must share a shard (DESIGN.md §12).
+    OPTIMUS_ASSERT(_config.domains.singleDomain(),
+                   "split domain plans need channel-mediated "
+                   "component boundaries (see DESIGN.md §12); the "
+                   "stock platform graph must stay in one domain");
     if (_config.mode == FabricMode::kPassthrough) {
         OPTIMUS_ASSERT(_config.apps.size() == 1,
                        "pass-through hosts exactly one accelerator");
@@ -37,13 +52,14 @@ Platform::Platform(sim::EventQueue &eq, PlatformConfig config,
         // Instance names like "accel0.MB" address a nested telemetry
         // node, so per-accelerator stats group under their slot.
         _accels.push_back(accel::makeAccelerator(
-            _config.apps[i], eq, _config.params, name,
-            {&telemetry.node(name), &trace}));
+            _config.apps[i], domains.queue(_config.domains.accel),
+            _config.params, name, {&telemetry.node(name), &trace}));
     }
 
     if (_config.mode == FabricMode::kOptimus) {
         _monitor = std::make_unique<fpga::HardwareMonitor>(
-            eq, _config.params, _shell,
+            domains.queue(_config.domains.ccip), _config.params,
+            _shell,
             static_cast<std::uint32_t>(_config.apps.size()),
             _config.treeArity,
             sim::Scope{&telemetry.node("fabric"), &trace});

@@ -22,6 +22,7 @@
 #include "mem/frame_allocator.hh"
 #include "mem/host_memory.hh"
 #include "mem/memory_controller.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
 #include "sim/stats.hh"
@@ -37,6 +38,46 @@ enum class FabricMode
     kPassthrough, ///< one accelerator wired straight to the shell
 };
 
+/**
+ * Logical-domain assignment for the platform's component groups,
+ * resolved at Platform wiring time: each group's components are
+ * constructed against the EventQueue shard of its domain (see
+ * sim/domain.hh and DESIGN.md §12).
+ *
+ * Constraint: groups joined by synchronous call edges must share a
+ * domain. Today the stock component graph is one coupling class —
+ * accel↔fabric(ccip), ccip↔iommu↔mem, hv↔everything are all direct
+ * calls — so Platform::Platform asserts all five groups agree.
+ * Splitting a boundary requires first converting its call edges to
+ * sim::Channels (the UPI/PCIe link crossing is the natural first
+ * candidate; its propagation latency becomes the lookahead).
+ */
+struct DomainPlan
+{
+    sim::DomainId ccip = 0;
+    sim::DomainId mem = 0;
+    sim::DomainId iommu = 0;
+    sim::DomainId accel = 0;
+    sim::DomainId hv = 0;
+
+    /** Domains the plan requires (highest referenced id + 1). */
+    std::uint32_t
+    domainCount() const
+    {
+        sim::DomainId m = ccip;
+        for (sim::DomainId d : {mem, iommu, accel, hv})
+            m = d > m ? d : m;
+        return m + 1;
+    }
+
+    bool
+    singleDomain() const
+    {
+        return ccip == mem && mem == iommu && iommu == accel &&
+               accel == hv;
+    }
+};
+
 /** Full platform configuration. */
 struct PlatformConfig
 {
@@ -46,6 +87,16 @@ struct PlatformConfig
     std::vector<std::string> apps;
     /** Multiplexer tree arity (binary by default). */
     std::uint32_t treeArity = 2;
+    /** Component-group → domain assignment (all domain 0 by
+     *  default, i.e. the strictly serial classic engine). */
+    DomainPlan domains;
+    /**
+     * Extra domains beyond the platform's own, for harness-side
+     * actors (load generators, future fleet peers) that talk to the
+     * platform through sim::Channels. The System sizes its DomainSet
+     * to cover both.
+     */
+    std::uint32_t extraDomains = 0;
 };
 
 /** The simulated machine. */
@@ -57,11 +108,14 @@ class Platform
      * construction: @p telemetry supplies the stat tree nodes
      * (mem/iommu/shell/fabric/accelN.APP) and @p trace the shared
      * trace bus, so no component's stats can be silently dropped.
+     * Components are constructed against the shard of @p domains
+     * their group is assigned to by config.domains.
      */
-    Platform(sim::EventQueue &eq, PlatformConfig config,
+    Platform(sim::DomainSet &domains, PlatformConfig config,
              sim::Telemetry &telemetry, sim::TraceBus &trace);
 
     sim::EventQueue &eventq() { return _eq; }
+    sim::DomainSet &domains() { return _domains; }
     const PlatformConfig &config() const { return _config; }
     const sim::PlatformParams &params() const { return _config.params; }
 
@@ -118,6 +172,7 @@ class Platform
         ccip::Shell &_shell;
     };
 
+    sim::DomainSet &_domains;
     sim::EventQueue &_eq;
     PlatformConfig _config;
     sim::Telemetry &_telemetry;

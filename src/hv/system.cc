@@ -20,11 +20,32 @@ SystemObserver::current()
     return t_observer;
 }
 
-System::System(PlatformConfig config)
-    : platform(eq, std::move(config), telemetry, trace),
+namespace {
+
+std::uint32_t
+domainCountOf(const PlatformConfig &config)
+{
+    return config.domains.domainCount() + config.extraDomains;
+}
+
+} // namespace
+
+System::System(PlatformConfig config, unsigned sim_threads)
+    : domains(domainCountOf(config)),
+      eq(domains.queue(0)),
+      sched(domains, sim_threads == 0 ? sim::defaultSimThreads()
+                                      : sim_threads),
+      platform(domains, std::move(config), telemetry, trace),
       hv(platform),
       _observer(SystemObserver::current())
 {
+    if (domains.size() > 1) {
+        // Multi-domain: emissions buffer per domain and merge at the
+        // epoch barriers, so sink byte streams are (tick, domain,
+        // seq)-ordered for every pool size.
+        trace.armDomains(domains.size());
+        sched.setBarrierHook([this]() { trace.flushMerged(); });
+    }
     if (_observer)
         _observer->systemCreated(*this);
 }

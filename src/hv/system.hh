@@ -60,7 +60,15 @@ class SystemObserver
 class System
 {
   public:
-    explicit System(PlatformConfig config);
+    /**
+     * @p sim_threads sizes the epoch scheduler's worker pool; 0 (the
+     * default) picks up sim::defaultSimThreads() — which the
+     * experiment runner sets per worker from `--sim-threads`. The
+     * thread count never affects results: 1 is the strictly serial
+     * classic engine and any N > 1 executes the same schedule on a
+     * pool (see sim/domain.hh).
+     */
+    explicit System(PlatformConfig config, unsigned sim_threads = 0);
     ~System();
     System(const System &) = delete;
     System &operator=(const System &) = delete;
@@ -111,13 +119,41 @@ class System
     AccelHandle &handle(std::size_t i) { return *_handles[i]; }
     std::size_t numHandles() const { return _handles.size(); }
 
-    sim::EventQueue eq;
+    /**
+     * Advance the whole simulation — every domain, in conservative
+     * lookahead epochs — up to and including @p limit. On a
+     * single-domain System this is exactly eq.runUntil(limit),
+     * executed on the scheduler's pool when sim-threads > 1.
+     * @return events executed.
+     */
+    std::uint64_t run(sim::Tick limit) { return sched.run(limit); }
+
+    /** Run every domain to quiescence. */
+    std::uint64_t runAll() { return sched.run(); }
+
+    /** Current simulated time (domain 0's clock; at barriers all
+     *  domains agree). */
+    sim::Tick now() const { return eq.now(); }
+
+    /**
+     * The simulation context: one EventQueue shard per logical
+     * domain (sized by the config's domain plan + extraDomains) and
+     * the cross-domain channel registry. Declared first so every
+     * other member may reference its shards.
+     */
+    sim::DomainSet domains;
+    /** Domain 0's shard — the whole simulation for the default
+     *  single-domain plan; kept as a member-style reference so
+     *  existing `sys.eq` call sites read naturally. */
+    sim::EventQueue &eq;
     /** Root of the observability spine: the stat tree ("sys.…") and
      *  the trace bus every component publishes on. Declared before
      *  the platform so components can wire onto them during
      *  construction. */
     sim::Telemetry telemetry{"sys"};
     sim::TraceBus trace{eq};
+    /** The conservative epoch scheduler driving `domains`. */
+    sim::EpochScheduler sched;
     Platform platform;
     OptimusHv hv;
 

@@ -1,0 +1,309 @@
+#include "sim/domain.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace optimus::sim {
+
+namespace {
+
+thread_local const ExecContext *t_exec = nullptr;
+thread_local unsigned t_defaultSimThreads = 1;
+/** Set while the calling thread is a pool worker (or inside drive()),
+ *  so nested run()/drive() calls execute inline instead of
+ *  deadlocking on their own pool. */
+thread_local bool t_onExecutor = false;
+
+} // namespace
+
+const ExecContext *
+currentExecContext()
+{
+    return t_exec;
+}
+
+ExecScope::ExecScope(EventQueue &q, DomainId d)
+    : _ctx{&q, d}, _prev(t_exec)
+{
+    t_exec = &_ctx;
+}
+
+ExecScope::~ExecScope()
+{
+    t_exec = _prev;
+}
+
+unsigned
+defaultSimThreads()
+{
+    return t_defaultSimThreads;
+}
+
+unsigned
+setDefaultSimThreads(unsigned n)
+{
+    unsigned prev = t_defaultSimThreads;
+    t_defaultSimThreads = n == 0 ? 1 : n;
+    return prev;
+}
+
+DomainSet::DomainSet(std::uint32_t domains)
+{
+    OPTIMUS_ASSERT(domains >= 1, "a DomainSet needs a domain");
+    _queues.reserve(domains);
+    for (std::uint32_t d = 0; d < domains; ++d) {
+        _queues.push_back(std::make_unique<EventQueue>());
+        _queues.back()->setDomain(d);
+    }
+}
+
+Tick
+DomainSet::minCrossLatency() const
+{
+    Tick min = kTickForever;
+    for (const ChannelBase *c : _channels) {
+        if (c->crossesDomains())
+            min = std::min(min, c->minLatency());
+    }
+    return min;
+}
+
+std::uint64_t
+DomainSet::executed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : _queues)
+        n += q->executed();
+    return n;
+}
+
+Tick
+DomainSet::nextEventTick() const
+{
+    Tick min = kTickForever;
+    for (const auto &q : _queues)
+        min = std::min(min, q->nextEventTick());
+    return min;
+}
+
+ChannelBase::ChannelBase(DomainSet &set, DomainId src, DomainId dst,
+                         Tick min_latency, std::string name)
+    : _set(set), _src(src), _dst(dst), _lat(min_latency),
+      _name(std::move(name))
+{
+    OPTIMUS_ASSERT(src < set.size() && dst < set.size(),
+                   "channel %s: endpoint domain out of range",
+                   _name.c_str());
+    OPTIMUS_ASSERT(src == dst || min_latency > 0,
+                   "channel %s: a cross-domain channel needs a "
+                   "positive minimum latency (it is the lookahead)",
+                   _name.c_str());
+    set._channels.push_back(this);
+}
+
+ChannelBase::~ChannelBase()
+{
+    auto &v = _set._channels;
+    v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
+
+void
+ChannelBase::post(Tick extra_delay, EventQueue::Callback cb)
+{
+    EventQueue &sq = _set.queue(_src);
+    Tick when = sq.now() + _lat + extra_delay;
+    ++_sent;
+    if (_src == _dst) {
+        // Intra-domain: an ordinary (deterministically tie-broken)
+        // scheduling; no barrier involvement.
+        sq.scheduleAt(when, std::move(cb));
+        return;
+    }
+    sq.postCross(_dst, when, std::move(cb));
+}
+
+EpochScheduler::EpochScheduler(DomainSet &set, unsigned threads)
+    : _set(set), _threads(threads == 0 ? 1 : threads)
+{
+    if (_threads <= 1)
+        return;
+    _workers.reserve(_threads);
+    for (unsigned i = 0; i < _threads; ++i)
+        _workers.emplace_back([this, i]() { workerLoop(i); });
+}
+
+EpochScheduler::~EpochScheduler()
+{
+    if (_workers.empty())
+        return;
+    dispatchToPool(Task::kStop);
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+EpochScheduler::runDomain(DomainId d)
+{
+    EventQueue &q = _set.queue(d);
+    ExecScope scope(q, d);
+    if (_drainAll)
+        q.runAll();
+    else
+        q.runUntil(_epochEnd);
+}
+
+void
+EpochScheduler::workerLoop(unsigned index)
+{
+    t_onExecutor = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lk(_m);
+            _cvWork.wait(lk, [&]() { return _gen != seen; });
+            seen = _gen;
+            task = _task;
+        }
+        if (task == Task::kStop)
+            return;
+        if (task == Task::kEpoch) {
+            // Static round-robin partition: worker i executes
+            // domains i, i+threads, ... — which domains land where
+            // never affects results, only who computes them.
+            for (DomainId d = index; d < _set.size(); d += _threads)
+                runDomain(d);
+        } else if (task == Task::kDrive && index == 0) {
+            (*_driveFn)();
+        }
+        {
+            std::lock_guard<std::mutex> lk(_m);
+            if (--_outstanding == 0)
+                _cvDone.notify_all();
+        }
+    }
+}
+
+void
+EpochScheduler::dispatchToPool(Task task)
+{
+    std::unique_lock<std::mutex> lk(_m);
+    _task = task;
+    _outstanding = static_cast<unsigned>(_workers.size());
+    ++_gen;
+    _cvWork.notify_all();
+    if (task == Task::kStop)
+        return;
+    _cvDone.wait(lk, [&]() { return _outstanding == 0; });
+}
+
+void
+EpochScheduler::executeEpoch()
+{
+    if (_workers.empty() || t_onExecutor) {
+        for (DomainId d = 0; d < _set.size(); ++d)
+            runDomain(d);
+        return;
+    }
+    dispatchToPool(Task::kEpoch);
+}
+
+void
+EpochScheduler::deliverPosts()
+{
+    // Gather every shard's outbox, establish the deterministic
+    // delivery order (tick, source domain, post order), and schedule
+    // into the destination shards — which assigns destination seqs in
+    // exactly that order, fixing the FIFO tie-break.
+    struct Ref
+    {
+        Tick when;
+        DomainId src;
+        std::uint32_t idx;
+    };
+    std::vector<Ref> order;
+    for (DomainId d = 0; d < _set.size(); ++d) {
+        auto &ob = _set.queue(d).outbox();
+        for (std::uint32_t i = 0; i < ob.size(); ++i)
+            order.push_back(Ref{ob[i].when, d, i});
+    }
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(),
+              [](const Ref &a, const Ref &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.idx < b.idx;
+              });
+    for (const Ref &r : order) {
+        EventQueue::CrossPost &p = _set.queue(r.src).outbox()[r.idx];
+        // Conservative guarantee: when >= send time + lookahead,
+        // which is beyond the epoch the send happened in, so this
+        // never schedules into the destination's past (the debug
+        // assert in scheduleAt is the canary).
+        _set.queue(p.dst).scheduleAt(p.when, std::move(p.cb));
+        ++_delivered;
+    }
+    for (DomainId d = 0; d < _set.size(); ++d)
+        _set.queue(d).outbox().clear();
+}
+
+std::uint64_t
+EpochScheduler::run(Tick limit)
+{
+    std::uint64_t before = _set.executed();
+    for (;;) {
+        deliverPosts();
+        Tick tmin = _set.nextEventTick();
+        if (tmin == kTickForever || tmin > limit)
+            break;
+        Tick la = _set.minCrossLatency();
+        if (la == kTickForever) {
+            // Independent domains: one epoch covers the whole run.
+            _drainAll = limit == kTickForever;
+            _epochEnd = limit;
+        } else {
+            _drainAll = false;
+            Tick end = tmin > kTickForever - la ? kTickForever - 1
+                                                : tmin + la - 1;
+            _epochEnd = std::min(limit, end);
+        }
+        executeEpoch();
+        ++_epochs;
+        if (_barrierHook)
+            _barrierHook();
+    }
+    // Like EventQueue::runUntil, finite limits advance every domain's
+    // clock to the limit even when no event lands there.
+    if (limit != kTickForever) {
+        for (DomainId d = 0; d < _set.size(); ++d) {
+            if (_set.queue(d).now() < limit) {
+                _drainAll = false;
+                _epochEnd = limit;
+                runDomain(d);
+            }
+        }
+    }
+    if (_barrierHook)
+        _barrierHook();
+    return _set.executed() - before;
+}
+
+void
+EpochScheduler::drive(const std::function<void()> &fn)
+{
+    if (_workers.empty() || t_onExecutor) {
+        fn();
+        return;
+    }
+    _driveFn = &fn;
+    dispatchToPool(Task::kDrive);
+    _driveFn = nullptr;
+    if (_barrierHook)
+        _barrierHook();
+}
+
+} // namespace optimus::sim

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Conservative parallel discrete-event core: logical domains, typed
+ * cross-domain channels, and the lookahead epoch scheduler.
+ *
+ * The kernel's unit of sequential execution is a **domain**: one
+ * EventQueue shard (the PR 1 three-level calendar) plus every
+ * component wired onto it. Within a domain nothing changes — events
+ * execute in (tick, seq) order on a single thread. Across domains,
+ * the only way to interact is a **Channel**: a typed, one-directional
+ * message port that carries a static minimum latency. That latency is
+ * exactly the lookahead a conservative parallel simulation needs: if
+ * every cross-domain influence takes at least L ticks to arrive, all
+ * domains can safely execute the window [T, T+L) concurrently — no
+ * event inside the window can be affected by anything another domain
+ * does inside the same window.
+ *
+ * The EpochScheduler exploits that: it advances all domains in
+ * lockstep epochs of length
+ *
+ *     lookahead = min over cross-domain channels of minLatency
+ *
+ * (the platform's inter-component link latencies — UPI ~0.4 us — are
+ * natural values for it). Messages sent during an epoch are buffered
+ * in the sending domain's outbox and delivered at the barrier in
+ * deterministic (tick, source domain, post order) order, which also
+ * fixes the destination queue's FIFO tie-break seq. Execution order
+ * is therefore a pure function of the topology — never of the worker
+ * count — so a run with `threads == 1` (strictly serial, domain-id
+ * order, and for a single-domain set literally today's engine) is
+ * bit-identical to a run on any pool size.
+ *
+ * Thread-safety model: a domain's queue and components are touched
+ * only by the worker executing that domain's epoch; all handoff
+ * (task publication, outbox collection, delivery) goes through the
+ * scheduler's mutex, so every cross-thread access is ordered by a
+ * happens-before edge. There is no other shared mutable state — the
+ * per-domain PoolArena, Rngs and telemetry nodes all live inside
+ * their domain.
+ */
+
+#ifndef OPTIMUS_SIM_DOMAIN_HH
+#define OPTIMUS_SIM_DOMAIN_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace optimus::sim {
+
+/**
+ * The worker-thread execution context: which domain's events are
+ * currently running on this thread. Set by the EpochScheduler (and by
+ * DomainSet::runScope for serial drivers) around every slice of
+ * domain execution; TraceBus uses it to route buffered emissions to
+ * the emitting domain and to stamp them with that domain's clock.
+ * Null while no domain is executing (setup / teardown / harness
+ * code).
+ */
+struct ExecContext
+{
+    EventQueue *queue = nullptr;
+    DomainId domain = kNoDomain;
+};
+
+/** The context active on the calling thread, or nullptr. */
+const ExecContext *currentExecContext();
+
+/** RAII setter for the calling thread's ExecContext. */
+class ExecScope
+{
+  public:
+    ExecScope(EventQueue &q, DomainId d);
+    ~ExecScope();
+    ExecScope(const ExecScope &) = delete;
+    ExecScope &operator=(const ExecScope &) = delete;
+
+  private:
+    ExecContext _ctx;
+    const ExecContext *_prev;
+};
+
+/**
+ * Worker-pool width a System picks up at construction when the
+ * embedding harness doesn't size it explicitly. Thread-local (like
+ * hv::SystemObserver) so parallel experiment workers can each carry
+ * their own setting without sharing process state. Defaults to 1 =
+ * strictly serial.
+ */
+unsigned defaultSimThreads();
+/** Set the calling thread's default; returns the previous value. */
+unsigned setDefaultSimThreads(unsigned n);
+
+class ChannelBase;
+
+/**
+ * A set of domain shards: the root object of one (possibly parallel)
+ * simulation context. Owns one EventQueue per domain and the registry
+ * of cross-domain channels the scheduler derives its lookahead from.
+ */
+class DomainSet
+{
+  public:
+    explicit DomainSet(std::uint32_t domains = 1);
+    DomainSet(const DomainSet &) = delete;
+    DomainSet &operator=(const DomainSet &) = delete;
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(_queues.size());
+    }
+
+    EventQueue &
+    queue(DomainId d)
+    {
+        return *_queues[d];
+    }
+    const EventQueue &
+    queue(DomainId d) const
+    {
+        return *_queues[d];
+    }
+
+    /**
+     * The conservative lookahead: the minimum latency over all
+     * registered cross-domain channels. kTickForever when no channel
+     * crosses a domain boundary (the domains are independent and an
+     * epoch may run each to completion).
+     */
+    Tick minCrossLatency() const;
+
+    /** Number of registered channels (same-domain ones included). */
+    std::size_t numChannels() const { return _channels.size(); }
+
+    /** Total events executed across every shard. */
+    std::uint64_t executed() const;
+
+    /** Earliest pending event tick across every shard. */
+    Tick nextEventTick() const;
+
+  private:
+    friend class ChannelBase;
+    friend class EpochScheduler;
+
+    std::vector<std::unique_ptr<EventQueue>> _queues;
+    std::vector<ChannelBase *> _channels;
+};
+
+/**
+ * Untyped half of a channel: endpoint domains, the static minimum
+ * latency, and the outbox-post protocol. The latency is a property of
+ * the modeled link (e.g. PlatformParams::upiLatency), declared once
+ * at wiring time; every send pays at least that much simulated time,
+ * which is what makes the epoch window safe.
+ */
+class ChannelBase
+{
+  public:
+    ChannelBase(DomainSet &set, DomainId src, DomainId dst,
+                Tick min_latency, std::string name);
+    virtual ~ChannelBase();
+    ChannelBase(const ChannelBase &) = delete;
+    ChannelBase &operator=(const ChannelBase &) = delete;
+
+    DomainId srcDomain() const { return _src; }
+    DomainId dstDomain() const { return _dst; }
+    Tick minLatency() const { return _lat; }
+    const std::string &name() const { return _name; }
+    bool crossesDomains() const { return _src != _dst; }
+    std::uint64_t sent() const { return _sent; }
+
+  protected:
+    /**
+     * Queue @p cb for execution in the destination domain at
+     *
+     *     when = srcQueue.now() + minLatency + extra_delay.
+     *
+     * Same-domain channels schedule directly (ordinary determinism
+     * rules apply); cross-domain ones append to the source shard's
+     * outbox, from which the EpochScheduler delivers at the next
+     * barrier in (when, source domain, post order) order.
+     */
+    void post(Tick extra_delay, EventQueue::Callback cb);
+
+  private:
+    DomainSet &_set;
+    DomainId _src;
+    DomainId _dst;
+    Tick _lat;
+    std::string _name;
+    std::uint64_t _sent = 0;
+};
+
+/**
+ * A typed cross-domain message port. Bind the receiver once at wiring
+ * time (it runs inside the destination domain, so it may freely touch
+ * that domain's components), then send() from the source domain.
+ */
+template <typename T>
+class Channel : public ChannelBase
+{
+  public:
+    using ChannelBase::ChannelBase;
+
+    /** Install the destination-side handler. */
+    template <typename F>
+    void
+    onReceive(F fn)
+    {
+        _rx = std::move(fn);
+    }
+
+    /** Send @p msg; it arrives minLatency (+ @p extra_delay) after
+     *  the source domain's current tick. */
+    void
+    send(T msg, Tick extra_delay = 0)
+    {
+        post(extra_delay,
+             [this, m = std::move(msg)]() mutable { _rx(std::move(m)); });
+    }
+
+  private:
+    std::function<void(T)> _rx;
+};
+
+/**
+ * The conservative epoch scheduler: advances every domain of a
+ * DomainSet in lockstep lookahead windows, executing domains on a
+ * worker pool when constructed with threads > 1 and strictly serially
+ * (domain-id order, on the calling thread) otherwise.
+ *
+ * Determinism: per-domain execution is single-threaded and the
+ * barrier delivery order is a sorted merge, so results are identical
+ * for every pool size — including the telemetry/trace byte streams
+ * when the TraceBus is domain-armed (see trace_bus.hh).
+ */
+class EpochScheduler
+{
+  public:
+    explicit EpochScheduler(DomainSet &set, unsigned threads = 1);
+    ~EpochScheduler();
+    EpochScheduler(const EpochScheduler &) = delete;
+    EpochScheduler &operator=(const EpochScheduler &) = delete;
+
+    unsigned threads() const { return _threads; }
+
+    /**
+     * Run all domains up to and including @p limit (every domain's
+     * clock ends at @p limit exactly, like EventQueue::runUntil), or
+     * to global quiescence when @p limit is kTickForever.
+     * @return events executed across all domains.
+     */
+    std::uint64_t run(Tick limit = kTickForever);
+
+    /**
+     * Execute @p fn on the pool's first worker thread (inline when
+     * serial or already on a pool thread). For drive loops that step
+     * a single-domain set directly — e.g. the guest-API pump or the
+     * service plane's dispatch loop — so that `--sim-threads N`
+     * moves *all* simulation execution onto the pool, not just the
+     * windowed runs.
+     */
+    void drive(const std::function<void()> &fn);
+
+    /** Invoked on the coordinating thread at every epoch barrier and
+     *  at the end of run(); the System hooks the TraceBus merge
+     *  flush here. */
+    void setBarrierHook(std::function<void()> hook)
+    {
+        _barrierHook = std::move(hook);
+    }
+
+    /** Epoch barriers executed over this scheduler's lifetime. */
+    std::uint64_t epochs() const { return _epochs; }
+    /** Cross-domain events delivered over this scheduler's
+     *  lifetime. */
+    std::uint64_t delivered() const { return _delivered; }
+    /** The lookahead run() is currently deriving its windows from. */
+    Tick lookahead() const { return _set.minCrossLatency(); }
+
+  private:
+    enum class Task
+    {
+        kNone,
+        kEpoch,
+        kDrive,
+        kStop,
+    };
+
+    void runDomain(DomainId d);
+    void executeEpoch();
+    void deliverPosts();
+    void workerLoop(unsigned index);
+    /** Publish the staged task to the pool and wait for the
+     *  barrier. */
+    void dispatchToPool(Task task);
+
+    DomainSet &_set;
+    unsigned _threads;
+    std::function<void()> _barrierHook;
+    std::uint64_t _epochs = 0;
+    std::uint64_t _delivered = 0;
+
+    // Epoch parameters staged by run() for the workers.
+    Tick _epochEnd = 0;
+    bool _drainAll = false;
+    const std::function<void()> *_driveFn = nullptr;
+
+    // Pool state (threads > 1 only). All shard handoff is ordered by
+    // _m: the coordinator publishes a generation under the lock and
+    // workers report completion under it.
+    std::vector<std::thread> _workers;
+    std::mutex _m;
+    std::condition_variable _cvWork;
+    std::condition_variable _cvDone;
+    std::uint64_t _gen = 0;
+    unsigned _outstanding = 0;
+    Task _task = Task::kNone;
+};
+
+} // namespace optimus::sim
+
+#endif // OPTIMUS_SIM_DOMAIN_HH

@@ -117,6 +117,42 @@ class EventQueue
     Tick now() const { return _now; }
 
     /**
+     * The logical domain this queue is the shard of (sim/domain.hh).
+     * Standalone queues are domain 0; a DomainSet numbers its shards
+     * at construction.
+     */
+    DomainId domain() const { return _domain; }
+    void setDomain(DomainId d) { _domain = d; }
+
+    /**
+     * One buffered cross-domain event: produced by a Channel during
+     * an epoch, delivered into the destination shard by the
+     * EpochScheduler at the next barrier. The (source domain, outbox
+     * index) pair is the deterministic tie-break for same-tick
+     * deliveries.
+     */
+    struct CrossPost
+    {
+        Tick when;
+        DomainId dst;
+        Callback cb;
+    };
+
+    /**
+     * Append a cross-domain event to this (source) shard's outbox.
+     * Only the thread currently executing this domain touches the
+     * outbox; the scheduler drains it at the barrier.
+     */
+    void
+    postCross(DomainId dst, Tick when, Callback cb)
+    {
+        _outbox.push_back(CrossPost{when, dst, std::move(cb)});
+    }
+
+    /** The pending outbox (scheduler access). */
+    std::vector<CrossPost> &outbox() { return _outbox; }
+
+    /**
      * The simulation context's block-recycling arena. The queue is
      * the root object of one simulation context (one hv::System), so
      * it hosts the context-local allocator state; components reach it
@@ -423,6 +459,8 @@ class EventQueue
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
     std::size_t _size = 0;
+    DomainId _domain = 0;
+    std::vector<CrossPost> _outbox;
 
     std::vector<std::vector<Event>> _buckets;
     /** 1 while a slot's appends have arrived in (when, seq) order —

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
@@ -75,13 +76,71 @@ TraceBus::detach(TraceSink *sink)
 void
 TraceBus::emit(TraceRecord r)
 {
+    if (!_lanes.empty()) {
+        if (const ExecContext *ctx = currentExecContext()) {
+            r.at = ctx->queue->now();
+            _lanes[ctx->domain].push_back(r);
+            return;
+        }
+    }
     r.at = _eq.now();
+    dispatch(r);
+}
+
+void
+TraceBus::dispatch(const TraceRecord &r)
+{
     ++_dispatched;
     const std::uint32_t bit = traceMask(r.kind);
     for (const auto &[sink, mask] : _sinks) {
         if (mask & bit)
             sink->record(*this, r);
     }
+}
+
+void
+TraceBus::armDomains(std::uint32_t domains)
+{
+    OPTIMUS_ASSERT(_lanes.empty() || _lanes.size() == domains,
+                   "re-arming a TraceBus with a different domain "
+                   "count");
+    _lanes.resize(domains);
+}
+
+void
+TraceBus::flushMerged()
+{
+    if (_lanes.empty())
+        return;
+    // Successive flushes cover disjoint, increasing tick ranges (an
+    // epoch's emissions all precede the next epoch's), so a sorted
+    // merge per flush yields a globally (tick, domain, seq)-ordered
+    // stream. Lane order is emission order, so a stable sort on
+    // (tick, domain) preserves the per-domain seq tie-break.
+    struct Ref
+    {
+        Tick at;
+        std::uint32_t domain;
+        std::uint32_t idx;
+    };
+    std::vector<Ref> order;
+    for (std::uint32_t d = 0; d < _lanes.size(); ++d)
+        for (std::uint32_t i = 0; i < _lanes[d].size(); ++i)
+            order.push_back(Ref{_lanes[d][i].at, d, i});
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(),
+              [](const Ref &a, const Ref &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.domain != b.domain)
+                      return a.domain < b.domain;
+                  return a.idx < b.idx;
+              });
+    for (const Ref &r : order)
+        dispatch(_lanes[r.domain][r.idx]);
+    for (auto &lane : _lanes)
+        lane.clear();
 }
 
 Tick

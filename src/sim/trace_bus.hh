@@ -145,8 +145,32 @@ class TraceBus
         return (_mask & traceMask(k)) != 0;
     }
 
-    /** Stamp r.at with the current tick and dispatch to sinks. */
+    /**
+     * Stamp r.at with the current tick and dispatch to sinks.
+     *
+     * Single-domain contexts (the default) dispatch synchronously.
+     * When the bus is domain-armed (armDomains) and the calling
+     * thread is executing a domain (sim::currentExecContext), the
+     * record is instead stamped with the *emitting domain's* clock
+     * and buffered in that domain's lane; flushMerged() — called at
+     * every epoch barrier — then dispatches all lanes merged in
+     * (tick, domain, emission seq) order. Sink byte streams are
+     * therefore identical for every worker-pool size.
+     */
     void emit(TraceRecord r);
+
+    /**
+     * Arm per-domain emission lanes for a multi-domain context.
+     * Buffering only engages for emissions made from inside a
+     * domain's execution; harness-side emissions keep dispatching
+     * synchronously.
+     */
+    void armDomains(std::uint32_t domains);
+    bool domainsArmed() const { return !_lanes.empty(); }
+
+    /** Merge and dispatch every buffered lane (coordinator thread
+     *  only; the epoch barrier orders it against the workers). */
+    void flushMerged();
 
     Tick now() const;
 
@@ -155,11 +179,17 @@ class TraceBus
     std::uint64_t dispatched() const { return _dispatched; }
 
   private:
+    void dispatch(const TraceRecord &r);
+
     EventQueue &_eq;
     std::uint32_t _mask = 0;
     std::uint64_t _dispatched = 0;
     std::vector<std::pair<TraceSink *, std::uint32_t>> _sinks;
     std::vector<std::string> _paths;
+    /** Per-domain emission lanes (empty while single-domain). Each
+     *  lane is touched only by the worker executing its domain;
+     *  flushMerged() runs at the barrier, after the workers. */
+    std::vector<std::vector<TraceRecord>> _lanes;
 };
 
 /**

@@ -209,15 +209,21 @@ ServicePlane::run(sim::Tick window)
     // Top-level driver: interleave event processing with the
     // dispatch/drain fixpoint. After the horizon the generators are
     // quiet and the loop runs until every queue is empty and every
-    // worker idle (the drain).
-    pump();
-    while (true) {
-        if (_sys.eq.now() >= _horizon && idle())
-            break;
-        if (!_sys.eq.runOne())
-            break;
+    // worker idle (the drain). The loop mutates the scheduling
+    // domain's state event-by-event, so it executes through
+    // sched.drive(): on a threaded scheduler it runs on the worker
+    // that owns domain 0, keeping the single-writer-per-shard
+    // invariant without any locking.
+    _sys.sched.drive([this]() {
         pump();
-    }
+        while (true) {
+            if (_sys.eq.now() >= _horizon && idle())
+                break;
+            if (!_sys.eq.runOne())
+                break;
+            pump();
+        }
+    });
 }
 
 void
