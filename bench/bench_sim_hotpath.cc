@@ -21,6 +21,8 @@
 #include "ccip/packet.hh"
 #include "exp/builders.hh"
 #include "exp/runner.hh"
+#include "hv/system.hh"
+#include "hv/workloads.hh"
 #include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -306,6 +308,74 @@ epochPingPong(const std::string &name, unsigned threads, int legs)
     return row;
 }
 
+// ---------------------------------------------------------------
+// Split platform: one big System across domains, vs single-domain.
+// ---------------------------------------------------------------
+
+/**
+ * The tentpole measurement: a whole OPTIMUS System (two MB tenants
+ * run to completion) under an explicit domain plan and pool width,
+ * pricing the epoch-barrier machinery and the cross-domain channel
+ * traffic of the split platform against the single-domain engine.
+ *
+ * The plan and width are pinned per row — not inherited from
+ * --domain-plan/--sim-threads — so the JSON is byte-identical under
+ * any CLI combination; and because the deferred boundary channels
+ * run the same epoch schedule in every plan, all three rows must
+ * produce the *same* fingerprint (the footer checks).
+ */
+exp::ResultRow
+splitPlatformRow(const std::string &name, bool split,
+                 unsigned threads, const exp::RunContext &ctx)
+{
+    bool prev_split = sim::setDefaultDomainSplit(false);
+    unsigned prev_threads = sim::setDefaultSimThreads(1);
+    hv::PlatformConfig c = hv::makeOptimusConfig("MB", 2);
+    if (split)
+        c.domains = hv::splitPlan();
+    hv::System sys(std::move(c), threads);
+    sim::setDefaultDomainSplit(prev_split);
+    sim::setDefaultSimThreads(prev_threads);
+
+    std::uint64_t bytes = ctx.scaledBytes(1ULL << 21);
+    hv::AccelHandle &a = sys.attach(0);
+    hv::AccelHandle &b = sys.attach(1);
+    auto wa = hv::workload::Workload::create("MB", a, bytes, 7);
+    auto wb = hv::workload::Workload::create("MB", b, bytes, 11);
+    wa->program();
+    wb->program();
+    exp::WallTimer t;
+    a.start();
+    b.start();
+    a.wait();
+    b.wait();
+    double wall_ms = t.ms();
+    if (!wa->verify() || !wb->verify())
+        OPTIMUS_FATAL("split-platform MB workload corrupted");
+
+    exp::ResultRow row(name);
+    row.count("domains", sys.domains.size());
+    row.count("epochs", sys.sched.epochs());
+    // Posts carried through the boundary channels and delivered at
+    // barriers — the cross-domain traffic under a split plan, and
+    // the very same count under single-domain (the channels defer
+    // in every plan; that is why the rows agree byte-for-byte).
+    row.count("boundary_posts", sys.sched.delivered());
+    row.count("events", sys.domains.executed());
+    row.count("end_us", sys.eq.now() / sim::kTickUs);
+    row.wall("wall_ms", "%.2f", wall_ms);
+    row.wall("barrier_us", "%.3f",
+             sys.sched.epochs() > 0
+                 ? wall_ms * 1e3 /
+                       static_cast<double>(sys.sched.epochs())
+                 : 0);
+    row.fp.add(sys.sched.epochs()).add(sys.sched.delivered());
+    row.fp.add(sys.domains.executed()).add(sys.eq.now());
+    row.fp.add(a.result()).add(b.result());
+    row.sealFingerprint();
+    return row;
+}
+
 } // namespace
 
 int
@@ -392,6 +462,39 @@ main(int argc, char **argv)
             bool same =
                 rows[0].fingerprint() == rows[1].fingerprint();
             return {std::string("serial vs pool2 fingerprints: ") +
+                    (same ? "IDENTICAL" : "DIVERGED")};
+        });
+
+    r.table("Split platform: one System across domains",
+            "DESIGN.md §12 (splitting the stock platform)")
+        .add("platform_single_serial",
+             [](const exp::RunContext &ctx) {
+                 return splitPlatformRow("platform_single_serial",
+                                         false, 1, ctx);
+             })
+        .add("platform_split_serial",
+             [](const exp::RunContext &ctx) {
+                 return splitPlatformRow("platform_split_serial",
+                                         true, 1, ctx);
+             })
+        .add("platform_split_pool2",
+             [](const exp::RunContext &ctx) {
+                 return splitPlatformRow("platform_split_pool2",
+                                         true, 2, ctx);
+             })
+        .note("boundary_posts = deferred channel posts delivered at "
+              "epoch barriers (the cross-domain traffic under the "
+              "split plan); identical across rows by design.")
+        .footer([](const std::vector<exp::ResultRow> &rows)
+                    -> std::vector<std::string> {
+            if (rows.size() < 3)
+                return {};
+            bool same =
+                rows[0].fingerprint() == rows[1].fingerprint() &&
+                rows[1].fingerprint() == rows[2].fingerprint();
+            return {std::string(
+                        "single vs split vs split-pool2 "
+                        "fingerprints: ") +
                     (same ? "IDENTICAL" : "DIVERGED")};
         });
 

@@ -47,10 +47,10 @@ mbGbps(bool optimus)
     h.writeAppReg(accel::MembenchAccel::kRegSeed, 7);
     h.writeAppReg(accel::MembenchAccel::kRegTarget, 0);
     h.start();
-    sys.eq.runUntil(sys.eq.now() + 200 * sim::kTickUs); // warmup
+    sys.run(sys.now() + 200 * sim::kTickUs); // warmup
     std::uint64_t p0 = sys.hv.peekProgress(h.vaccel());
-    sim::Tick t0 = sys.eq.now();
-    sys.eq.runUntil(t0 + 800 * sim::kTickUs);
+    sim::Tick t0 = sys.now();
+    sys.run(t0 + 800 * sim::kTickUs);
     std::uint64_t p1 = sys.hv.peekProgress(h.vaccel());
     double bytes = static_cast<double>(p1 - p0) * 64.0;
     double ns = static_cast<double>(sys.eq.now() - t0) / 1000.0;

@@ -45,30 +45,38 @@ main()
     alice.start();
     bob.start();
 
-    // Narrate the first few context switches.
+    // Narrate the first few context switches. The platform boundary
+    // is channel-mediated, so the demo pumps epoch barriers (where
+    // deferred UPI/PCIe posts are delivered) rather than single
+    // events off the raw queue.
     std::uint64_t last_switches = 0;
-    while (sys.hv.peekStatus(alice.vaccel()) !=
-               accel::Status::kDone ||
-           sys.hv.peekStatus(bob.vaccel()) != accel::Status::kDone) {
-        if (!sys.eq.runOne())
-            break;
-        std::uint64_t s = sys.hv.contextSwitches();
-        if (s != last_switches && s <= 6) {
-            last_switches = s;
-            const char *owner =
-                sys.hv.isScheduled(alice.vaccel()) ? "alice" : "bob";
-            std::printf("t=%8.3f ms  context switch #%llu -> %s "
-                        "scheduled (alice %llu nodes, bob %llu "
-                        "nodes)\n",
-                        static_cast<double>(sys.eq.now()) /
-                            static_cast<double>(sim::kTickMs),
-                        static_cast<unsigned long long>(s), owner,
-                        static_cast<unsigned long long>(
-                            sys.hv.peekProgress(alice.vaccel())),
-                        static_cast<unsigned long long>(
-                            sys.hv.peekProgress(bob.vaccel())));
-        }
-    }
+    sys.sched.pumpUntil(
+        [&]() {
+            return sys.hv.peekStatus(alice.vaccel()) ==
+                       accel::Status::kDone &&
+                   sys.hv.peekStatus(bob.vaccel()) ==
+                       accel::Status::kDone;
+        },
+        [&]() {
+            std::uint64_t s = sys.hv.contextSwitches();
+            if (s != last_switches && s <= 6) {
+                last_switches = s;
+                const char *owner =
+                    sys.hv.isScheduled(alice.vaccel()) ? "alice"
+                                                       : "bob";
+                std::printf("t=%8.3f ms  context switch #%llu -> %s "
+                            "scheduled (alice %llu nodes, bob %llu "
+                            "nodes)\n",
+                            static_cast<double>(sys.now()) /
+                                static_cast<double>(sim::kTickMs),
+                            static_cast<unsigned long long>(s),
+                            owner,
+                            static_cast<unsigned long long>(
+                                sys.hv.peekProgress(alice.vaccel())),
+                            static_cast<unsigned long long>(
+                                sys.hv.peekProgress(bob.vaccel())));
+            }
+        });
 
     bool ok = alice.result() == la.checksum &&
               bob.result() == lb.checksum &&

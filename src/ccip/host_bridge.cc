@@ -1,0 +1,58 @@
+#include "ccip/host_bridge.hh"
+
+#include <utility>
+
+namespace optimus::ccip {
+
+HostBridge::HostBridge(mem::HostMemory &memory,
+                       mem::MemoryController &memctl,
+                       iommu::Iommu &iommu,
+                       sim::Channel<DmaTxnPtr> &to_fpga,
+                       sim::Scope scope)
+    : _memory(memory),
+      _memctl(memctl),
+      _iommu(iommu),
+      _toFpga(to_fpga),
+      _requests(scope.node, "requests", "DMAs serviced host-side"),
+      _faults(scope.node, "faults",
+              "DMAs bounced by an IOMMU translation fault")
+{
+}
+
+void
+HostBridge::onRequest(DmaTxnPtr txn)
+{
+    ++_requests;
+    mem::Iova iova = txn->iova;
+    bool is_write = txn->isWrite;
+    std::uint16_t vm = txn->vm;
+    std::uint16_t proc = txn->proc;
+    _iommu.translate(
+        iova, is_write,
+        [this,
+         txn = std::move(txn)](iommu::TranslationResult tr) mutable {
+            if (tr.fault) {
+                ++_faults;
+                txn->error = true;
+                txn->transFault = true;
+                _toFpga.send(std::move(txn));
+                return;
+            }
+            mem::Hpa hpa = tr.hpa;
+            std::uint32_t bytes = txn->bytes;
+            bool w = txn->isWrite;
+            _memctl.access(
+                bytes, w, [this, txn = std::move(txn), hpa]() mutable {
+                    if (txn->isWrite)
+                        _memory.write(hpa, txn->data.data(),
+                                      txn->bytes);
+                    else
+                        _memory.read(hpa, txn->data.data(),
+                                     txn->bytes);
+                    _toFpga.send(std::move(txn));
+                });
+        },
+        vm, proc);
+}
+
+} // namespace optimus::ccip

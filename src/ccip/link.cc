@@ -28,9 +28,9 @@ Link::serialization(LinkDir dir, std::uint64_t bytes) const
     return static_cast<sim::Tick>(static_cast<double>(bytes) / bpt);
 }
 
-void
-Link::transfer(LinkDir dir, std::uint64_t bytes,
-               sim::EventQueue::Callback on_delivered)
+sim::Tick
+Link::reserveDepartAt(sim::Tick ready, LinkDir dir,
+                      std::uint64_t bytes)
 {
     sim::Tick &free_at =
         dir == LinkDir::kToHost ? _toHostFree : _toFpgaFree;
@@ -50,9 +50,17 @@ Link::transfer(LinkDir dir, std::uint64_t bytes,
         _serMemoTicks[d][0] = ser;
     }
 
-    sim::Tick start = std::max(_eq.now(), free_at);
+    sim::Tick start = std::max(ready, free_at);
     sim::Tick depart = start + ser;
     free_at = depart;
+    return depart;
+}
+
+void
+Link::transfer(LinkDir dir, std::uint64_t bytes,
+               sim::EventQueue::Callback on_delivered)
+{
+    sim::Tick depart = reserveDepartAt(_eq.now(), dir, bytes);
     _eq.scheduleAt(depart + _latency, std::move(on_delivered));
 }
 

@@ -52,6 +52,28 @@ class Link
                   sim::EventQueue::Callback on_delivered);
 
     /**
+     * Reserve the @p dir channel for @p bytes, as if the transfer
+     * became ready to serialize at tick @p ready: occupancy begins at
+     * max(ready, channel free), runs for the serialization time, and
+     * the departure tick is returned. The last byte then arrives at
+     * the far side at depart + latency(); the caller owns modeling
+     * that arrival (the Shell routes it through the domain-crossing
+     * channel). @p ready may be in this queue's past — the channel
+     * may have been occupied beyond it anyway — which is how the
+     * response leg reserves from the moment the host bridge actually
+     * finished, one crossing before the reservation executes here.
+     */
+    sim::Tick reserveDepartAt(sim::Tick ready, LinkDir dir,
+                              std::uint64_t bytes);
+
+    /** reserveDepartAt from the current tick. */
+    sim::Tick
+    reserveDepart(LinkDir dir, std::uint64_t bytes)
+    {
+        return reserveDepartAt(_eq.now(), dir, bytes);
+    }
+
+    /**
      * Earliest tick at which a new transfer in @p dir could begin
      * (used by the automatic channel selector).
      */

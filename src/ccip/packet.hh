@@ -58,8 +58,15 @@ struct DmaTxn
     VChannel vc = VChannel::kAuto;
     /** Set when the transaction faulted or was discarded. */
     bool error = false;
+    /** Set alongside error when the cause was an IOMMU translation
+     *  fault (stamped host-side, consumed by the shell front). */
+    bool transFault = false;
     /** Times the shell re-issued this txn after an injected drop. */
     std::uint8_t retries = 0;
+    /** Physical link index (0 = UPI, 1 = PCIe0, 2 = PCIe1) stamped by
+     *  the shell front at issue so the response leg reserves the same
+     *  link after crossing back from the host domain. */
+    std::uint8_t link = 0;
 
     /** Write payload on the way up; read data on the way back. */
     std::array<std::uint8_t, sim::kCacheLineBytes> data{};

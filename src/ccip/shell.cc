@@ -1,31 +1,40 @@
 #include "ccip/shell.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace optimus::ccip {
 
-Shell::Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
+Shell::Shell(sim::DomainSet &domains, sim::DomainId afu_domain,
+             sim::DomainId host_domain,
+             const sim::PlatformParams &params,
              mem::HostMemory &memory, mem::MemoryController &memctl,
              iommu::Iommu &iommu, sim::Scope scope)
-    : _eq(eq),
-      _memory(memory),
-      _memctl(memctl),
+    : _eq(domains.queue(afu_domain)),
       _iommu(iommu),
-      _upi(eq, "upi", params.upiLatency, params.upiReadGbps,
+      _upi(_eq, "upi", params.upiLatency, params.upiReadGbps,
            params.upiReadGbps * params.writeBwFactor,
            scope.sub("upi")),
-      _pcie0(eq, "pcie0", params.pcieLatency, params.pcieReadGbps,
+      _pcie0(_eq, "pcie0", params.pcieLatency, params.pcieReadGbps,
              params.pcieReadGbps * params.writeBwFactor,
              scope.sub("pcie0")),
-      _pcie1(eq, "pcie1", params.pcieLatency, params.pcieReadGbps,
+      _pcie1(_eq, "pcie1", params.pcieLatency, params.pcieReadGbps,
              params.pcieReadGbps * params.writeBwFactor,
              scope.sub("pcie1")),
       _selector(_upi, _pcie0, _pcie1, scope.sub("selector")),
+      _chanLatency(std::min(params.upiLatency, params.pcieLatency)),
       _mmioLinkLatency(params.pcieLatency),
       _dmaMaxRetries(params.dmaMaxRetries),
       _dmaRetryBackoff(params.dmaRetryBackoff),
+      _toHost(domains, afu_domain, host_domain, _chanLatency,
+              "shell.to_host",
+              sim::ChannelBase::Delivery::kDeferred),
+      _toFpga(domains, host_domain, afu_domain, _chanLatency,
+              "shell.to_fpga",
+              sim::ChannelBase::Delivery::kDeferred),
+      _bridge(memory, memctl, iommu, _toFpga, scope.sub("bridge")),
       _trace(scope.bus),
       _comp(sim::traceComponent(scope, "shell")),
       _dmaReads(scope.node, "dma_reads", "DMA reads processed"),
@@ -37,6 +46,11 @@ Shell::Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
       _dmaDropped(scope.node, "dma_dropped",
                   "responses dropped by fault injection")
 {
+    _toHost.onReceive(
+        [this](DmaTxnPtr txn) { _bridge.onRequest(std::move(txn)); });
+    _toFpga.onReceive([this](DmaTxnPtr txn) {
+        onHostResponse(std::move(txn));
+    });
 }
 
 void
@@ -50,74 +64,61 @@ void
 Shell::issue(DmaTxnPtr txn)
 {
     // The txn travels by move through the whole per-DMA closure chain
-    // (here through translation, then link, memory controller and the
-    // return leg) so one DMA costs one shared_ptr reference, not one
-    // per hop.
-    mem::Iova iova = txn->iova;
-    bool is_write = txn->isWrite;
-    std::uint16_t vm = txn->vm;
-    std::uint16_t proc = txn->proc;
-    _iommu.translate(iova, is_write,
-                     [this, txn = std::move(txn)](
-                         iommu::TranslationResult tr) mutable {
-                         onTranslated(std::move(txn), tr);
-                     },
-                     vm, proc);
+    // (front, channel, host bridge, channel, front) so one DMA costs
+    // one shared_ptr reference, not one per hop.
+    Link &link = _selector.select(*txn);
+    txn->link = &link == &_upi ? 0 : (&link == &_pcie0 ? 1 : 2);
+
+    // A write carries its payload up; a read sends a small request
+    // and commits the data leg now so the selector sees the link's
+    // true future load until the data line actually returns.
+    std::uint64_t wire = txn->isWrite ? txn->bytes : kCtrlBytes;
+    if (!txn->isWrite)
+        link.notePending(LinkDir::kToFpga, txn->bytes);
+
+    // The request occupies the link's to-host channel starting now
+    // and crosses the package one propagation latency after it
+    // departs. The domain channel's static latency is the *minimum*
+    // link latency; the serialization wait plus a slower link's
+    // surplus ride in the extra delay.
+    sim::Tick depart = link.reserveDepart(LinkDir::kToHost, wire);
+    sim::Tick extra =
+        (depart - _eq.now()) + (link.latency() - _chanLatency);
+    _toHost.send(std::move(txn), extra);
 }
 
 void
-Shell::onTranslated(DmaTxnPtr txn, iommu::TranslationResult tr)
+Shell::onHostResponse(DmaTxnPtr txn)
 {
-    if (tr.fault) {
-        ++_dmaFaults;
-        txn->error = true;
+    Link &link = linkOf(txn->link);
+    // The data leg is no longer pending once the response reaches the
+    // front — including fault responses, which carry no data at all.
+    if (!txn->isWrite)
+        link.clearPending(LinkDir::kToFpga, txn->bytes);
+
+    if (txn->error) {
+        // Translation faulted host-side; the bounce already paid the
+        // return crossing (the channel's static latency).
+        if (txn->transFault) {
+            ++_dmaFaults;
+            if (_xlatFaultSink)
+                _xlatFaultSink(*txn);
+        }
         respond(std::move(txn));
         return;
     }
 
-    Link &link = _selector.select(*txn);
-    mem::Hpa hpa = tr.hpa;
-    std::uint32_t bytes = txn->bytes;
-
-    if (txn->isWrite) {
-        // Write data crosses toward the host, lands in DRAM, and a
-        // small ack returns. The data leg serializes immediately, so
-        // no pending accounting is needed.
-        link.transfer(LinkDir::kToHost, bytes,
-                      [this, txn = std::move(txn), &link,
-                       hpa]() mutable {
-            std::uint32_t bytes = txn->bytes;
-            _memctl.access(bytes, true,
-                           [this, txn = std::move(txn), &link,
-                            hpa]() mutable {
-                _memory.write(hpa, txn->data.data(), txn->bytes);
-                link.transfer(LinkDir::kToFpga, kCtrlBytes,
-                              [this, txn = std::move(txn)]() mutable {
-                                  respond(std::move(txn));
-                              });
-            });
-        });
-    } else {
-        // A small request crosses toward the host; the data line
-        // returns toward the FPGA later. Commit the data leg now so
-        // the selector sees the link's true future load.
-        link.notePending(LinkDir::kToFpga, bytes);
-        link.transfer(LinkDir::kToHost, kCtrlBytes,
-                      [this, txn = std::move(txn), &link,
-                       hpa]() mutable {
-            std::uint32_t bytes = txn->bytes;
-            _memctl.access(bytes, false,
-                           [this, txn = std::move(txn), &link, hpa,
-                            bytes]() mutable {
-                _memory.read(hpa, txn->data.data(), bytes);
-                link.clearPending(LinkDir::kToFpga, bytes);
-                link.transfer(LinkDir::kToFpga, bytes,
-                              [this, txn = std::move(txn)]() mutable {
-                                  respond(std::move(txn));
-                              });
-            });
-        });
-    }
+    // Reserve the return leg from the moment the host bridge finished
+    // — one crossing before this event — so back-to-back completions
+    // serialize exactly as they would have at the host-side pin.
+    std::uint64_t wire = txn->isWrite ? kCtrlBytes : txn->bytes;
+    sim::Tick ready = _eq.now() - _chanLatency;
+    sim::Tick depart =
+        link.reserveDepartAt(ready, LinkDir::kToFpga, wire);
+    _eq.scheduleAt(depart + link.latency(),
+                   [this, txn = std::move(txn)]() mutable {
+                       respond(std::move(txn));
+                   });
 }
 
 void

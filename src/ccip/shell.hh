@@ -3,10 +3,22 @@
  * The FPGA shell: the manufacturer-provided IO interface.
  *
  * The shell terminates the package interconnect (one UPI link, two
- * PCIe links), hosts the soft IOMMU, and presents the CCI-P style
- * request/response interface to whatever is loaded onto the fabric —
- * either a single pass-through accelerator or the OPTIMUS hardware
- * monitor with its accelerators behind it.
+ * PCIe links) and presents the CCI-P style request/response interface
+ * to whatever is loaded onto the fabric — either a single
+ * pass-through accelerator or the OPTIMUS hardware monitor with its
+ * accelerators behind it.
+ *
+ * The shell is split across the package boundary the way the real
+ * hardware is: the **front** (link selection, serialization, retry
+ * and fault hooks, MMIO, response delivery) lives on the FPGA/AFU
+ * domain, while translation and the memory access live in a
+ * HostBridge on the host domain. The two halves talk only through a
+ * pair of typed sim::Channels whose static latency is the link
+ * propagation latency — so a DomainPlan may place {mem, iommu} on a
+ * different simulation domain and the epoch scheduler can advance
+ * both sides concurrently. The channels use deferred (barrier)
+ * delivery in every plan, which keeps single-domain and split runs
+ * byte-identical.
  */
 
 #ifndef OPTIMUS_CCIP_SHELL_HH
@@ -16,11 +28,13 @@
 #include <functional>
 
 #include "ccip/channel_selector.hh"
+#include "ccip/host_bridge.hh"
 #include "ccip/link.hh"
 #include "ccip/packet.hh"
 #include "iommu/iommu.hh"
 #include "mem/host_memory.hh"
 #include "mem/memory_controller.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
 #include "sim/stats.hh"
@@ -33,6 +47,9 @@ class Shell
   public:
     using DmaSink = std::function<void(DmaTxnPtr)>;
     using MmioSink = std::function<void(MmioOp)>;
+    /** Invoked on the AFU domain when a response that faulted in
+     *  translation arrives back from the host bridge. */
+    using XlatFaultSink = std::function<void(const DmaTxn &)>;
 
     /**
      * Fault-plane hook consulted once per completed DMA response
@@ -53,7 +70,14 @@ class Shell
 
     void setFaultHook(DmaFaultHook *hook) { _faultHook = hook; }
 
-    Shell(sim::EventQueue &eq, const sim::PlatformParams &params,
+    /**
+     * @param afu_domain Domain of the FPGA-side front (links, MMIO,
+     *        response delivery — and the accelerators behind it).
+     * @param host_domain Domain of the host bridge; @p memctl and
+     *        @p iommu must be wired onto that domain's queue.
+     */
+    Shell(sim::DomainSet &domains, sim::DomainId afu_domain,
+          sim::DomainId host_domain, const sim::PlatformParams &params,
           mem::HostMemory &memory, mem::MemoryController &memctl,
           iommu::Iommu &iommu, sim::Scope scope = {});
 
@@ -73,40 +97,68 @@ class Shell
     /** Where MMIO operations are delivered on the AFU side. */
     void setMmioSink(MmioSink sink) { _mmioSink = std::move(sink); }
 
+    /** Where translation faults surface on the AFU domain (the
+     *  hypervisor quarantines the owning vaccel from here). */
+    void
+    setTranslationFaultSink(XlatFaultSink sink)
+    {
+        _xlatFaultSink = std::move(sink);
+    }
+
     iommu::Iommu &iommu() { return _iommu; }
     Link &upi() { return _upi; }
     Link &pcie0() { return _pcie0; }
     Link &pcie1() { return _pcie1; }
+    HostBridge &bridge() { return _bridge; }
+
+    /** The package-crossing channels (cross-domain traffic gauges). */
+    const sim::ChannelBase &toHostChannel() const { return _toHost; }
+    const sim::ChannelBase &toFpgaChannel() const { return _toFpga; }
 
     std::uint64_t dmaReads() const { return _dmaReads.value(); }
     std::uint64_t dmaWrites() const { return _dmaWrites.value(); }
+    std::uint64_t dmaFaults() const { return _dmaFaults.value(); }
     std::uint64_t dmaRetries() const { return _dmaRetries.value(); }
     std::uint64_t dmaDropped() const { return _dmaDropped.value(); }
 
   private:
     void issue(DmaTxnPtr txn);
-    void onTranslated(DmaTxnPtr txn, iommu::TranslationResult tr);
+    void onHostResponse(DmaTxnPtr txn);
     void respond(DmaTxnPtr txn);
     void deliver(DmaTxnPtr txn);
+
+    Link &
+    linkOf(std::uint8_t idx)
+    {
+        return idx == 0 ? _upi : (idx == 1 ? _pcie0 : _pcie1);
+    }
 
     /** Small header/ack size accompanying each transfer. */
     static constexpr std::uint64_t kCtrlBytes = 16;
 
-    sim::EventQueue &_eq;
-    mem::HostMemory &_memory;
-    mem::MemoryController &_memctl;
+    sim::EventQueue &_eq; ///< the AFU domain's queue
     iommu::Iommu &_iommu;
 
     Link _upi;
     Link _pcie0;
     Link _pcie1;
     ChannelSelector _selector;
+    /** Static channel latency = min link propagation latency; a
+     *  slower link's surplus rides in the send's extra delay. */
+    sim::Tick _chanLatency;
     sim::Tick _mmioLinkLatency;
     std::uint32_t _dmaMaxRetries;
     sim::Tick _dmaRetryBackoff;
 
+    /** AFU -> host requests and host -> AFU completions. Deferred
+     *  delivery in every plan (see file comment). */
+    sim::Channel<DmaTxnPtr> _toHost;
+    sim::Channel<DmaTxnPtr> _toFpga;
+    HostBridge _bridge;
+
     DmaSink _responseSink;
     MmioSink _mmioSink;
+    XlatFaultSink _xlatFaultSink;
     DmaFaultHook *_faultHook = nullptr;
 
     sim::TraceBus *_trace = nullptr;

@@ -135,18 +135,29 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
         std::fprintf(
             out,
             "usage: %s [--jobs N] [--sim-threads N]"
-            " [--filter REGEX] [--json PATH]\n"
-            "          [--csv PATH] [--telemetry DIR]"
-            " [--time-scale F]\n"
-            "          [--faults PLAN] [--repeat N] [--fail-fast]"
-            " [--list] [--quiet]\n"
+            " [--domain-plan single|split]\n"
+            "          [--filter REGEX] [--json PATH]"
+            " [--csv PATH] [--telemetry DIR]\n"
+            "          [--time-scale F]"
+            " [--faults PLAN] [--repeat N] [--fail-fast]\n"
+            "          [--list] [--quiet]\n"
             "  --sim-threads N  epoch-scheduler pool width inside "
             "each System;\n"
             "                   capped so jobs x sim-threads never "
             "exceeds the\n"
             "                   host's hardware threads (results "
             "are identical\n"
-            "                   at any width)\n",
+            "                   at any width)\n"
+            "  --domain-plan P  'split' places each System's host "
+            "side\n"
+            "                   ({mem, iommu}) on its own simulation "
+            "domain so\n"
+            "                   --sim-threads can parallelize one "
+            "System;\n"
+            "                   'single' (default) keeps the whole "
+            "platform on\n"
+            "                   one domain (results are identical "
+            "either way)\n",
             argc > 0 ? argv[0] : "bench");
     };
     for (int i = 1; i < argc; ++i) {
@@ -175,6 +186,22 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
                 std::strtoul(v, nullptr, 10));
             if (opts.simThreads == 0)
                 opts.simThreads = 1;
+        } else if (a == "--domain-plan") {
+            const char *v = val();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "split") == 0) {
+                opts.domainSplit = true;
+            } else if (std::strcmp(v, "single") == 0) {
+                opts.domainSplit = false;
+            } else {
+                std::fprintf(stderr,
+                             "--domain-plan wants 'single' or "
+                             "'split', got '%s'\n",
+                             v);
+                usage(stderr);
+                return false;
+            }
         } else if (a == "--filter" || a == "-f") {
             const char *v = val();
             if (!v)
@@ -309,6 +336,10 @@ Runner::run(const Options &opts)
                     " hardware_concurrency / jobs; jobs=1 passes"
                     " the request through)\n",
                     opts.jobs, opts.simThreads, simThreads);
+        std::printf("# domain plan: %s (%u domain(s)/System)\n",
+                    opts.domainSplit ? "split" : "single",
+                    opts.domainSplit ? hv::splitPlan().domainCount()
+                                     : 1u);
         return 0;
     }
 
@@ -319,6 +350,7 @@ Runner::run(const Options &opts)
     ctx.timeScale = opts.timeScale;
     ctx.faults = opts.faults;
     ctx.simThreads = simThreads;
+    ctx.domainSplit = opts.domainSplit;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abort{false};
     std::mutex errLock;
@@ -387,6 +419,16 @@ Runner::run(const Options &opts)
             unsigned prev;
             ~RestoreSim() { sim::setDefaultSimThreads(prev); }
         } restoreSim{prevSim};
+        // Same thread-local pattern for the domain plan: a System
+        // built by the scenario body splits (or not) without naming
+        // the plan itself.
+        bool prevSplit = sim::defaultDomainSplit();
+        sim::setDefaultDomainSplit(opts.domainSplit);
+        struct RestoreSplit
+        {
+            bool prev;
+            ~RestoreSplit() { sim::setDefaultDomainSplit(prev); }
+        } restoreSplit{prevSplit};
         for (;;) {
             if (abort.load(std::memory_order_relaxed))
                 return;
@@ -465,9 +507,9 @@ Runner::run(const Options &opts)
 
     std::fprintf(stderr,
                  "[%s] %zu scenario(s), jobs=%u, sim-threads=%u, "
-                 "%.0f ms\n",
+                 "domain-plan=%s, %.0f ms\n",
                  _bench.c_str(), jobs.size(), opts.jobs, simThreads,
-                 _wallMs);
+                 opts.domainSplit ? "split" : "single", _wallMs);
     for (const std::string &e : _errors)
         std::fprintf(stderr, "[%s] FAILED %s\n", _bench.c_str(),
                      e.c_str());

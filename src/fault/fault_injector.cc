@@ -11,11 +11,15 @@ using Kind = FaultDirective::Kind;
 FaultInjector::FaultInjector(hv::System &sys, FaultPlan plan)
     : _sys(sys),
       _plan(std::move(plan)),
+      _hostEq(&sys.platform.hostQueue()),
       _alive(std::make_shared<bool>(true)),
       _trace(&sys.trace),
       _comp(sys.trace.registerComponent("fault")),
       _injections(&sys.telemetry.node("fault"), "injections",
-                  "faults injected (all kinds)"),
+                  "faults injected (FPGA-domain kinds)"),
+      _hostInjections(&sys.telemetry.node("fault"),
+                      "host_injections",
+                      "faults injected (host-domain kinds)"),
       _dmaDrops(&sys.telemetry.node("fault"), "dma_drops",
                 "CCI-P responses dropped"),
       _dmaDelays(&sys.telemetry.node("fault"), "dma_delays",
@@ -76,11 +80,18 @@ FaultInjector::scheduleOneShot(const FaultDirective &d,
                                std::uint32_t index,
                                std::uint64_t fired)
 {
-    sim::Tick now = _sys.eq.now();
+    // IOTLB poisoning mutates host-domain state (the IOMMU's TLB),
+    // so its one-shots live on the host shard's queue; the other
+    // kinds (accelerator wedges, wild DMAs) act on FPGA-side state
+    // and fire on domain 0. Under a single-domain plan both are the
+    // same queue.
+    sim::EventQueue &q =
+        d.kind == Kind::kPoisonIotlb ? *_hostEq : _sys.eq;
+    sim::Tick now = q.now();
     sim::Tick when = fired == 0 ? d.at : now + d.period;
     sim::Tick delay = when > now ? when - now : 0;
     auto alive = _alive;
-    _sys.eq.scheduleIn(delay, [this, alive, d, index, fired]() {
+    q.scheduleIn(delay, [this, alive, d, index, fired]() {
         if (!*alive)
             return;
         fire(d, index);
@@ -94,9 +105,13 @@ FaultInjector::scheduleOneShot(const FaultDirective &d,
 void
 FaultInjector::noteInjection(const FaultDirective &d,
                              std::uint32_t index, std::uint64_t addr,
-                             std::uint16_t vm, std::uint16_t proc)
+                             std::uint16_t vm, std::uint16_t proc,
+                             bool host)
 {
-    ++_injections;
+    if (host)
+        ++_hostInjections;
+    else
+        ++_injections;
     if (_trace && _trace->wants(sim::TraceKind::kFaultInject)) {
         sim::TraceRecord r;
         r.kind = sim::TraceKind::kFaultInject;
@@ -115,6 +130,20 @@ FaultInjector::fire(const FaultDirective &d, std::uint32_t index)
 {
     std::uint32_t slot =
         d.slot < 0 ? 0 : static_cast<std::uint32_t>(d.slot);
+
+    if (d.kind == Kind::kPoisonIotlb) {
+        // Host-domain execution context: only host-side state may be
+        // touched. The auditor owner registers live on the FPGA
+        // domain, so poison records carry no tenant attribution.
+        iommu::Iotlb &tlb = _sys.platform.iommu().iotlb();
+        std::uint32_t idx = d.set % tlb.entries();
+        if (tlb.poisonSet(idx))
+            ++_poisoned;
+        noteInjection(d, index, idx, sim::kNoOwner, sim::kNoOwner,
+                      /*host=*/true);
+        return;
+    }
+
     fpga::HardwareMonitor *m = _sys.platform.monitor();
     std::uint16_t vm = sim::kNoOwner;
     std::uint16_t proc = sim::kNoOwner;
@@ -132,14 +161,6 @@ FaultInjector::fire(const FaultDirective &d, std::uint32_t index)
         _sys.platform.accel(slot).wedgeMmio();
         noteInjection(d, index, slot, vm, proc);
         break;
-      case Kind::kPoisonIotlb: {
-          iommu::Iotlb &tlb = _sys.platform.iommu().iotlb();
-          std::uint32_t idx = d.set % tlb.entries();
-          if (tlb.poisonSet(idx))
-              ++_poisoned;
-          noteInjection(d, index, idx, vm, proc);
-          break;
-      }
       case Kind::kWildDma:
         fireWildDma(d, index);
         break;
@@ -222,13 +243,21 @@ FaultInjector::forceFault(mem::Iova iova, bool is_write,
                           std::uint16_t vm, std::uint16_t proc)
 {
     (void)is_write;
-    sim::Tick now = _sys.eq.now();
+    // Invoked from the IOMMU's walk — host-domain context: read the
+    // host shard's clock, not domain 0's (they agree only at epoch
+    // barriers).
+    sim::Tick now = _hostEq->now();
     for (Rule &r : _xlatRules) {
         if (now < r.d.at)
             continue;
         if (r.d.vm >= 0 && vm != r.d.vm)
             continue;
         if (r.d.slot >= 0) {
+            // Slot filtering resolves the owning vaccel through
+            // hypervisor state; its slot binding is stable except
+            // across migrations, so slot-filtered translation-fault
+            // rules must not be combined with concurrent migration
+            // under a split domain plan.
             hv::VirtualAccel *v = _sys.hv.vaccelForIova(iova);
             if (!v ||
                 v->slot() != static_cast<std::uint32_t>(r.d.slot))
@@ -240,7 +269,8 @@ FaultInjector::forceFault(mem::Iova iova, bool is_write,
             continue;
         ++r.used;
         ++_xlatFaults;
-        noteInjection(r.d, r.index, iova.value(), vm, proc);
+        noteInjection(r.d, r.index, iova.value(), vm, proc,
+                      /*host=*/true);
         return true;
     }
     return false;

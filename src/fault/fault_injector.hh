@@ -51,7 +51,14 @@ class FaultInjector : public ccip::Shell::DmaFaultHook,
     bool forceFault(mem::Iova iova, bool is_write, std::uint16_t vm,
                     std::uint16_t proc) override;
 
-    std::uint64_t injections() const { return _injections.value(); }
+    /** All injections, both domains' counters summed (the FPGA-side
+     *  kinds count in one counter, host-side kinds — IOTLB poison,
+     *  forced translation faults — in another, so each stays
+     *  single-writer under a split domain plan). */
+    std::uint64_t injections() const
+    {
+        return _injections.value() + _hostInjections.value();
+    }
     std::uint64_t wildDmasCaught() const
     {
         return _wildCaught.value();
@@ -72,12 +79,19 @@ class FaultInjector : public ccip::Shell::DmaFaultHook,
     void fire(const FaultDirective &d, std::uint32_t index);
     void fireWildDma(const FaultDirective &d, std::uint32_t index);
     bool ruleMatches(Rule &r, std::int32_t slot, std::int32_t vm);
+    /** @p host marks an injection made from the host domain's
+     *  execution context (it bumps the host-side counter). */
     void noteInjection(const FaultDirective &d, std::uint32_t index,
                        std::uint64_t addr, std::uint16_t vm,
-                       std::uint16_t proc);
+                       std::uint16_t proc, bool host = false);
 
     hv::System &_sys;
     FaultPlan _plan;
+    /** The host-side shard's queue (domain 0 itself under a
+     *  single-domain plan): IOTLB poisoning and forced translation
+     *  faults act on host-domain state, so they schedule and read
+     *  time here. */
+    sim::EventQueue *_hostEq = nullptr;
     std::vector<Rule> _dmaRules;   ///< kDrop / kDelay
     std::vector<Rule> _xlatRules;  ///< kIommuFault
 
@@ -89,6 +103,7 @@ class FaultInjector : public ccip::Shell::DmaFaultHook,
     std::uint32_t _comp = 0;
 
     sim::Counter _injections;
+    sim::Counter _hostInjections;
     sim::Counter _dmaDrops;
     sim::Counter _dmaDelays;
     sim::Counter _xlatFaults;

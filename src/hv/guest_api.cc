@@ -12,12 +12,19 @@ AccelHandle::AccelHandle(OptimusHv &hv, VirtualAccel &v)
 void
 AccelHandle::pumpUntil(const std::function<bool()> &pred)
 {
-    sim::EventQueue &eq = _hv.eventq();
-    while (!pred()) {
-        if (!eq.runOne()) {
-            OPTIMUS_FATAL("guest library deadlock: event queue "
-                          "drained while waiting");
-        }
+    // Pump through the epoch scheduler, not the hv queue directly:
+    // the platform's boundary channels use deferred (barrier)
+    // delivery, so a raw runOne() loop would starve every DMA and
+    // hypercall crossing the package. The scheduler evaluates @p pred
+    // at each epoch barrier — a plan- and pool-size-invariant
+    // schedule.
+    sim::EpochScheduler *sched = _hv.platform().scheduler();
+    OPTIMUS_ASSERT(sched != nullptr,
+                   "guest API needs the platform's epoch scheduler "
+                   "(constructed by hv::System)");
+    if (!sched->pumpUntil(pred)) {
+        OPTIMUS_FATAL("guest library deadlock: event queues drained "
+                      "while waiting");
     }
 }
 

@@ -41,16 +41,22 @@ OptimusHv::OptimusHv(Platform &platform)
         platform.accel(i).setDoorbell(
             [this, i](accel::Accelerator &a) { onDoorbell(i, a); });
     }
-    _platform.iommu().setFaultHandler(
-        [this](mem::Iova iova, bool is_write) {
+    // Translation faults are detected host-side (the IOMMU walk runs
+    // behind the shell's package channels) but must be attributed to
+    // a tenant — hypervisor state. The shell's fault sink fires on
+    // the FPGA/hv domain after the faulted transaction crosses back,
+    // so this callback may touch vaccel state without racing the
+    // host shard.
+    _platform.shell().setTranslationFaultSink(
+        [this](const ccip::DmaTxn &txn) {
             OPTIMUS_WARN("IO page fault at IOVA 0x%llx (%s)",
                          static_cast<unsigned long long>(
-                             iova.value()),
-                         is_write ? "write" : "read");
+                             txn.iova.value()),
+                         txn.isWrite ? "write" : "read");
             // Attribute the fault to the tenant whose slice the
             // faulting IOVA falls into, so it surfaces in that
             // guest's ERR_STATUS and nowhere else.
-            if (VirtualAccel *v = vaccelForIova(iova))
+            if (VirtualAccel *v = vaccelForIova(txn.iova))
                 noteError(*v, accel::errst::kDmaFault);
         });
 }
@@ -363,23 +369,32 @@ OptimusHv::registerDmaPage(VirtualAccel &v, mem::Gva page_base,
 
         mem::Gpa gpa = v._proc->toGpa(page_base);
         mem::Hpa hpa = v._proc->vm().toHpa(gpa);
-        _platform.frames().pin(hpa);
 
         std::uint64_t offset =
             v._sliceIovaBase - v._windowBase.value(); // mod 2^64
         mem::Iova iova(page_base.value() + offset);
 
-        iommu::Iommu &iommu = _platform.iommu();
-        if (iommu.pageBytes() == mem::kPage2M) {
-            iommu.pageTable().map(iova, hpa);
-        } else {
-            // 4 KB IOPT mode: one entry per small page.
-            for (std::uint64_t o = 0; o < mem::kPage2M;
-                 o += mem::kPage4K) {
-                iommu.pageTable().map(iova + o, hpa + o);
+        // Frame pinning and the IO page-table install touch
+        // host-domain state, so the work crosses the package (one
+        // interconnect latency each way, in every plan) and the
+        // acknowledgement returns on the hypervisor domain.
+        _platform.runOnHost([this, hpa, iova,
+                             done = std::move(done)]() mutable {
+            _platform.frames().pin(hpa);
+            iommu::Iommu &iommu = _platform.iommu();
+            if (iommu.pageBytes() == mem::kPage2M) {
+                iommu.pageTable().map(iova, hpa);
+            } else {
+                // 4 KB IOPT mode: one entry per small page.
+                for (std::uint64_t o = 0; o < mem::kPage2M;
+                     o += mem::kPage4K) {
+                    iommu.pageTable().map(iova + o, hpa + o);
+                }
             }
-        }
-        done(true);
+            _platform.runOnHv([done = std::move(done)]() mutable {
+                done(true);
+            });
+        });
     });
 }
 

@@ -45,12 +45,14 @@ enum class FabricMode
  * sim/domain.hh and DESIGN.md §12).
  *
  * Constraint: groups joined by synchronous call edges must share a
- * domain. Today the stock component graph is one coupling class —
- * accel↔fabric(ccip), ccip↔iommu↔mem, hv↔everything are all direct
- * calls — so Platform::Platform asserts all five groups agree.
- * Splitting a boundary requires first converting its call edges to
- * sim::Channels (the UPI/PCIe link crossing is the natural first
- * candidate; its propagation latency becomes the lookahead).
+ * domain; only channel-mediated edges may cross. The channel-carried
+ * boundary is the package interconnect: the shell front sits on the
+ * FPGA side and the IOMMU walk + memory access sit behind the
+ * shell's to-host/to-FPGA channels (plus the hypervisor's
+ * runOnHost/runOnHv pair), so `{mem, iommu}` may legally live on a
+ * different domain than `{ccip, accel, hv}` — that is splitPlan().
+ * Platform::Platform validates any other split against the edge
+ * inventory and rejects it naming the offending synchronous edge.
  */
 struct DomainPlan
 {
@@ -78,6 +80,18 @@ struct DomainPlan
     }
 };
 
+/** The stock two-domain split: FPGA side {ccip, accel, hv} on domain
+ *  0, host side {mem, iommu} on domain 1, coupled only by the
+ *  shell's package-crossing channels. */
+inline DomainPlan
+splitPlan()
+{
+    DomainPlan p;
+    p.mem = 1;
+    p.iommu = 1;
+    return p;
+}
+
 /** Full platform configuration. */
 struct PlatformConfig
 {
@@ -97,6 +111,15 @@ struct PlatformConfig
      * to cover both.
      */
     std::uint32_t extraDomains = 0;
+
+    /** Total domains the System's DomainSet must provide: the plan's
+     *  own plus the harness extras. The single sizing authority —
+     *  every DomainSet built for this config uses this. */
+    std::uint32_t
+    totalDomains() const
+    {
+        return domains.domainCount() + extraDomains;
+    }
 };
 
 /** The simulated machine. */
@@ -142,6 +165,41 @@ class Platform
     sim::Telemetry &telemetry() { return _telemetry; }
     sim::TraceBus &trace() { return _trace; }
 
+    /** The host-side domain's queue (mem/iommu shard; the hv queue
+     *  itself under a single-domain plan). */
+    sim::EventQueue &
+    hostQueue()
+    {
+        return _domains.queue(_config.domains.iommu);
+    }
+
+    /**
+     * Execute @p fn on the host domain (it may freely touch the
+     * IOMMU page tables and frame state). Crosses the package via a
+     * deferred channel — one interconnect latency away — in every
+     * plan, so hypercall-driven host work is timed identically under
+     * split and single-domain plans.
+     */
+    void
+    runOnHost(std::function<void()> fn)
+    {
+        _hvToHost.send(std::move(fn));
+    }
+
+    /** Execute @p fn back on the hypervisor domain (completion legs
+     *  of runOnHost work). */
+    void
+    runOnHv(std::function<void()> fn)
+    {
+        _hostToHv.send(std::move(fn));
+    }
+
+    /** The scheduler driving this platform's DomainSet (set by the
+     *  owning System; null for bare harnesses). The guest API pumps
+     *  through it so deferred channel posts keep flowing. */
+    void setScheduler(sim::EpochScheduler *sched) { _sched = sched; }
+    sim::EpochScheduler *scheduler() { return _sched; }
+
   private:
     /** Direct shell attachment used by the pass-through baseline. */
     class PassthroughFabric : public fpga::FabricPort
@@ -183,6 +241,11 @@ class Platform
     mem::MemoryController _memctl;
     iommu::Iommu _iommu;
     ccip::Shell _shell;
+    /** Hypercall work crossing to the host domain and back (page
+     *  mapping, pinning); deferred channels like the shell's. */
+    sim::Channel<std::function<void()>> _hvToHost;
+    sim::Channel<std::function<void()>> _hostToHv;
+    sim::EpochScheduler *_sched = nullptr;
 
     std::unique_ptr<fpga::HardwareMonitor> _monitor;
     std::unique_ptr<PassthroughFabric> _ptFabric;

@@ -22,16 +22,27 @@ SystemObserver::current()
 
 namespace {
 
-std::uint32_t
-domainCountOf(const PlatformConfig &config)
+/**
+ * Resolve the effective config before the DomainSet is sized: a
+ * default (single-domain) plan picks up the thread-local domain-plan
+ * default — which the experiment runner sets per worker from
+ * `--domain-plan` — exactly like sim_threads picks up
+ * defaultSimThreads(). An explicitly split (or otherwise non-default)
+ * plan is left alone.
+ */
+PlatformConfig
+applyDefaultPlan(PlatformConfig config)
 {
-    return config.domains.domainCount() + config.extraDomains;
+    if (config.domains.singleDomain() && sim::defaultDomainSplit())
+        config.domains = splitPlan();
+    return config;
 }
 
 } // namespace
 
 System::System(PlatformConfig config, unsigned sim_threads)
-    : domains(domainCountOf(config)),
+    : domains((config = applyDefaultPlan(std::move(config)))
+                  .totalDomains()),
       eq(domains.queue(0)),
       sched(domains, sim_threads == 0 ? sim::defaultSimThreads()
                                       : sim_threads),
@@ -39,19 +50,24 @@ System::System(PlatformConfig config, unsigned sim_threads)
       hv(platform),
       _observer(SystemObserver::current())
 {
-    if (domains.size() > 1) {
-        // Multi-domain: emissions buffer per domain and merge at the
-        // epoch barriers, so sink byte streams are (tick, domain,
-        // seq)-ordered for every pool size.
-        trace.armDomains(domains.size());
-        sched.setBarrierHook([this]() { trace.flushMerged(); });
-    }
+    // Always arm the trace lanes and barrier hook, even for one
+    // domain: the platform's boundary channels use deferred (barrier)
+    // delivery in every plan, so barriers — and the merged-lane trace
+    // path, whose (tick, component) ordering is plan-invariant — are
+    // part of the stock engine, not a multi-domain special case.
+    trace.armDomains(domains.size());
+    sched.setBarrierHook([this]() { trace.flushMerged(); });
+    platform.setScheduler(&sched);
     if (_observer)
         _observer->systemCreated(*this);
 }
 
 System::~System()
 {
+    // Deferred posts may still sit in outboxes; anything they would
+    // have traced is already flushed, but a final merge publishes any
+    // records emitted since the last barrier.
+    trace.flushMerged();
     if (_observer)
         _observer->systemDestroyed(*this);
 }

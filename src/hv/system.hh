@@ -121,10 +121,11 @@ class System
 
     /**
      * Advance the whole simulation — every domain, in conservative
-     * lookahead epochs — up to and including @p limit. On a
-     * single-domain System this is exactly eq.runUntil(limit),
-     * executed on the scheduler's pool when sim-threads > 1.
-     * @return events executed.
+     * lookahead epochs — up to and including @p limit. The epoch
+     * schedule (windows of one interconnect latency, deferred channel
+     * posts delivered at the barriers) is identical for every domain
+     * plan and pool size; a split plan merely executes the host-side
+     * window on another shard. @return events executed.
      */
     std::uint64_t run(sim::Tick limit) { return sched.run(limit); }
 

@@ -10,6 +10,7 @@ namespace {
 
 thread_local const ExecContext *t_exec = nullptr;
 thread_local unsigned t_defaultSimThreads = 1;
+thread_local bool t_defaultDomainSplit = false;
 /** Set while the calling thread is a pool worker (or inside drive()),
  *  so nested run()/drive() calls execute inline instead of
  *  deadlocking on their own pool. */
@@ -48,6 +49,20 @@ setDefaultSimThreads(unsigned n)
     return prev;
 }
 
+bool
+defaultDomainSplit()
+{
+    return t_defaultDomainSplit;
+}
+
+bool
+setDefaultDomainSplit(bool split)
+{
+    bool prev = t_defaultDomainSplit;
+    t_defaultDomainSplit = split;
+    return prev;
+}
+
 DomainSet::DomainSet(std::uint32_t domains)
 {
     OPTIMUS_ASSERT(domains >= 1, "a DomainSet needs a domain");
@@ -58,12 +73,25 @@ DomainSet::DomainSet(std::uint32_t domains)
     }
 }
 
+DomainSet::~DomainSet()
+{
+    // A pending event's capture may own pool-allocated blocks whose
+    // home arena belongs to a *different* shard (a DmaTxn crossing a
+    // boundary channel); destroy every capture while all arenas are
+    // still alive, before any queue (and its arena) is torn down.
+    for (const auto &q : _queues)
+        q->clearPending();
+}
+
 Tick
 DomainSet::minCrossLatency() const
 {
+    // Deferred channels constrain the window even when same-domain:
+    // their sends sit in the outbox until a barrier, so the window
+    // must not outrun the earliest possible delivery.
     Tick min = kTickForever;
     for (const ChannelBase *c : _channels) {
-        if (c->crossesDomains())
+        if (c->deferred())
             min = std::min(min, c->minLatency());
     }
     return min;
@@ -88,16 +116,19 @@ DomainSet::nextEventTick() const
 }
 
 ChannelBase::ChannelBase(DomainSet &set, DomainId src, DomainId dst,
-                         Tick min_latency, std::string name)
+                         Tick min_latency, std::string name,
+                         Delivery delivery)
     : _set(set), _src(src), _dst(dst), _lat(min_latency),
-      _name(std::move(name))
+      _name(std::move(name)), _delivery(delivery),
+      _id(set._nextChannelId++)
 {
     OPTIMUS_ASSERT(src < set.size() && dst < set.size(),
                    "channel %s: endpoint domain out of range",
                    _name.c_str());
-    OPTIMUS_ASSERT(src == dst || min_latency > 0,
-                   "channel %s: a cross-domain channel needs a "
-                   "positive minimum latency (it is the lookahead)",
+    OPTIMUS_ASSERT(!deferred() || min_latency > 0,
+                   "channel %s: a deferred (or cross-domain) channel "
+                   "needs a positive minimum latency (it is the "
+                   "lookahead)",
                    _name.c_str());
     set._channels.push_back(this);
 }
@@ -113,14 +144,14 @@ ChannelBase::post(Tick extra_delay, EventQueue::Callback cb)
 {
     EventQueue &sq = _set.queue(_src);
     Tick when = sq.now() + _lat + extra_delay;
-    ++_sent;
-    if (_src == _dst) {
-        // Intra-domain: an ordinary (deterministically tie-broken)
-        // scheduling; no barrier involvement.
+    std::uint64_t seq = _sent++;
+    if (!deferred()) {
+        // Intra-domain immediate: an ordinary (deterministically
+        // tie-broken) scheduling; no barrier involvement.
         sq.scheduleAt(when, std::move(cb));
         return;
     }
-    sq.postCross(_dst, when, std::move(cb));
+    sq.postCross(_dst, when, _id, seq, std::move(cb));
 }
 
 EpochScheduler::EpochScheduler(DomainSet &set, unsigned threads)
@@ -213,12 +244,18 @@ void
 EpochScheduler::deliverPosts()
 {
     // Gather every shard's outbox, establish the deterministic
-    // delivery order (tick, source domain, post order), and schedule
-    // into the destination shards — which assigns destination seqs in
-    // exactly that order, fixing the FIFO tie-break.
+    // delivery order (tick, channel id, channel send seq), and
+    // schedule into the destination shards — which assigns
+    // destination seqs in exactly that order, fixing the FIFO
+    // tie-break. The key is a pure function of the channel topology
+    // and the message streams — never of which domain an endpoint
+    // lives in — so every DomainPlan delivers the same streams in
+    // the same order.
     struct Ref
     {
         Tick when;
+        std::uint32_t chan;
+        std::uint64_t seq;
         DomainId src;
         std::uint32_t idx;
     };
@@ -226,7 +263,8 @@ EpochScheduler::deliverPosts()
     for (DomainId d = 0; d < _set.size(); ++d) {
         auto &ob = _set.queue(d).outbox();
         for (std::uint32_t i = 0; i < ob.size(); ++i)
-            order.push_back(Ref{ob[i].when, d, i});
+            order.push_back(
+                Ref{ob[i].when, ob[i].chan, ob[i].seq, d, i});
     }
     if (order.empty())
         return;
@@ -234,9 +272,9 @@ EpochScheduler::deliverPosts()
               [](const Ref &a, const Ref &b) {
                   if (a.when != b.when)
                       return a.when < b.when;
-                  if (a.src != b.src)
-                      return a.src < b.src;
-                  return a.idx < b.idx;
+                  if (a.chan != b.chan)
+                      return a.chan < b.chan;
+                  return a.seq < b.seq;
               });
     for (const Ref &r : order) {
         EventQueue::CrossPost &p = _set.queue(r.src).outbox()[r.idx];
@@ -290,6 +328,52 @@ EpochScheduler::run(Tick limit)
     if (_barrierHook)
         _barrierHook();
     return _set.executed() - before;
+}
+
+bool
+EpochScheduler::pumpUntil(const std::function<bool()> &stop,
+                          const std::function<void()> &between)
+{
+    auto check = [&]() {
+        if (between)
+            between();
+        return stop();
+    };
+    auto finish = [&](bool hit) {
+        if (_barrierHook)
+            _barrierHook();
+        return hit;
+    };
+    if (check())
+        return finish(true);
+    for (;;) {
+        // One run() iteration per predicate evaluation: same window
+        // derivation, same executeEpoch (pool or serial), same
+        // barrier — so a pump's event schedule is exactly a prefix
+        // of what run() would execute, in every plan. check() may
+        // nest another pump (the service plane verifies results
+        // through the guest API); the next iteration simply
+        // re-derives its window from wherever that left the set.
+        deliverPosts();
+        Tick tmin = _set.nextEventTick();
+        if (tmin == kTickForever)
+            return finish(false);
+        Tick la = _set.minCrossLatency();
+        if (la == kTickForever) {
+            _drainAll = true;
+            _epochEnd = kTickForever;
+        } else {
+            _drainAll = false;
+            _epochEnd = tmin > kTickForever - la ? kTickForever - 1
+                                                 : tmin + la - 1;
+        }
+        executeEpoch();
+        ++_epochs;
+        if (_barrierHook)
+            _barrierHook();
+        if (check())
+            return finish(true);
+    }
 }
 
 void

@@ -99,6 +99,17 @@ unsigned defaultSimThreads();
 /** Set the calling thread's default; returns the previous value. */
 unsigned setDefaultSimThreads(unsigned n);
 
+/**
+ * Whether a System constructed on this thread with a default
+ * (single-domain) PlatformConfig should apply the split platform plan
+ * (host-side {mem, iommu} on their own domain). Thread-local for the
+ * same reason as defaultSimThreads: parallel experiment workers each
+ * carry their own setting. Defaults to false = single-domain.
+ */
+bool defaultDomainSplit();
+/** Set the calling thread's default; returns the previous value. */
+bool setDefaultDomainSplit(bool split);
+
 class ChannelBase;
 
 /**
@@ -110,6 +121,7 @@ class DomainSet
 {
   public:
     explicit DomainSet(std::uint32_t domains = 1);
+    ~DomainSet();
     DomainSet(const DomainSet &) = delete;
     DomainSet &operator=(const DomainSet &) = delete;
 
@@ -131,9 +143,14 @@ class DomainSet
 
     /**
      * The conservative lookahead: the minimum latency over all
-     * registered cross-domain channels. kTickForever when no channel
-     * crosses a domain boundary (the domains are independent and an
-     * epoch may run each to completion).
+     * registered channels that either cross a domain boundary or use
+     * deferred (barrier) delivery. kTickForever when no such channel
+     * exists (the domains are independent and an epoch may run each
+     * to completion). Deferred same-domain channels constrain the
+     * window on purpose: the platform's boundary channels defer in
+     * *every* plan so a single-domain run executes the exact same
+     * epoch schedule as a split run — that is what makes the two
+     * byte-identical.
      */
     Tick minCrossLatency() const;
 
@@ -152,6 +169,9 @@ class DomainSet
 
     std::vector<std::unique_ptr<EventQueue>> _queues;
     std::vector<ChannelBase *> _channels;
+    /** Registration-order channel ids: the deterministic same-tick
+     *  delivery tie-break (see EventQueue::CrossPost). */
+    std::uint32_t _nextChannelId = 0;
 };
 
 /**
@@ -164,8 +184,26 @@ class DomainSet
 class ChannelBase
 {
   public:
+    /**
+     * Delivery policy. kImmediate same-domain channels schedule
+     * directly into the shared queue (ordinary determinism rules);
+     * kDeferred channels always buffer in the source outbox and are
+     * delivered by the EpochScheduler at the barrier, *even when both
+     * endpoints share a domain*. The platform's boundary channels are
+     * kDeferred so the barrier-delivery order — (tick, channel id,
+     * send seq) — and the epoch windows are identical under every
+     * DomainPlan, which is what makes split and single-domain runs
+     * byte-identical. Cross-domain channels are deferred regardless.
+     */
+    enum class Delivery
+    {
+        kImmediate,
+        kDeferred,
+    };
+
     ChannelBase(DomainSet &set, DomainId src, DomainId dst,
-                Tick min_latency, std::string name);
+                Tick min_latency, std::string name,
+                Delivery delivery = Delivery::kImmediate);
     virtual ~ChannelBase();
     ChannelBase(const ChannelBase &) = delete;
     ChannelBase &operator=(const ChannelBase &) = delete;
@@ -175,7 +213,15 @@ class ChannelBase
     Tick minLatency() const { return _lat; }
     const std::string &name() const { return _name; }
     bool crossesDomains() const { return _src != _dst; }
+    /** Whether sends buffer until the next epoch barrier. */
+    bool
+    deferred() const
+    {
+        return _delivery == Delivery::kDeferred || _src != _dst;
+    }
     std::uint64_t sent() const { return _sent; }
+    /** Registration-order id within the DomainSet. */
+    std::uint32_t id() const { return _id; }
 
   protected:
     /**
@@ -183,10 +229,10 @@ class ChannelBase
      *
      *     when = srcQueue.now() + minLatency + extra_delay.
      *
-     * Same-domain channels schedule directly (ordinary determinism
-     * rules apply); cross-domain ones append to the source shard's
-     * outbox, from which the EpochScheduler delivers at the next
-     * barrier in (when, source domain, post order) order.
+     * Immediate same-domain channels schedule directly (ordinary
+     * determinism rules apply); deferred ones append to the source
+     * shard's outbox, from which the EpochScheduler delivers at the
+     * next barrier in (when, channel id, send seq) order.
      */
     void post(Tick extra_delay, EventQueue::Callback cb);
 
@@ -196,6 +242,8 @@ class ChannelBase
     DomainId _dst;
     Tick _lat;
     std::string _name;
+    Delivery _delivery;
+    std::uint32_t _id;
     std::uint64_t _sent = 0;
 };
 
@@ -269,6 +317,30 @@ class EpochScheduler
      * windowed runs.
      */
     void drive(const std::function<void()> &fn);
+
+    /**
+     * Advance the whole set, epoch by epoch, until @p stop() returns
+     * true. This is the multi-domain generalization of the old
+     * "runOne() until predicate" pump loops (guest API, service
+     * plane): @p between() (optional) and then @p stop() are
+     * evaluated once up front and then at every epoch barrier, on
+     * the calling thread, outside any domain's ExecScope.
+     *
+     * Barrier granularity is what keeps determinism plan-invariant:
+     * every epoch executes to its window end in every DomainPlan, so
+     * the predicate always observes a state that is identical across
+     * plans and pool sizes — a mid-window stop would leave a
+     * plan-dependent residue of unexecuted events behind. The price
+     * is that a pump returns up to one lookahead window after the
+     * condition became true, with that window's pending work already
+     * executed; callers built on completion flags (all of ours) are
+     * insensitive to that.
+     *
+     * @retval true @p stop() became true; false the whole set drained
+     * first (a deadlock from the pumping caller's point of view).
+     */
+    bool pumpUntil(const std::function<bool()> &stop,
+                   const std::function<void()> &between = nullptr);
 
     /** Invoked on the coordinating thread at every epoch barrier and
      *  at the end of run(); the System hooks the TraceBus merge

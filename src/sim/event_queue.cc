@@ -289,4 +289,27 @@ EventQueue::runAll(std::uint64_t max_events)
     return n;
 }
 
+void
+EventQueue::clearPending()
+{
+    if (_activeSlot != kNoSlot)
+        deactivate();
+    for (std::uint32_t s = 0; s < kRingSlots; ++s) {
+        if (!_buckets[s].empty()) {
+            _buckets[s].clear();
+            _occupied.clear(s);
+        }
+        _slotInOrder[s] = 1;
+    }
+    for (std::uint32_t f = 0; f < kFarSlots; ++f)
+        _farBuckets[f].clear();
+    _farOccupied.fill(0);
+    _farCount = 0;
+    _overflow.clear();
+    _overflowPool.clear();
+    _overflowFree.clear();
+    _outbox.clear();
+    _size = 0;
+}
+
 } // namespace optimus::sim

@@ -125,28 +125,35 @@ class EventQueue
     void setDomain(DomainId d) { _domain = d; }
 
     /**
-     * One buffered cross-domain event: produced by a Channel during
-     * an epoch, delivered into the destination shard by the
-     * EpochScheduler at the next barrier. The (source domain, outbox
-     * index) pair is the deterministic tie-break for same-tick
-     * deliveries.
+     * One buffered channel event: produced by a Channel during an
+     * epoch, delivered into the destination shard by the
+     * EpochScheduler at the next barrier. The (channel id, channel
+     * send seq) pair is the deterministic tie-break for same-tick
+     * deliveries — a pure function of the component topology and the
+     * message streams, never of which domain a channel endpoint
+     * happens to live in, so a split plan and a single-domain plan
+     * deliver identical streams in identical order.
      */
     struct CrossPost
     {
         Tick when;
         DomainId dst;
+        std::uint32_t chan;
+        std::uint64_t seq;
         Callback cb;
     };
 
     /**
-     * Append a cross-domain event to this (source) shard's outbox.
-     * Only the thread currently executing this domain touches the
-     * outbox; the scheduler drains it at the barrier.
+     * Append a channel event to this (source) shard's outbox. Only
+     * the thread currently executing this domain touches the outbox;
+     * the scheduler drains it at the barrier.
      */
     void
-    postCross(DomainId dst, Tick when, Callback cb)
+    postCross(DomainId dst, Tick when, std::uint32_t chan,
+              std::uint64_t seq, Callback cb)
     {
-        _outbox.push_back(CrossPost{when, dst, std::move(cb)});
+        _outbox.push_back(CrossPost{when, dst, chan, seq,
+                                    std::move(cb)});
     }
 
     /** The pending outbox (scheduler access). */
@@ -244,6 +251,16 @@ class EventQueue
 
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Destroy every pending event (and outbox post) without running
+     * it. DomainSet teardown calls this on every shard before any
+     * queue is destroyed: a cross-domain event's capture may own
+     * pool-allocated blocks (DmaTxns) whose home arena is a *different*
+     * shard's, so all captures must be released while every arena is
+     * still alive.
+     */
+    void clearPending();
 
   private:
     /** First member on purpose: destroyed after the buckets below,

@@ -114,25 +114,33 @@ TraceBus::flushMerged()
         return;
     // Successive flushes cover disjoint, increasing tick ranges (an
     // epoch's emissions all precede the next epoch's), so a sorted
-    // merge per flush yields a globally (tick, domain, seq)-ordered
-    // stream. Lane order is emission order, so a stable sort on
-    // (tick, domain) preserves the per-domain seq tie-break.
+    // merge per flush yields a globally ordered stream. The key is
+    // (tick, component, domain, lane seq): each registered component
+    // lives in exactly one domain, so ordering by component first
+    // makes the merged stream independent of which domain a
+    // component was placed in — a split DomainPlan and a
+    // single-domain one emit byte-identical streams. Unregistered
+    // records (comp 0) fall back to the (domain, seq) tie-break.
     struct Ref
     {
         Tick at;
+        std::uint32_t comp;
         std::uint32_t domain;
         std::uint32_t idx;
     };
     std::vector<Ref> order;
     for (std::uint32_t d = 0; d < _lanes.size(); ++d)
         for (std::uint32_t i = 0; i < _lanes[d].size(); ++i)
-            order.push_back(Ref{_lanes[d][i].at, d, i});
+            order.push_back(
+                Ref{_lanes[d][i].at, _lanes[d][i].comp, d, i});
     if (order.empty())
         return;
     std::sort(order.begin(), order.end(),
               [](const Ref &a, const Ref &b) {
                   if (a.at != b.at)
                       return a.at < b.at;
+                  if (a.comp != b.comp)
+                      return a.comp < b.comp;
                   if (a.domain != b.domain)
                       return a.domain < b.domain;
                   return a.idx < b.idx;

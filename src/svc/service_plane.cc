@@ -206,24 +206,17 @@ ServicePlane::run(sim::Tick window)
         }
     }
 
-    // Top-level driver: interleave event processing with the
-    // dispatch/drain fixpoint. After the horizon the generators are
-    // quiet and the loop runs until every queue is empty and every
-    // worker idle (the drain). The loop mutates the scheduling
-    // domain's state event-by-event, so it executes through
-    // sched.drive(): on a threaded scheduler it runs on the worker
-    // that owns domain 0, keeping the single-writer-per-shard
-    // invariant without any locking.
-    _sys.sched.drive([this]() {
-        pump();
-        while (true) {
-            if (_sys.eq.now() >= _horizon && idle())
-                break;
-            if (!_sys.eq.runOne())
-                break;
-            pump();
-        }
-    });
+    // Top-level driver: pump the whole domain set in conservative
+    // epochs, interleaving the dispatch/drain fixpoint at each epoch
+    // barrier (where no shard is executing, so touching domain-0
+    // state and issuing guest-API calls is race-free in every plan).
+    // After the horizon the generators are quiet and the pump keeps
+    // going until every queue is empty and every worker idle (the
+    // drain); a false return means the set drained first — the same
+    // end condition the horizon-plus-idle check expresses.
+    (void)_sys.sched.pumpUntil(
+        [this]() { return _sys.eq.now() >= _horizon && idle(); },
+        [this]() { pump(); });
 }
 
 void

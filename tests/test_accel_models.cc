@@ -88,9 +88,9 @@ TEST(MembenchModelTest, GapRegisterThrottlesThroughput)
         h.writeAppReg(accel::MembenchAccel::kRegGap,
                       i == 0 ? 0 : 64);
         h.start();
-        sys.eq.runUntil(sys.eq.now() + 200 * sim::kTickUs);
+        sys.run(sys.eq.now() + 200 * sim::kTickUs);
         std::uint64_t p0 = sys.hv.peekProgress(h.vaccel());
-        sys.eq.runUntil(sys.eq.now() + 400 * sim::kTickUs);
+        sys.run(sys.eq.now() + 400 * sim::kTickUs);
         rates[i] = static_cast<double>(
             sys.hv.peekProgress(h.vaccel()) - p0);
     }

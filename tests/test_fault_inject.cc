@@ -260,7 +260,7 @@ TEST(WildDmaTest, CaughtByAuditorAndCounted)
     exp::setupMembench(h, 1ULL << 20, accel::MembenchAccel::kRead,
                        3, /*gap=*/64);
     h.start();
-    sys.eq.runUntil(sys.eq.now() + 100 * sim::kTickUs);
+    sys.run(sys.eq.now() + 100 * sim::kTickUs);
 
     EXPECT_EQ(inj->injections(), 1u);
     EXPECT_EQ(inj->wildDmasCaught(), 1u);
@@ -304,13 +304,13 @@ TEST(WedgeTest, WedgeFreezesUntilHardReset)
     exp::setupMembench(h, 1ULL << 20, accel::MembenchAccel::kRead,
                        3, /*gap=*/64);
     h.start();
-    sys.eq.runUntil(sys.eq.now() + 20 * sim::kTickUs);
+    sys.run(sys.eq.now() + 20 * sim::kTickUs);
 
     accel::Accelerator &dev = sys.platform.accel(0);
     dev.wedge();
     EXPECT_TRUE(dev.wedged());
     std::uint64_t frozen = dev.progress();
-    sys.eq.runUntil(sys.eq.now() + 100 * sim::kTickUs);
+    sys.run(sys.eq.now() + 100 * sim::kTickUs);
     EXPECT_EQ(dev.progress(), frozen);
 
     dev.hardReset();

@@ -38,7 +38,7 @@ TEST(WatchdogTest, QuarantinesHungVaccelAndRecoversSlot)
                        3, /*gap=*/64);
     h.setupStateBuffer();
     h.start();
-    sys.eq.runUntil(sys.eq.now() + 500 * sim::kTickUs);
+    sys.run(sys.eq.now() + 500 * sim::kTickUs);
 
     // Detection: no forward progress within the deadline.
     EXPECT_EQ(sys.hv.watchdogFires(), 1u);
@@ -63,7 +63,7 @@ TEST(WatchdogTest, GuestRestartClearsErrorAndRuns)
                        3, /*gap=*/64);
     h.setupStateBuffer();
     h.start();
-    sys.eq.runUntil(sys.eq.now() + 500 * sim::kTickUs);
+    sys.run(sys.eq.now() + 500 * sim::kTickUs);
     ASSERT_EQ(sys.hv.peekStatus(h.vaccel()), accel::Status::kError);
 
     // The guest acknowledges the fault by starting again: ERR_STATUS
@@ -73,7 +73,7 @@ TEST(WatchdogTest, GuestRestartClearsErrorAndRuns)
     EXPECT_EQ(h.errorStatus(), 0u);
     EXPECT_FALSE(h.vaccel().quarantined());
     std::uint64_t before = sys.hv.peekProgress(h.vaccel());
-    sys.eq.runUntil(sys.eq.now() + 200 * sim::kTickUs);
+    sys.run(sys.eq.now() + 200 * sim::kTickUs);
     EXPECT_GT(sys.hv.peekProgress(h.vaccel()), before);
     EXPECT_EQ(sys.hv.peekStatus(h.vaccel()),
               accel::Status::kRunning);
@@ -90,7 +90,7 @@ TEST(WatchdogTest, MmioWedgeIsDetectedByHealthProbe)
                        3, /*gap=*/64);
     h.setupStateBuffer();
     h.start();
-    sys.eq.runUntil(sys.eq.now() + 500 * sim::kTickUs);
+    sys.run(sys.eq.now() + 500 * sim::kTickUs);
 
     // The datapath may still move, but the hypervisor's MMIO health
     // probe reads all-ones: the tenant is quarantined anyway.
@@ -116,14 +116,14 @@ TEST(WatchdogTest, CoTenantOnSameSlotTakesOver)
 
     a.start();
     c.start();
-    sys.eq.runUntil(sys.eq.now() + 500 * sim::kTickUs);
+    sys.run(sys.eq.now() + 500 * sim::kTickUs);
 
     // A (scheduled first) hung and was quarantined; the reset slot
     // went to its co-tenant through the full reattach path.
     EXPECT_EQ(sys.hv.peekStatus(a.vaccel()), accel::Status::kError);
     EXPECT_TRUE(sys.hv.isScheduled(c.vaccel()));
     std::uint64_t before = sys.hv.peekProgress(c.vaccel());
-    sys.eq.runUntil(sys.eq.now() + 200 * sim::kTickUs);
+    sys.run(sys.eq.now() + 200 * sim::kTickUs);
     EXPECT_GT(sys.hv.peekProgress(c.vaccel()), before);
 }
 
@@ -166,7 +166,7 @@ runPair(const std::string &plan)
     sim::Tick t0 = sys.eq.now();
     b.start();
     accel::Status bs = b.wait();
-    sys.eq.runUntil(sys.eq.now() + 1 * sim::kTickMs);
+    sys.run(sys.eq.now() + 1 * sim::kTickMs);
 
     IsolationOut out;
     out.jobUs = static_cast<double>(sys.eq.now() - t0) /
@@ -235,7 +235,7 @@ TEST(AuditorRestampTest, OffsetEntryFollowsTemporalSwitches)
     int checkedA = 0;
     int checkedB = 0;
     for (int i = 0; i < 40; ++i) {
-        sys.eq.runUntil(sys.eq.now() + 30 * sim::kTickUs);
+        sys.run(sys.eq.now() + 30 * sim::kTickUs);
         if (sys.hv.isScheduled(a.vaccel())) {
             expectEntryMatches(sys, a.vaccel());
             ++checkedA;
@@ -268,7 +268,7 @@ TEST(AuditorRestampTest, OffsetEntryRestampedAfterSlotReset)
     a.start();
     b.start();
 
-    sys.eq.runUntil(sys.eq.now() + 500 * sim::kTickUs);
+    sys.run(sys.eq.now() + 500 * sim::kTickUs);
 
     // A hung while holding the slot and was quarantined; the reset
     // wiped the device — including the auditor-facing state A left

@@ -310,7 +310,7 @@ TEST(OccupancyTest, SoleTenantAccumulatesAllTime)
 {
     System sys(makeOptimusConfig("LL", 1));
     AccelHandle &h = sys.attach(0, 1ULL << 30);
-    sys.eq.runUntil(sys.eq.now() + sim::kTickMs);
+    sys.run(sys.eq.now() + sim::kTickMs);
     EXPECT_NEAR(
         static_cast<double>(sys.hv.occupancy(h.vaccel())),
         static_cast<double>(sys.eq.now()),

@@ -120,7 +120,7 @@ TEST(SoftResetTest, ClearsVisibleStateButKeepsRegisters)
     h.writeAppReg(accel::LinkedlistAccel::kRegHead,
                   layout.head.value());
     h.start();
-    sys.eq.runUntil(sys.eq.now() + 100 * sim::kTickUs);
+    sys.run(sys.eq.now() + 100 * sim::kTickUs);
     ASSERT_EQ(sys.hv.peekStatus(h.vaccel()),
               accel::Status::kRunning);
 

@@ -18,6 +18,7 @@
 #include "iommu/iommu.hh"
 #include "mem/host_memory.hh"
 #include "mem/memory_controller.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
 #include "sim/telemetry.hh"
@@ -130,9 +131,6 @@ class ShellFixture : public ::testing::Test
 {
   protected:
     ShellFixture()
-        : memctl(eq, params),
-          iommu(eq, params),
-          shell(eq, params, memory, memctl, iommu)
     {
         shell.setResponseSink([this](DmaTxnPtr txn) {
             responses.push_back(std::move(txn));
@@ -150,12 +148,19 @@ class ShellFixture : public ::testing::Test
         return t;
     }
 
-    sim::EventQueue eq;
+    /** Run to quiescence through the scheduler: the shell's package
+     *  channels use deferred (barrier) delivery even with one domain,
+     *  so a bare eq.runAll() would strand crossing posts. */
+    void runAll() { sched.run(); }
+
+    sim::DomainSet domains{1};
+    sim::EventQueue &eq = domains.queue(0);
     sim::PlatformParams params;
     mem::HostMemory memory{4ULL << 30};
     mem::MemoryController memctl{eq, params};
     iommu::Iommu iommu{eq, params};
-    Shell shell{eq, params, memory, memctl, iommu};
+    Shell shell{domains, 0, 0, params, memory, memctl, iommu};
+    sim::EpochScheduler sched{domains, 1};
     std::vector<DmaTxnPtr> responses;
 };
 
@@ -166,13 +171,13 @@ TEST_F(ShellFixture, WriteThenReadRoundTrip)
         w->data[static_cast<std::size_t>(i)] =
             static_cast<std::uint8_t>(i);
     shell.fromAfu(w);
-    eq.runAll();
+    runAll();
     ASSERT_EQ(responses.size(), 1u);
     EXPECT_FALSE(responses[0]->error);
 
     auto r = makeTxn(false, 0x40);
     shell.fromAfu(r);
-    eq.runAll();
+    runAll();
     ASSERT_EQ(responses.size(), 2u);
     for (int i = 0; i < 64; ++i)
         EXPECT_EQ(responses[1]->data[static_cast<std::size_t>(i)], i);
@@ -186,7 +191,7 @@ TEST_F(ShellFixture, UnmappedIovaReturnsErrorResponse)
 {
     auto r = makeTxn(false, 0x4000000000ULL);
     shell.fromAfu(r);
-    eq.runAll();
+    runAll();
     ASSERT_EQ(responses.size(), 1u);
     EXPECT_TRUE(responses[0]->error);
 }
@@ -197,7 +202,7 @@ TEST_F(ShellFixture, ReadLatencyIsWithinPlatformEnvelope)
     auto warm = makeTxn(false, 0x0);
     warm->vc = VChannel::kUpi;
     shell.fromAfu(warm);
-    eq.runAll();
+    runAll();
 
     sim::Tick start = eq.now();
     auto r = makeTxn(false, 0x80);
@@ -209,7 +214,7 @@ TEST_F(ShellFixture, ReadLatencyIsWithinPlatformEnvelope)
             t->onComplete(*t);
     });
     shell.fromAfu(r);
-    eq.runAll();
+    runAll();
     // One UPI round trip + DRAM: should land near 420 ns.
     EXPECT_GT(done, 350 * sim::kTickNs);
     EXPECT_LT(done, 500 * sim::kTickNs);
@@ -231,7 +236,7 @@ TEST_F(ShellFixture, MmioRoundTripPaysLinkLatencyBothWays)
         done = eq.now();
     };
     shell.mmioFromHost(std::move(op));
-    eq.runAll();
+    runAll();
     EXPECT_EQ(read_value, 0x1234u);
     EXPECT_EQ(done, 2 * params.pcieLatency);
 }
@@ -241,11 +246,6 @@ class TracedShellFixture : public ::testing::Test
 {
   protected:
     TracedShellFixture()
-        : bus(eq),
-          memctl(eq, params),
-          iommu(eq, params),
-          shell(eq, params, memory, memctl, iommu,
-                {&telemetry.node("shell"), &bus})
     {
         shell.setResponseSink([this](DmaTxnPtr txn) {
             responses.push_back(std::move(txn));
@@ -263,14 +263,19 @@ class TracedShellFixture : public ::testing::Test
         return t;
     }
 
-    sim::EventQueue eq;
+    void runAll() { sched.run(); }
+
+    sim::DomainSet domains{1};
+    sim::EventQueue &eq = domains.queue(0);
     sim::PlatformParams params;
     sim::Telemetry telemetry{"sys"};
-    sim::TraceBus bus;
+    sim::TraceBus bus{eq};
     mem::HostMemory memory{4ULL << 30};
-    mem::MemoryController memctl;
-    iommu::Iommu iommu;
-    Shell shell;
+    mem::MemoryController memctl{eq, params};
+    iommu::Iommu iommu{eq, params};
+    Shell shell{domains, 0,     0,      params,
+                memory,  memctl, iommu, {&telemetry.node("shell"), &bus}};
+    sim::EpochScheduler sched{domains, 1};
     std::vector<DmaTxnPtr> responses;
 };
 
@@ -283,7 +288,7 @@ TEST_F(TracedShellFixture, TraceWriterRecordsCompletedTransactions)
     shell.fromAfu(w);
     auto bad = makeTxn(false, 0x4000000000ULL); // faults
     shell.fromAfu(bad);
-    eq.runAll();
+    runAll();
 
     EXPECT_EQ(trace.rows(), 2u);
     std::string csv = os.str();
@@ -305,7 +310,7 @@ TEST_F(TracedShellFixture, TwoSinksBothObserveTheSameTransaction)
 
     auto w = makeTxn(true, 0x80);
     shell.fromAfu(w);
-    eq.runAll();
+    runAll();
 
     EXPECT_EQ(writer.rows(), 1u);
     ASSERT_EQ(collector.records().size(), 1u);

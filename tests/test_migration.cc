@@ -30,7 +30,7 @@ TEST(MigrationTest, RunningJobMigratesAndCompletesCorrectly)
     h.start();
 
     // Let it walk a while, then migrate to slot 1 mid-flight.
-    sys.eq.runUntil(sys.eq.now() + 5 * sim::kTickMs);
+    sys.run(sys.eq.now() + 5 * sim::kTickMs);
     std::uint64_t progress_before =
         sys.hv.peekProgress(h.vaccel());
     ASSERT_GT(progress_before, 0u);
@@ -121,7 +121,7 @@ TEST(MigrationTest, LoadBalancingAcrossSlots)
         handles.back()->setupStateBuffer();
         handles.back()->start();
     }
-    sys.eq.runUntil(sys.eq.now() + 3 * sim::kTickMs);
+    sys.run(sys.eq.now() + 3 * sim::kTickMs);
 
     int moved = 0;
     sys.hv.migrate(handles[1]->vaccel(), 1, [&](bool ok) {

@@ -20,6 +20,7 @@
 #include "iommu/iommu.hh"
 #include "mem/host_memory.hh"
 #include "mem/memory_controller.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/platform_params.hh"
 
@@ -279,14 +280,6 @@ TEST_F(AuditorFixture, DownstreamTagFilter)
 class MonitorFixture : public ::testing::Test
 {
   protected:
-    MonitorFixture()
-        : memctl(eq, params),
-          iommu(eq, params),
-          shell(eq, params, memory, memctl, iommu),
-          monitor(eq, params, shell, 4, 2)
-    {
-    }
-
     std::uint64_t
     vcuRead(std::uint64_t reg)
     {
@@ -296,7 +289,7 @@ class MonitorFixture : public ::testing::Test
         op.offset = kVcuMmioBase + reg;
         op.onComplete = [&](std::uint64_t v) { out = v; };
         shell.mmioFromHost(std::move(op));
-        eq.runAll();
+        sched.run();
         return out;
     }
 
@@ -308,16 +301,18 @@ class MonitorFixture : public ::testing::Test
         op.offset = kVcuMmioBase + reg;
         op.value = value;
         shell.mmioFromHost(std::move(op));
-        eq.runAll();
+        sched.run();
     }
 
-    sim::EventQueue eq;
+    sim::DomainSet domains{1};
+    sim::EventQueue &eq = domains.queue(0);
     sim::PlatformParams params;
     mem::HostMemory memory{4ULL << 30};
-    mem::MemoryController memctl;
-    iommu::Iommu iommu;
-    ccip::Shell shell;
-    HardwareMonitor monitor;
+    mem::MemoryController memctl{eq, params};
+    iommu::Iommu iommu{eq, params};
+    ccip::Shell shell{domains, 0, 0, params, memory, memctl, iommu};
+    HardwareMonitor monitor{eq, params, shell, 4, 2};
+    sim::EpochScheduler sched{domains, 1};
 };
 
 TEST_F(MonitorFixture, VcuIdentification)
@@ -393,7 +388,7 @@ TEST_F(MonitorFixture, AccelMmioRoutedByPageAndIsolated)
     op.offset = accelMmioBase(1) + 0x40;
     op.value = 77;
     shell.mmioFromHost(std::move(op));
-    eq.runAll();
+    sched.run();
     EXPECT_EQ(devs[1].last_reg, 0x40u);
     EXPECT_EQ(devs[1].last_val, 77u);
     EXPECT_EQ(devs[0].last_reg, ~0ULL);
@@ -408,7 +403,7 @@ TEST_F(MonitorFixture, OutOfRangeMmioReadsAsAllOnes)
     op.offset = accelMmioBase(3) + kAccelMmioBytes + 8; // past slots
     op.onComplete = [&](std::uint64_t v) { got = v; };
     shell.mmioFromHost(std::move(op));
-    eq.runAll();
+    sched.run();
     EXPECT_EQ(got, ~0ULL);
     EXPECT_EQ(monitor.droppedMmios(), 1u);
 }

@@ -63,7 +63,7 @@ TEST(SchedulerTest, RoundRobinSharesTimeEqually)
     System sys(makeOptimusConfig("MB", 1, p));
     auto handles = attachTenants(sys, 4);
 
-    sys.eq.runUntil(sys.eq.now() + 40 * sim::kTickMs);
+    sys.run(sys.eq.now() + 40 * sim::kTickMs);
     for (auto *h : handles) {
         EXPECT_NEAR(shareOf(sys, handles, *h), 0.25, 0.02);
     }
@@ -81,7 +81,7 @@ TEST(SchedulerTest, WeightedSharesFollowWeights)
     sys.hv.setPolicy(0, SchedPolicy::kWeighted,
                      400 * sim::kTickUs);
 
-    sys.eq.runUntil(sys.eq.now() + 60 * sim::kTickMs);
+    sys.run(sys.eq.now() + 60 * sim::kTickMs);
     EXPECT_NEAR(shareOf(sys, handles, *handles[0]), 1.0 / 6, 0.02);
     EXPECT_NEAR(shareOf(sys, handles, *handles[1]), 2.0 / 6, 0.02);
     EXPECT_NEAR(shareOf(sys, handles, *handles[2]), 3.0 / 6, 0.02);
@@ -98,7 +98,7 @@ TEST(SchedulerTest, PriorityRunsTheHighestRunnableJob)
     sys.hv.setPolicy(0, SchedPolicy::kPriority,
                      300 * sim::kTickUs);
 
-    sys.eq.runUntil(sys.eq.now() + 20 * sim::kTickMs);
+    sys.run(sys.eq.now() + 20 * sim::kTickMs);
     // The priority-9 job owns nearly the whole machine.
     EXPECT_GT(shareOf(sys, handles, *handles[1]), 0.9);
     EXPECT_LT(shareOf(sys, handles, *handles[0]), 0.1);
@@ -115,7 +115,7 @@ TEST(SchedulerTest, ExecutionTimesWithinPaperTolerance)
     System sys(makeOptimusConfig("MB", 1, p));
     auto handles = attachTenants(sys, 2);
 
-    sys.eq.runUntil(sys.eq.now() + 80 * sim::kTickMs);
+    sys.run(sys.eq.now() + 80 * sim::kTickMs);
     double worst = 0;
     for (auto *h : handles) {
         worst = std::max(
@@ -151,7 +151,7 @@ TEST(SchedulerTest, FinishedJobsStopConsumingSlices)
     // subsequent occupancy.
     sim::Tick t0 = sys.eq.now();
     sim::Tick occ0_before = sys.hv.occupancy(h0.vaccel());
-    sys.eq.runUntil(t0 + 10 * sim::kTickMs);
+    sys.run(t0 + 10 * sim::kTickMs);
     sim::Tick occ0_after = sys.hv.occupancy(h0.vaccel());
     // Tenant 0 may hold the slot for at most ~one more slice.
     EXPECT_LT(occ0_after - occ0_before, 2 * p.timeSlice);

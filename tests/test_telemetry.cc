@@ -277,7 +277,7 @@ TEST(TelemetryJsonTest, DeterministicAcrossIdenticalRuns)
     auto run = []() {
         hv::System sys(hv::makeOptimusConfig("MB", 2));
         setupTwoTenantSystem(sys);
-        sys.eq.runUntil(sim::kTickMs);
+        sys.run(sim::kTickMs);
         std::ostringstream os;
         sys.telemetry.writeJson(os);
         return os.str();
@@ -306,7 +306,7 @@ TEST(ChromeTraceTest, EmitsValidParsableJson)
     hv::System sys(hv::makeOptimusConfig("MB", 2));
     sim::ChromeTraceSink chrome(sys.trace);
     setupTwoTenantSystem(sys);
-    sys.eq.runUntil(200 * sim::kTickUs);
+    sys.run(200 * sim::kTickUs);
 
     EXPECT_GT(chrome.size(), 0u);
     std::ostringstream os;
@@ -326,14 +326,14 @@ TEST(TraceBusTest, DisabledBusFastPathAddsNoRecords)
     // check, so a full simulation dispatches exactly zero records.
     hv::System sys(hv::makeOptimusConfig("MB", 2));
     setupTwoTenantSystem(sys);
-    sys.eq.runUntil(sim::kTickMs);
+    sys.run(sim::kTickMs);
 
     EXPECT_EQ(sys.trace.dispatched(), 0u);
 
     // Attaching a sink turns the same sites on, mid-simulation.
     sim::CollectSink sink;
     sys.trace.attach(&sink);
-    sys.eq.runUntil(sys.eq.now() + 100 * sim::kTickUs);
+    sys.run(sys.eq.now() + 100 * sim::kTickUs);
     EXPECT_GT(sys.trace.dispatched(), 0u);
     EXPECT_EQ(sys.trace.dispatched(), sink.records().size());
     sys.trace.detach(&sink);
@@ -346,7 +346,7 @@ TEST(AttributionTest, DmaRecordsCarryVmAndProc)
     sys.trace.attach(&sink,
                      sim::traceMask(sim::TraceKind::kDmaComplete));
     setupTwoTenantSystem(sys);
-    sys.eq.runUntil(sim::kTickMs);
+    sys.run(sim::kTickMs);
 
     ASSERT_GT(sink.records().size(), 0u);
     bool saw_vm0 = false;
