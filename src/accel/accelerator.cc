@@ -40,6 +40,51 @@ Accelerator::dmaResponse(ccip::DmaTxnPtr txn)
         txn->onComplete(*txn);
 }
 
+Accelerator::Checkpoint
+Accelerator::checkpoint() const
+{
+    OPTIMUS_ASSERT(_status != Status::kRunning &&
+                       _status != Status::kSaving &&
+                       _status != Status::kRestoring,
+                   "%s: checkpoint while pipeline active (status %u)",
+                   _name.c_str(),
+                   static_cast<unsigned>(_status));
+    Checkpoint ck;
+    ck.status =
+        _status == Status::kSaved ? _savedJobStatus : _status;
+    ck.result = _result;
+    ck.progress = _progress;
+    ck.stateBuf = _stateBuf;
+    ck.appRegs = _appRegs;
+    ck.arch = saveArchState();
+    return ck;
+}
+
+void
+Accelerator::restore(const Checkpoint &ck)
+{
+    OPTIMUS_ASSERT(!_wedged, "%s: restore into a wedged pipeline",
+                   _name.c_str());
+    // Kill any stale guarded callbacks from this instance's previous
+    // life, exactly as a soft reset would, before adopting the job.
+    ++_epoch;
+    _dma.reset();
+    _doneDuringSave = false;
+    _savedJobStatus = Status::kIdle;
+    _stateBuf = ck.stateBuf;
+    _appRegs = ck.appRegs;
+    _result = ck.result;
+    _progress = ck.progress;
+    restoreArchState(ck.arch);
+    _status = ck.status;
+    if (ck.status == Status::kRunning) {
+        onResumed();
+    } else if (ck.status == Status::kDone ||
+               ck.status == Status::kError) {
+        raiseDoorbell();
+    }
+}
+
 std::uint64_t
 Accelerator::mmioRead(std::uint64_t offset)
 {
@@ -108,6 +153,7 @@ Accelerator::command(std::uint64_t bits)
         _result = 0;
         _progress = 0;
         _doneDuringSave = false;
+        _savedJobStatus = Status::kIdle;
         onSoftReset();
         return;
     }
@@ -141,6 +187,7 @@ Accelerator::hardReset()
     _progress = 0;
     _stateBuf = 0;
     _doneDuringSave = false;
+    _savedJobStatus = Status::kIdle;
     _wedged = false;
     _mmioWedged = false;
     _appRegs.fill(0);
@@ -221,6 +268,7 @@ Accelerator::beginPreempt()
         Status to_save = at_preempt;
         if (_doneDuringSave || at_preempt == Status::kDone)
             to_save = Status::kDone;
+        _savedJobStatus = to_save;
 
         std::vector<std::uint8_t> blob(stateSizeBytes(), 0);
         std::uint64_t header[3] = {
@@ -252,6 +300,8 @@ Accelerator::beginResume()
     transferStateBlob(
         false, std::vector<std::uint8_t>(stateSizeBytes(), 0),
         [this](std::vector<std::uint8_t> blob) {
+            // The guest blob is a serialized Checkpoint minus the
+            // hypervisor-cached registers (see checkpoint()).
             std::uint64_t header[3];
             std::memcpy(header, blob.data(), sizeof(header));
             _result = header[1];

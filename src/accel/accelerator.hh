@@ -71,6 +71,47 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
     /** Total bytes the preemption state buffer must hold. */
     std::uint64_t stateSizeBytes() const;
 
+    /**
+     * A device-level checkpoint: the full explicit state a job needs
+     * to continue on another accelerator instance of the same app —
+     * job status, result/progress registers, application registers,
+     * the guest state-buffer pointer, and the app-defined
+     * architectural blob (saveArchState()). This is the same state
+     * the preemption path serializes to the guest buffer; checkpoint()
+     * just exposes it host-side so a migration layer can move a job
+     * between accelerator instances (e.g. across cluster nodes)
+     * without the destination re-reading the source's guest memory.
+     */
+    struct Checkpoint
+    {
+        Status status = Status::kIdle;
+        std::uint64_t result = 0;
+        std::uint64_t progress = 0;
+        std::uint64_t stateBuf = 0;
+        std::array<std::uint64_t, reg::kNumAppRegs> appRegs{};
+        std::vector<std::uint8_t> arch;
+    };
+
+    /**
+     * Capture a Checkpoint. Legal only while the pipeline is
+     * quiescent — kIdle, kDone, kError, or kSaved (i.e. after the
+     * preemption path drained in-flight DMA). At kSaved the
+     * checkpoint reports the *suspended job's* status (latched when
+     * the preempt drained), not the transient SAVED value, so
+     * restoring it resumes the job directly.
+     */
+    Checkpoint checkpoint() const;
+
+    /**
+     * Inverse of checkpoint(): load the saved job state into this
+     * (quiescent) accelerator instance and continue it. A kRunning
+     * checkpoint resumes execution via onResumed(); kDone/kError
+     * raise the completion doorbell. Application registers are
+     * restored without onAppRegWrite() callbacks (they carry values,
+     * not commands).
+     */
+    void restore(const Checkpoint &ck);
+
     // ----- fpga::AccelDevice interface -----
     void dmaResponse(ccip::DmaTxnPtr txn) override;
     std::uint64_t mmioRead(std::uint64_t offset) override;
@@ -185,6 +226,9 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
     std::uint64_t _progress = 0;
     std::uint64_t _stateBuf = 0;
     std::array<std::uint64_t, reg::kNumAppRegs> _appRegs{};
+    /** Job status latched by the last preempt drain (what a resume
+     *  or checkpoint of the kSaved context should report). */
+    Status _savedJobStatus = Status::kIdle;
     bool _doneDuringSave = false;
     bool _wedged = false;
     bool _mmioWedged = false;

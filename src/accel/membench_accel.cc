@@ -52,6 +52,15 @@ MembenchAccel::pump()
     const std::uint64_t lines = wset / sim::kCacheLineBytes;
     OPTIMUS_ASSERT(lines > 0, "MemBench working set too small");
 
+    // A resumed context may already have met its target: the final
+    // completion can land during a preempt drain, where the kSaving
+    // status suppresses finish(). Close the job out here instead of
+    // idling in kRunning with nothing scheduled.
+    if (target != 0 && _completed >= target) {
+        finish(_completed);
+        return;
+    }
+
     while ((target == 0 || _issued < target) &&
            dma().inFlight() < dma().maxOutstanding()) {
         if (now() < _nextAllowed) {
@@ -75,7 +84,11 @@ MembenchAccel::pump()
             ++_completed;
             bumpProgress();
             const std::uint64_t tgt = appReg(kRegTarget);
-            if (tgt != 0 && _completed >= tgt && running()) {
+            // finish() also latches completion during a preempt drain
+            // (kSaving -> _doneDuringSave); only an errored pipeline
+            // must not complete.
+            if (tgt != 0 && _completed >= tgt &&
+                (running() || status() == Status::kSaving)) {
                 finish(_completed);
                 return;
             }

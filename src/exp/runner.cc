@@ -140,7 +140,8 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             " [--csv PATH] [--telemetry DIR]\n"
             "          [--time-scale F]"
             " [--faults PLAN] [--repeat N] [--fail-fast]\n"
-            "          [--list] [--quiet]\n"
+            "          [--nodes N] [--fleet-policy P]"
+            " [--list] [--quiet]\n"
             "  --sim-threads N  epoch-scheduler pool width inside "
             "each System;\n"
             "                   capped so jobs x sim-threads never "
@@ -157,7 +158,16 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             "                   'single' (default) keeps the whole "
             "platform on\n"
             "                   one domain (results are identical "
-            "either way)\n",
+            "either way)\n"
+            "  --nodes N        restrict fleet benches to N-node "
+            "clusters\n"
+            "                   (0/default sweeps the bench's node "
+            "counts)\n"
+            "  --fleet-policy P restrict fleet benches to one "
+            "routing policy:\n"
+            "                   least-loaded, locality, or slo-aware "
+            "(default\n"
+            "                   sweeps all)\n",
             argc > 0 ? argv[0] : "bench");
     };
     for (int i = 1; i < argc; ++i) {
@@ -242,6 +252,17 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
                 std::strtoul(v, nullptr, 10));
             if (opts.repeat == 0)
                 opts.repeat = 1;
+        } else if (a == "--nodes") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.nodes = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+        } else if (a == "--fleet-policy") {
+            const char *v = val();
+            if (!v)
+                return false;
+            opts.fleetPolicy = v;
         } else if (a == "--fail-fast") {
             opts.failFast = true;
         } else if (a == "--list") {
@@ -351,6 +372,8 @@ Runner::run(const Options &opts)
     ctx.faults = opts.faults;
     ctx.simThreads = simThreads;
     ctx.domainSplit = opts.domainSplit;
+    ctx.nodes = opts.nodes;
+    ctx.fleetPolicy = opts.fleetPolicy;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abort{false};
     std::mutex errLock;

@@ -75,6 +75,18 @@ class Runner
          *  stabilizing the one class of cell the determinism
          *  contract cannot pin down. */
         unsigned repeat = 1;
+        /**
+         * Fleet-bench node-count selector (`--nodes N`): scenarios
+         * that sweep cluster sizes restrict themselves to N nodes;
+         * 0 (default) keeps the full sweep. Ignored by single-node
+         * benches.
+         */
+        unsigned nodes = 0;
+        /** Fleet routing policy (`--fleet-policy P`, one of
+         *  least-loaded / locality / slo-aware); empty (default)
+         *  keeps the full policy sweep. Ignored by single-node
+         *  benches. */
+        std::string fleetPolicy;
         bool list = false;    ///< print scenario names and exit
         bool quiet = false;   ///< suppress text tables
         /** Abort the whole run on the first scenario failure instead

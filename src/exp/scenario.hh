@@ -52,6 +52,15 @@ struct RunContext
      */
     bool domainSplit = false;
 
+    /** --nodes: restrict fleet scenarios to this cluster size;
+     *  0 = run the bench's full node-count sweep. */
+    unsigned nodes = 0;
+
+    /** --fleet-policy: restrict fleet scenarios to one routing
+     *  policy (least-loaded / locality / slo-aware); empty = run
+     *  the bench's full policy sweep. */
+    std::string fleetPolicy;
+
     /** Scale a simulated duration (never below one tick). */
     sim::Tick
     scaled(sim::Tick t) const

@@ -866,6 +866,171 @@ OptimusHv::migrate(VirtualAccel &v, std::uint32_t dst_idx,
 }
 
 void
+OptimusHv::exportContext(
+    VirtualAccel &v, std::function<void(bool, VaccelContext)> done)
+{
+    if (!optimusMode()) {
+        done(false, {});
+        return;
+    }
+    Slot &src = _slots[v._slot];
+    if (src.switching) {
+        done(false, {}); // a context switch is in flight; retry
+        return;
+    }
+
+    // Snapshot the hypervisor-side state, then neutralize the source
+    // vaccel: the job now lives in the context, so the local
+    // scheduler must never consider it eligible again.
+    auto capture = [this, &v]() {
+        VaccelContext ctx;
+        ctx.regCache = v._regCache;
+        ctx.touchedRegs = v._touchedRegs;
+        ctx.stateBufGva = v._stateBufGva;
+        ctx.pendingStart = v._pendingStart;
+        ctx.savedContext = v._savedContext;
+        ctx.visibleStatus = v._visibleStatus;
+        ctx.cachedResult = v._cachedResult;
+        ctx.cachedProgress = v._cachedProgress;
+        ctx.errStatus = v._errStatus;
+        ctx.quarantined = v._quarantined;
+        v._pendingStart = false;
+        v._savedContext = false;
+        v._visibleStatus = Status::kIdle;
+        ++v._wdEpoch; // cancel any pending watchdog check
+        v._wdArmed = false;
+        return ctx;
+    };
+
+    if (src.scheduled != &v) {
+        // Descheduled: the cached registers and saved context are
+        // already complete.
+        done(true, capture());
+        return;
+    }
+
+    if (v._visibleStatus == Status::kRunning &&
+        v._stateBufGva == 0) {
+        done(false, {}); // cannot cede without a state buffer
+        return;
+    }
+
+    std::uint32_t src_idx = v._slot;
+    src.switching = true;
+    ++src.timerEpoch;
+    notePreempted(src_idx, v);
+
+    auto vacate = [this, src_idx]() {
+        Slot &s = _slots[src_idx];
+        s.scheduled = nullptr;
+        s.switching = false;
+        if (VirtualAccel *next = pickNext(s))
+            performSwitch(src_idx, next);
+    };
+
+    if (v._visibleStatus != Status::kRunning) {
+        // Nothing live on the device (idle or completed, with the
+        // result already cached by the doorbell): reset the slot for
+        // the next tenant and capture directly.
+        VaccelContext ctx = capture();
+        deviceMmio(true,
+                   fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
+                   1ULL << src_idx,
+                   [vacate](std::uint64_t) { vacate(); });
+        done(true, std::move(ctx));
+        return;
+    }
+
+    // Running on the device: preempt through the standard path —
+    // drain, save to the guest state buffer, SAVED doorbell — with
+    // the usual forced-reset timeout.
+    std::uint64_t token = ++src.preemptToken;
+    src.onSaved = [this, src_idx, &v, capture, vacate,
+                   done]() mutable {
+        v._savedContext = true;
+        v._cachedResult = _platform.accel(src_idx).result();
+        v._cachedProgress = _platform.accel(src_idx).progress();
+        VaccelContext ctx = capture();
+        vacate();
+        done(true, std::move(ctx));
+    };
+    eventq().scheduleIn(
+        _platform.params().preemptTimeout,
+        [this, src_idx, token, &v, capture, vacate,
+         done]() mutable {
+            Slot &s = _slots[src_idx];
+            if (s.preemptToken != token || !s.onSaved)
+                return; // save completed in time
+            s.onSaved = nullptr;
+            ++_forcedResets;
+            noteError(v, accel::errst::kForcedReset);
+            v._visibleStatus = Status::kError;
+            v._savedContext = false;
+            deviceMmio(
+                true,
+                fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
+                1ULL << src_idx,
+                [capture, vacate, done](std::uint64_t) mutable {
+                    // Export the errored context anyway: the
+                    // destination's service layer sees kError with
+                    // the kForcedReset bit and retries the request.
+                    VaccelContext ctx = capture();
+                    vacate();
+                    done(true, std::move(ctx));
+                });
+        });
+    deviceMmio(true, accelRegOffset(src_idx, reg::kCtrl),
+               ctrl::kPreempt, nullptr);
+}
+
+void
+OptimusHv::importContext(VirtualAccel &v, const VaccelContext &ctx)
+{
+    v._regCache = ctx.regCache;
+    v._touchedRegs = ctx.touchedRegs;
+    v._stateBufGva = ctx.stateBufGva;
+    v._pendingStart = ctx.pendingStart;
+    v._savedContext = ctx.savedContext;
+    v._visibleStatus = ctx.visibleStatus;
+    v._cachedResult = ctx.cachedResult;
+    v._cachedProgress = ctx.cachedProgress;
+    v._errStatus = ctx.errStatus;
+    v._quarantined = ctx.quarantined;
+    if (ctx.visibleStatus != Status::kRunning || !optimusMode())
+        return;
+
+    // Mirror a postponed START: claim a vacant slot now, or wait for
+    // the slice timer. One extra case is specific to import — v may
+    // itself be holding the slot as an idle placeholder (destination
+    // bindings are created eagerly); switching to it would idle-save
+    // the device and clobber the imported context, so reprogram the
+    // device from the context instead.
+    Slot &slot = _slots[v._slot];
+    std::uint32_t slot_idx = v._slot;
+    if (slot.scheduled == &v && !slot.switching) {
+        slot.switching = true;
+        ++slot.timerEpoch;
+        ++_ctxSwitches;
+        scheduleVaccel(slot, v, [this, slot_idx]() {
+            Slot &s = _slots[slot_idx];
+            s.scheduledAt = eventq().now();
+            s.switching = false;
+            armSliceTimer(slot_idx);
+            if (s.scheduled) {
+                s.scheduled->_wdArmed = false;
+                armWatchdog(*s.scheduled);
+            }
+        });
+        return;
+    }
+    if (slot.scheduled == nullptr && !slot.switching)
+        performSwitch(slot_idx, &v);
+    else
+        armSliceTimer(slot_idx);
+    armWatchdog(v);
+}
+
+void
 OptimusHv::notePreempted(std::uint32_t slot_idx, VirtualAccel &v)
 {
     Slot &slot = _slots[slot_idx];

@@ -44,6 +44,30 @@ enum class SchedPolicy
     kPriority,   ///< highest-priority runnable job gets every slice
 };
 
+/**
+ * The hypervisor-side context of one virtual accelerator: the cached
+ * application registers replayed on every schedule, the state-buffer
+ * pointer, the pending-start / saved-context flags, and the
+ * guest-visible status and error bits. Together with the saved
+ * device blob (which lives in the tenant's DMA window, written by
+ * the preemption path) this is everything needed to re-host the
+ * vaccel on another node's identical slot — the unit a fleet-level
+ * migration moves (exportContext()/importContext()).
+ */
+struct VaccelContext
+{
+    std::array<std::uint64_t, accel::reg::kNumAppRegs> regCache{};
+    std::vector<std::uint32_t> touchedRegs;
+    std::uint64_t stateBufGva = 0;
+    bool pendingStart = false;
+    bool savedContext = false;
+    accel::Status visibleStatus = accel::Status::kIdle;
+    std::uint64_t cachedResult = 0;
+    std::uint64_t cachedProgress = 0;
+    std::uint64_t errStatus = 0;
+    bool quarantined = false;
+};
+
 /** One virtual accelerator, as exposed to a guest. */
 class VirtualAccel
 {
@@ -207,6 +231,35 @@ class OptimusHv
                  std::function<void(bool)> done);
 
     std::uint64_t migrations() const { return _migrations.value(); }
+
+    /**
+     * Detach @p v's job into a portable VaccelContext (cross-node
+     * migration, fleet::Cluster). A scheduled, running vaccel is
+     * first preempted off its slot through the standard PR 4/6
+     * preemption path — drain, state save to the guest buffer, SAVED
+     * doorbell — or, on timeout, force-reset with the kForcedReset
+     * ERR_STATUS bit (the context then carries kError and the
+     * service layer's retry path re-runs the request on the
+     * destination). After a successful export the source vaccel is
+     * neutralized (kIdle, no pending start, no saved context) so the
+     * local scheduler never runs it again; its slot is handed to the
+     * next tenant. @p done receives false — retry later — only if a
+     * context switch already holds the slot.
+     */
+    void exportContext(
+        VirtualAccel &v,
+        std::function<void(bool, VaccelContext)> done);
+
+    /**
+     * Inverse of exportContext(): adopt @p ctx into @p v (a vaccel
+     * of the identical slot/app layout on this hypervisor, whose
+     * tenant's DMA window already holds the source's memory image —
+     * including the saved device blob). A kRunning context is
+     * scheduled exactly like a postponed START: immediately if the
+     * slot is free, at the next slice otherwise; the replayed
+     * registers + RESUME let the device reload the blob by DMA.
+     */
+    void importContext(VirtualAccel &v, const VaccelContext &ctx);
 
     // --------------------------------------------- watchdog & recovery
     /**

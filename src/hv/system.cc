@@ -41,11 +41,16 @@ applyDefaultPlan(PlatformConfig config)
 } // namespace
 
 System::System(PlatformConfig config, unsigned sim_threads)
-    : domains((config = applyDefaultPlan(std::move(config)))
-                  .totalDomains()),
-      eq(domains.queue(0)),
-      sched(domains, sim_threads == 0 ? sim::defaultSimThreads()
-                                      : sim_threads),
+    : _ownedDomains(std::make_unique<sim::DomainSet>(
+          (config = applyDefaultPlan(std::move(config)))
+              .totalDomains())),
+      _ownedSched(std::make_unique<sim::EpochScheduler>(
+          *_ownedDomains, sim_threads == 0
+                              ? sim::defaultSimThreads()
+                              : sim_threads)),
+      domains(*_ownedDomains),
+      eq(domains.queue(config.domains.hv)),
+      sched(*_ownedSched),
       platform(domains, std::move(config), telemetry, trace),
       hv(platform),
       _observer(SystemObserver::current())
@@ -57,6 +62,26 @@ System::System(PlatformConfig config, unsigned sim_threads)
     // part of the stock engine, not a multi-domain special case.
     trace.armDomains(domains.size());
     sched.setBarrierHook([this]() { trace.flushMerged(); });
+    platform.setScheduler(&sched);
+    if (_observer)
+        _observer->systemCreated(*this);
+}
+
+System::System(sim::DomainSet &ext_domains,
+               sim::EpochScheduler &ext_sched, PlatformConfig config)
+    : domains(ext_domains),
+      eq(domains.queue(config.domains.hv)),
+      sched(ext_sched),
+      platform(domains, std::move(config), telemetry, trace),
+      hv(platform),
+      _observer(SystemObserver::current())
+{
+    // Trace lanes are indexed by global domain id, so each node arms
+    // the embedder's full set; lanes owned by sibling nodes simply
+    // stay empty on this bus. The embedder installs the one barrier
+    // hook that flushes every node's bus in node order — per-node
+    // hooks would overwrite each other on the shared scheduler.
+    trace.armDomains(domains.size());
     platform.setScheduler(&sched);
     if (_observer)
         _observer->systemCreated(*this);

@@ -69,6 +69,20 @@ class System
      * pool (see sim/domain.hh).
      */
     explicit System(PlatformConfig config, unsigned sim_threads = 0);
+
+    /**
+     * Embedded (cluster-node) form: the caller owns the DomainSet and
+     * EpochScheduler, shared by several Systems living on disjoint
+     * domain groups of one simulation context (fleet::Cluster). The
+     * config's domain plan must already be offset into this node's
+     * group — no thread-local plan defaults are applied. The embedder
+     * is responsible for the barrier hook (flushing every node's
+     * trace bus) and for driving the shared scheduler; run()/runAll()
+     * on any node advance the whole set.
+     */
+    System(sim::DomainSet &ext_domains,
+           sim::EpochScheduler &ext_sched, PlatformConfig config);
+
     ~System();
     System(const System &) = delete;
     System &operator=(const System &) = delete;
@@ -136,16 +150,25 @@ class System
      *  domains agree). */
     sim::Tick now() const { return eq.now(); }
 
+  private:
+    /** Owned simulation context for the solo constructor; null when
+     *  an embedder (fleet::Cluster) owns domains + scheduler.
+     *  Declared before the public references so they exist first. */
+    std::unique_ptr<sim::DomainSet> _ownedDomains;
+    std::unique_ptr<sim::EpochScheduler> _ownedSched;
+
+  public:
     /**
      * The simulation context: one EventQueue shard per logical
-     * domain (sized by the config's domain plan + extraDomains) and
-     * the cross-domain channel registry. Declared first so every
+     * domain (sized by the config's domain plan + extraDomains for
+     * the solo form; the embedder's full set for the cluster form)
+     * and the cross-domain channel registry. Declared first so every
      * other member may reference its shards.
      */
-    sim::DomainSet domains;
-    /** Domain 0's shard — the whole simulation for the default
-     *  single-domain plan; kept as a member-style reference so
-     *  existing `sys.eq` call sites read naturally. */
+    sim::DomainSet &domains;
+    /** This system's hypervisor-domain shard — the whole simulation
+     *  for the default single-domain plan; kept as a member-style
+     *  reference so existing `sys.eq` call sites read naturally. */
     sim::EventQueue &eq;
     /** Root of the observability spine: the stat tree ("sys.…") and
      *  the trace bus every component publishes on. Declared before
@@ -154,7 +177,7 @@ class System
     sim::Telemetry telemetry{"sys"};
     sim::TraceBus trace{eq};
     /** The conservative epoch scheduler driving `domains`. */
-    sim::EpochScheduler sched;
+    sim::EpochScheduler &sched;
     Platform platform;
     OptimusHv hv;
 

@@ -162,6 +162,14 @@ ServicePlane::scheduleOpenArrival(Tenant &t)
 void
 ServicePlane::onOpenArrival(Tenant &t)
 {
+    if (t._mode == Tenant::Mode::kDetached) {
+        // The stream migrated away while this arrival event was in
+        // flight; forward it (uncounted — the re-injection's admit
+        // will count it) and let the chain die here.
+        if (_straySink)
+            _straySink(t, -1);
+        return;
+    }
     admit(t, -1);
     scheduleOpenArrival(t);
 }
@@ -169,6 +177,11 @@ ServicePlane::onOpenArrival(Tenant &t)
 void
 ServicePlane::onClosedArrival(Tenant &t, int user)
 {
+    if (t._mode == Tenant::Mode::kDetached) {
+        if (_straySink)
+            _straySink(t, user);
+        return;
+    }
     if (_sys.eq.now() >= _horizon)
         return;
     if (!admit(t, user)) {
@@ -184,12 +197,15 @@ ServicePlane::onClosedArrival(Tenant &t, int user)
 }
 
 void
-ServicePlane::run(sim::Tick window)
+ServicePlane::beginWindow(sim::Tick window)
 {
     _horizon = _sys.eq.now() + window;
     for (auto &tp : _tenants) {
         Tenant &t = *tp;
         t._epoch = _sys.eq.now();
+        if (t._mode != Tenant::Mode::kActive)
+            continue; // inactive fleet binding: its stream (and its
+                      // users) live on whichever node is active
         if (t._gen) {
             scheduleOpenArrival(t);
         } else {
@@ -205,6 +221,31 @@ ServicePlane::run(sim::Tick window)
             }
         }
     }
+}
+
+void
+ServicePlane::injectArrival(Tenant &t, int user)
+{
+    if (user >= 0) {
+        onClosedArrival(t, user);
+        return;
+    }
+    // A forwarded open-loop arrival: one request, no chain — the
+    // generator's chain is restarted by resumeOpenArrivals().
+    admit(t, -1);
+}
+
+void
+ServicePlane::resumeOpenArrivals(Tenant &t)
+{
+    if (t._gen && _sys.eq.now() < _horizon)
+        scheduleOpenArrival(t);
+}
+
+void
+ServicePlane::run(sim::Tick window)
+{
+    beginWindow(window);
 
     // Top-level driver: pump the whole domain set in conservative
     // epochs, interleaving the dispatch/drain fixpoint at each epoch
@@ -302,6 +343,8 @@ bool
 ServicePlane::dispatch(Tenant &t)
 {
     bool progress = false;
+    if (t._mode != Tenant::Mode::kActive)
+        return false; // frozen/detached: queued work travels instead
     for (auto &wp : t._workers) {
         Tenant::Worker &w = *wp;
         if (w.busy || t._queue.empty())

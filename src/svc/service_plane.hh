@@ -39,6 +39,10 @@
 #include "hv/workloads.hh"
 #include "svc/traffic.hh"
 
+namespace optimus::fleet {
+class Cluster;
+} // namespace optimus::fleet
+
 namespace optimus::svc {
 
 /** Everything configurable about one tenant. */
@@ -94,6 +98,29 @@ class Tenant
     const TenantConfig &config() const { return _cfg; }
     const std::string &name() const { return _cfg.name; }
 
+    /**
+     * Lifecycle of this binding within its plane. Solo planes only
+     * ever see kActive; the other states exist for fleet-level
+     * migration, where one logical tenant has a binding on every
+     * node and at most one is active.
+     *
+     * kActive   — arrivals admitted, queue dispatched (the normal
+     *             state).
+     * kFrozen   — dispatch stopped but arrivals still queue (the
+     *             migration freeze: queued work will travel with the
+     *             parcel).
+     * kDetached — the stream has left this node: arrival events that
+     *             still fire here are forwarded to the plane's
+     *             stray-arrival sink instead of being admitted.
+     */
+    enum class Mode
+    {
+        kActive,
+        kFrozen,
+        kDetached,
+    };
+    Mode mode() const { return _mode; }
+
     // --- counters (exposed for tests and benches) ---
     std::uint64_t arrivals() const { return _arrivals.value(); }
     std::uint64_t admitted() const { return _admitted.value(); }
@@ -130,6 +157,7 @@ class Tenant
 
   private:
     friend class ServicePlane;
+    friend class optimus::fleet::Cluster;
 
     /** One virtual accelerator serving this tenant's queue. */
     struct Worker
@@ -152,6 +180,7 @@ class Tenant
 
     ServicePlane &_plane;
     TenantConfig _cfg;
+    Mode _mode = Mode::kActive;
     std::unique_ptr<ArrivalGen> _gen; ///< open-loop only
     std::deque<Request> _queue;
     std::vector<std::unique_ptr<Worker>> _workers;
@@ -196,6 +225,50 @@ class ServicePlane
      */
     void run(sim::Tick window);
 
+    /**
+     * External-drive form of run(): open the arrival window (seed
+     * generators and closed-loop populations) without pumping. An
+     * embedder sharing one scheduler across several planes
+     * (fleet::Cluster) calls beginWindow() on every plane, then
+     * drives the shared scheduler itself, calling pump() on each
+     * plane at every epoch barrier.
+     */
+    void beginWindow(sim::Tick window);
+
+    /** Fixpoint over all tenants: consume completion mailboxes and
+     *  issue queued requests until nothing changes. Must only be
+     *  called at top level / an epoch barrier, never from an event
+     *  callback. */
+    void pump();
+
+    /** No queued requests and no busy workers (the drain test). */
+    bool idle() const;
+
+    /** Tick at which the current arrival window closes. */
+    sim::Tick horizon() const { return _horizon; }
+
+    /**
+     * Sink for arrivals that fire on a kDetached tenant (its stream
+     * migrated to another node): receives the tenant binding and the
+     * closed-loop user index (-1 for an open-loop arrival). The
+     * fleet layer re-injects them on the tenant's current node.
+     * Runs in event-callback context: record only, never pump.
+     */
+    void setStrayArrivalSink(
+        std::function<void(Tenant &, int)> sink)
+    {
+        _straySink = std::move(sink);
+    }
+
+    /** Re-admit a forwarded arrival into @p t on this plane: a
+     *  closed-loop user (with backoff/retirement semantics) or, for
+     *  user == -1, one open-loop request. */
+    void injectArrival(Tenant &t, int user);
+
+    /** Restart @p t's open-loop arrival chain after a migration
+     *  handed its generator to this binding. */
+    void resumeOpenArrivals(Tenant &t);
+
     std::size_t numTenants() const { return _tenants.size(); }
     Tenant &tenant(std::size_t i) { return *_tenants[i]; }
     const Tenant &tenant(std::size_t i) const { return *_tenants[i]; }
@@ -211,22 +284,21 @@ class ServicePlane
     hv::System &system() { return _sys; }
 
   private:
+    friend class optimus::fleet::Cluster;
+
     void scheduleOpenArrival(Tenant &t);
     void onOpenArrival(Tenant &t);
     void onClosedArrival(Tenant &t, int user);
     bool admit(Tenant &t, int user);
 
-    /** Fixpoint over all tenants: consume completion mailboxes and
-     *  issue queued requests until nothing changes. */
-    void pump();
     bool drainCompletions(Tenant &t);
     bool dispatch(Tenant &t);
-    bool idle() const;
 
     hv::System &_sys;
     sim::TelemetryNode *_node; ///< "sys.svc"
     std::vector<std::unique_ptr<Tenant>> _tenants;
     std::vector<std::unique_ptr<hv::AccelHandle>> _handles;
+    std::function<void(Tenant &, int)> _straySink;
     sim::Tick _horizon = 0; ///< arrivals stop at this tick
 };
 

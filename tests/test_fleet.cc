@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Fleet plane tests: byte-determinism of an N-node cluster across
+ * worker pool widths, conservation of work across forced live
+ * migrations (nothing lost in flight, blackout measured per move),
+ * placement policy behavior, and automatic rebalancing of a hot
+ * node.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/fleet.hh"
+
+using namespace optimus;
+
+namespace {
+
+fleet::FleetTenantSpec
+shaTenant(const std::string &name, std::uint64_t seed, double rate,
+          unsigned home_rack = 0)
+{
+    fleet::FleetTenantSpec spec;
+    spec.svc.name = name;
+    spec.svc.app = "SHA";
+    spec.svc.bytes = 512;
+    spec.svc.seed = seed;
+    spec.svc.slot = 0;
+    spec.svc.arrivals.kind = svc::ArrivalKind::kPoisson;
+    spec.svc.arrivals.ratePerSec = rate;
+    spec.svc.sloNs = 300000;
+    spec.homeRack = home_rack;
+    return spec;
+}
+
+fleet::ClusterConfig
+twoNodeConfig(fleet::Policy policy = fleet::Policy::kLeastLoaded)
+{
+    fleet::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.policy = policy;
+    cfg.node = hv::makeOptimusConfig("SHA", 1);
+    return cfg;
+}
+
+struct RunStats
+{
+    std::uint64_t fingerprint;
+    std::uint64_t completed;
+    std::uint64_t migrations;
+    sim::Tick end;
+};
+
+RunStats
+mixedLoadRun(unsigned sim_threads)
+{
+    fleet::Cluster cl(twoNodeConfig(), sim_threads);
+    // Count-based placement co-locates t0/t2 on node 0: both heavy,
+    // so the rebalancer has real migrations to perform.
+    cl.addTenant(shaTenant("t0", 11, 120000.0));
+    cl.addTenant(shaTenant("t1", 12, 10000.0));
+    cl.addTenant(shaTenant("t2", 13, 120000.0));
+    cl.addTenant(shaTenant("t3", 14, 10000.0));
+    cl.run(2 * sim::kTickMs);
+    return {cl.fingerprint(), cl.fleetCompleted(),
+            cl.migrationsCompleted(), cl.now()};
+}
+
+TEST(FleetTest, DeterministicAcrossSimThreads)
+{
+    RunStats st1 = mixedLoadRun(1);
+    RunStats st4 = mixedLoadRun(4);
+    EXPECT_GT(st1.completed, 0u);
+    EXPECT_EQ(st1.fingerprint, st4.fingerprint);
+    EXPECT_EQ(st1.completed, st4.completed);
+    EXPECT_EQ(st1.migrations, st4.migrations);
+    EXPECT_EQ(st1.end, st4.end);
+}
+
+TEST(FleetTest, RebalancerMovesLoadOffHotNode)
+{
+    RunStats st = mixedLoadRun(1);
+    EXPECT_GE(st.migrations, 1u);
+}
+
+TEST(FleetTest, ForcedMigrationConservesWork)
+{
+    fleet::ClusterConfig cfg = twoNodeConfig();
+    cfg.rebalanceInterval = 0; // forced moves only
+    fleet::Cluster cl(cfg);
+    std::size_t t = cl.addTenant(shaTenant("t0", 21, 20000.0));
+
+    const sim::Tick period = 400 * sim::kTickUs;
+    sim::Tick next = cl.now() + period;
+    cl.setBarrierProbe([&cl, &next, t, period]() {
+        if (cl.now() < next || cl.now() >= cl.horizon())
+            return;
+        if (cl.migrateTenant(t, 1 - cl.tenantNode(t)))
+            next += period;
+    });
+    cl.run(2 * sim::kTickMs);
+
+    EXPECT_GE(cl.migrationsCompleted(), 2u);
+    EXPECT_EQ(cl.migrationsCompleted(), cl.migrationsStarted());
+    EXPECT_GT(cl.migrationBytes(), 0u);
+    // Every move contributed one blackout sample, and the blackout
+    // is physical (preempt drain + wire time can never be zero).
+    EXPECT_EQ(cl.blackoutHist().count(), cl.migrationsCompleted());
+    EXPECT_GT(cl.blackoutHist().min(), 0u);
+    // Nothing was lost in flight: every admitted request either
+    // completed (on whichever node ended up serving it) or was
+    // rejected at admission; the fleet drained to empty.
+    EXPECT_GT(cl.fleetCompleted(), 0u);
+    EXPECT_EQ(cl.fleetArrivals(),
+              cl.fleetCompleted() + cl.fleetDropped());
+}
+
+TEST(FleetTest, MigrateTenantRejectsBadTargets)
+{
+    fleet::ClusterConfig cfg = twoNodeConfig();
+    cfg.rebalanceInterval = 0;
+    fleet::Cluster cl(cfg);
+    std::size_t t = cl.addTenant(shaTenant("t0", 31, 1000.0));
+    unsigned home = cl.tenantNode(t);
+    EXPECT_FALSE(cl.migrateTenant(t, home));  // same node
+    EXPECT_FALSE(cl.migrateTenant(t, 99));    // out of range
+    EXPECT_TRUE(cl.migrateTenant(t, 1 - home));
+    EXPECT_FALSE(cl.migrateTenant(t, home));  // already migrating
+    cl.run(200 * sim::kTickUs);
+    EXPECT_EQ(cl.tenantNode(t), 1 - home);
+    EXPECT_EQ(cl.migrationsCompleted(), 1u);
+}
+
+TEST(FleetTest, LocalityPlacementHonorsHomeRack)
+{
+    fleet::ClusterConfig cfg;
+    cfg.nodes = 8;
+    cfg.nodesPerRack = 4;
+    cfg.policy = fleet::Policy::kLocality;
+    cfg.node = hv::makeOptimusConfig("SHA", 1);
+    fleet::Cluster cl(cfg);
+    for (unsigned i = 0; i < 8; ++i) {
+        std::size_t t = cl.addTenant(
+            shaTenant("t" + std::to_string(i), 41 + i, 1000.0,
+                      i % 2));
+        EXPECT_EQ(cl.rackOf(cl.tenantNode(t)), i % 2) << i;
+    }
+}
+
+TEST(FleetTest, LeastLoadedPlacementSpreadsTenants)
+{
+    fleet::ClusterConfig cfg = twoNodeConfig();
+    cfg.nodes = 4;
+    fleet::Cluster cl(cfg);
+    for (unsigned i = 0; i < 4; ++i)
+        cl.addTenant(
+            shaTenant("t" + std::to_string(i), 51 + i, 1000.0));
+    // Count-based initial placement: one tenant per node.
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(cl.tenantNode(i), i);
+}
+
+} // namespace

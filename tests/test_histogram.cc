@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <utility>
@@ -144,6 +146,45 @@ TEST(HistogramTest, MergeMatchesCombinedStream)
     a.json(ja);
     all.json(jall);
     EXPECT_EQ(ja.str(), jall.str());
+}
+
+TEST(HistogramTest, MergedPercentilesWithinBucketErrorBound)
+{
+    // The fleet plane reports p99 over histograms merged across
+    // nodes. merge() is bucket-wise exact, so the only error left
+    // against the true sorted-sample percentile is the bucket width
+    // itself: at kSubBits = 6, width <= lo / 32, i.e. a 2/2^6 =
+    // 3.125% relative bound (exact in the linear region).
+    sim::Rng rng(17);
+    Histogram shards[4] = {Histogram(nullptr, "s0", "t"),
+                           Histogram(nullptr, "s1", "t"),
+                           Histogram(nullptr, "s2", "t"),
+                           Histogram(nullptr, "s3", "t")};
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = rng.next() >> (rng.next() % 44);
+        values.push_back(v);
+        shards[i % 4].sample(v);
+    }
+    Histogram merged(nullptr, "m", "t");
+    for (Histogram &s : shards)
+        merged.merge(s);
+    ASSERT_EQ(merged.count(), values.size());
+
+    std::sort(values.begin(), values.end());
+    for (double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+        // Same rank convention as Histogram::percentile().
+        auto rank = static_cast<std::uint64_t>(std::ceil(
+            p / 100.0 * static_cast<double>(values.size())));
+        rank = std::max<std::uint64_t>(
+            1, std::min<std::uint64_t>(rank, values.size()));
+        std::uint64_t exact = values[rank - 1];
+        std::uint64_t got = merged.percentile(p);
+        std::uint64_t diff =
+            got > exact ? got - exact : exact - got;
+        EXPECT_LE(diff * 32, exact)
+            << "p=" << p << " exact=" << exact << " got=" << got;
+    }
 }
 
 TEST(HistogramTest, MergeEmptyIsIdentity)
