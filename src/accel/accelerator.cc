@@ -19,9 +19,16 @@ Accelerator::Accelerator(sim::EventQueue &eq,
       _stateLineGap(static_cast<sim::Tick>(
           static_cast<double>(sim::kCacheLineBytes) /
           params.stateSaveGbps * static_cast<double>(sim::kTickNs))),
+      _ringPollCycles(params.ringPollCycles),
       _preempts(scope.node, "preempts", "preempt commands handled"),
       _resumes(scope.node, "resumes", "resume commands handled"),
-      _jobs(scope.node, "jobs", "jobs completed")
+      _jobs(scope.node, "jobs", "jobs completed"),
+      _ringPolls(scope.node, "ring_polls",
+                 "submission-ring poll wakeups"),
+      _ringFetches(scope.node, "ring_fetches",
+                   "commands fetched from the submission ring"),
+      _ringPosts(scope.node, "ring_posts",
+                 "completions posted into the completion ring")
 {
 }
 
@@ -57,6 +64,10 @@ Accelerator::checkpoint() const
     ck.stateBuf = _stateBuf;
     ck.appRegs = _appRegs;
     ck.arch = saveArchState();
+    ck.ringArmed = _ringArmed;
+    ck.ringCfg.base = _ringBase;
+    ck.ringCfg.entries = _ringEntries;
+    ck.ringCfg.state = _ringState;
     return ck;
 }
 
@@ -76,13 +87,28 @@ Accelerator::restore(const Checkpoint &ck)
     _result = ck.result;
     _progress = ck.progress;
     restoreArchState(ck.arch);
+    _ringArmed = ck.ringArmed;
+    _ringBase = ck.ringCfg.base;
+    _ringEntries = ck.ringCfg.entries;
+    _ringState = ck.ringCfg.state;
+    _ringFetchInFlight = false;
+    _ringPollPending = false;
     _status = ck.status;
     if (ck.status == Status::kRunning) {
         onResumed();
     } else if (ck.status == Status::kDone ||
                ck.status == Status::kError) {
-        raiseDoorbell();
+        // A job that drained to completion under a pending preempt
+        // never posted its completion; deliver it through the ring
+        // it was submitted on. Already-posted jobs take the plain
+        // doorbell, exactly as before.
+        if (_ringArmed && _ringState.jobActive)
+            ringPostCompletion(ck.status);
+        else
+            raiseDoorbell();
     }
+    if (_ringArmed && !_ringState.jobActive)
+        ringWake();
 }
 
 std::uint64_t
@@ -191,6 +217,12 @@ Accelerator::hardReset()
     _wedged = false;
     _mmioWedged = false;
     _appRegs.fill(0);
+    _ringArmed = false;
+    _ringBase = mem::Gva{};
+    _ringEntries = 0;
+    _ringState = ring::DeviceState{};
+    _ringFetchInFlight = false;
+    _ringPollPending = false;
     onSoftReset();
 }
 
@@ -224,7 +256,10 @@ Accelerator::finish(std::uint64_t result)
         return;
     }
     _status = Status::kDone;
-    raiseDoorbell();
+    if (_ringArmed && _ringState.jobActive)
+        ringPostCompletion(Status::kDone);
+    else
+        raiseDoorbell();
 }
 
 void
@@ -377,6 +412,178 @@ Accelerator::transferStateBlob(
 
     for (std::uint64_t i = 0; i < xfer->lines; ++i)
         eventq().scheduleIn(_stateLineGap * i, issue_one);
+}
+
+// ------------------------------------------------------------------
+// Shared-memory ring poller (DESIGN.md §14). The poller only ever
+// runs while the device is quiescent (kIdle/kDone/kError): a preempt
+// flips status to kSaving, which both blocks new fetches and makes
+// an in-flight fetch response abandon without consuming, so the
+// hypervisor's mirrored cursors stay exact across context switches.
+// ------------------------------------------------------------------
+
+void
+Accelerator::armRing(const ring::DeviceConfig &cfg)
+{
+    OPTIMUS_ASSERT(cfg.entries > 0, "%s: armRing with empty ring",
+                   _name.c_str());
+    _ringArmed = true;
+    _ringBase = cfg.base;
+    _ringEntries = cfg.entries;
+    _ringState = cfg.state;
+    _ringFetchInFlight = false;
+    _ringPollPending = false;
+    if (!_ringState.jobActive)
+        ringWake();
+}
+
+void
+Accelerator::disarmRing()
+{
+    _ringArmed = false;
+    _ringFetchInFlight = false;
+    _ringPollPending = false;
+}
+
+void
+Accelerator::ringNotify(std::uint64_t prod_seq)
+{
+    if (!_ringArmed)
+        return;
+    if (prod_seq > _ringState.prodSeq)
+        _ringState.prodSeq = prod_seq;
+    if (!_ringState.jobActive)
+        ringWake();
+}
+
+void
+Accelerator::ringWake()
+{
+    if (_ringPollPending || !_ringArmed || _wedged)
+        return;
+    _ringPollPending = true;
+    scheduleGuarded(_ringPollCycles, [this]() {
+        _ringPollPending = false;
+        ++_ringPolls;
+        ringTryFetch();
+    });
+}
+
+void
+Accelerator::ringTryFetch()
+{
+    if (!_ringArmed || _wedged || _ringFetchInFlight)
+        return;
+    if (_ringState.jobActive ||
+        _ringState.nextSeq >= _ringState.prodSeq)
+        return;
+    if (_status != Status::kIdle && _status != Status::kDone &&
+        _status != Status::kError)
+        return;
+
+    _ringFetchInFlight = true;
+    std::uint64_t seq = _ringState.nextSeq;
+    mem::Gva slot(_ringBase.value() +
+                  ring::submitSlotOff(_ringEntries, seq));
+    std::uint64_t epoch = _epoch;
+    _dma.read(slot, sizeof(ring::SubmitEntry),
+              [this, epoch, seq](ccip::DmaTxn &t) {
+                  if (epoch != _epoch)
+                      return;
+                  _ringFetchInFlight = false;
+                  // A preempt (or disarm) raced the fetch: abandon
+                  // without consuming; the re-armed poller fetches
+                  // this entry again.
+                  if (!_ringArmed || _wedged ||
+                      _ringState.jobActive ||
+                      seq != _ringState.nextSeq)
+                      return;
+                  if (_status != Status::kIdle &&
+                      _status != Status::kDone &&
+                      _status != Status::kError)
+                      return;
+                  if (t.error) {
+                      ringWake(); // transient: re-poll the same slot
+                      return;
+                  }
+
+                  ring::SubmitEntry e;
+                  std::memcpy(&e, t.data.data(), sizeof(e));
+                  OPTIMUS_ASSERT(e.seq == seq && e.op == ring::op::kStart,
+                                 "%s: bad submit entry (seq %llu op "
+                                 "%llu at cursor %llu)",
+                                 _name.c_str(),
+                                 static_cast<unsigned long long>(e.seq),
+                                 static_cast<unsigned long long>(e.op),
+                                 static_cast<unsigned long long>(seq));
+
+                  // Consume: advance the cursor, acknowledge through
+                  // the device-owned submit.cons line (fire and
+                  // forget), and run the job exactly as a START
+                  // doorbell would have.
+                  _ringState.nextSeq = seq + 1;
+                  _ringState.jobActive = true;
+                  _ringState.jobSeq = seq;
+                  std::uint64_t ack = _ringState.nextSeq;
+                  _dma.write(mem::Gva(_ringBase.value() +
+                                      ring::headerOff(
+                                          ring::kSubmitConsLine)),
+                             &ack, sizeof(ack), {});
+                  ++_ringFetches;
+                  _status = Status::kRunning;
+                  _result = 0;
+                  _progress = 0;
+                  onStart();
+              });
+}
+
+void
+Accelerator::ringPostCompletion(Status st)
+{
+    OPTIMUS_ASSERT(_ringArmed && _ringState.jobActive,
+                   "%s: ring post without an in-flight ring job",
+                   _name.c_str());
+    ring::CompleteEntry ce;
+    ce.seq = _ringState.jobSeq;
+    ce.status = static_cast<std::uint64_t>(st);
+    ce.result = _result;
+    ce.progress = _progress;
+    ce.err = 0; // hypervisor-maintained; its error posts stamp this
+    ce.tick = now();
+
+    // Entry line first, then the sequence word — single-writer
+    // publish discipline, each line one DMA write. The chained
+    // completion keeps the port non-idle, so a concurrent preempt's
+    // drain cannot fire between the two stores.
+    std::uint64_t epoch = _epoch;
+    mem::Gva slot(_ringBase.value() +
+                  ring::completeSlotOff(_ringEntries, ce.seq));
+    _dma.write(slot, &ce, sizeof(ce), [this, epoch](ccip::DmaTxn &) {
+        if (epoch != _epoch)
+            return;
+        std::uint64_t prod = _ringState.jobSeq + 1;
+        _ringState.compSeq = prod;
+        _dma.write(mem::Gva(_ringBase.value() +
+                            ring::headerOff(ring::kCompleteProdLine)),
+                   &prod, sizeof(prod),
+                   [this, epoch](ccip::DmaTxn &) {
+                       if (epoch != _epoch)
+                           return;
+                       _ringState.jobActive = false;
+                       ++_ringPosts;
+                       if (_ringArmed &&
+                           _ringState.nextSeq < _ringState.prodSeq) {
+                           ringWake();
+                       } else if (_status == Status::kDone ||
+                                  _status == Status::kError) {
+                           // Ring drained: one doorbell tells the
+                           // hypervisor this tenant went quiescent
+                           // (it re-notifies if its mirror already
+                           // knows of newer entries).
+                           raiseDoorbell();
+                       }
+                   });
+    });
 }
 
 } // namespace optimus::accel

@@ -24,6 +24,7 @@
 #include "accel/dma_port.hh"
 #include "accel/regs.hh"
 #include "fpga/accel_port.hh"
+#include "ring/ring.hh"
 #include "sim/clocked.hh"
 #include "sim/platform_params.hh"
 #include "sim/stats.hh"
@@ -90,6 +91,11 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
         std::uint64_t stateBuf = 0;
         std::array<std::uint64_t, reg::kNumAppRegs> appRegs{};
         std::vector<std::uint8_t> arch;
+        /** Ring-poller attachment (host-side bookkeeping only; the
+         *  ring contents themselves live in guest memory and travel
+         *  with the window image, not the checkpoint). */
+        bool ringArmed = false;
+        ring::DeviceConfig ringCfg{};
     };
 
     /**
@@ -136,6 +142,38 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
 
     bool wedged() const { return _wedged; }
     bool mmioWedged() const { return _mmioWedged; }
+
+    // ----- shared-memory command/completion rings (DESIGN.md §14) -----
+    /**
+     * Attach the clock-gated ring poller to a submission/completion
+     * ring pair in guest memory. The device thereafter fetches
+     * commands by DMA (no MMIO trap) whenever it is quiescent and the
+     * published sequence word is ahead of its cursor, and posts each
+     * job's completion in place. The hypervisor calls this when it
+     * schedules a ring-path vaccel onto this slot, passing its
+     * mirrored cursors, so preemption and migration re-arm the poller
+     * exactly where it stopped.
+     */
+    void armRing(const ring::DeviceConfig &cfg);
+
+    /** Detach the poller (hardReset() also disarms). Cursor state
+     *  stays readable for mirror syncs until the next armRing(). */
+    void disarmRing();
+
+    /**
+     * Publish notification from the hypervisor (the simulation's
+     * stand-in for the coherence traffic that lands the guest's
+     * sequence-word store in the device's polled line): advance the
+     * device's view of submit.prod and wake the poller.
+     */
+    void ringNotify(std::uint64_t prod_seq);
+
+    bool ringArmed() const { return _ringArmed; }
+    const ring::DeviceState &ringState() const { return _ringState; }
+
+    std::uint64_t ringPolls() const { return _ringPolls.value(); }
+    std::uint64_t ringFetches() const { return _ringFetches.value(); }
+    std::uint64_t ringPosts() const { return _ringPosts.value(); }
 
   protected:
     /** Begin the configured job (app registers hold parameters). */
@@ -216,6 +254,14 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
                            std::function<void(std::vector<
                                std::uint8_t>)> done);
     void raiseDoorbell();
+    /** Arm one clock-gated poll of the submission ring. */
+    void ringWake();
+    /** Poll body: fetch the next submit entry if quiescent. */
+    void ringTryFetch();
+    /** Post the in-flight job's completion into the ring (entry
+     *  line, then the complete.prod line), then resume polling or —
+     *  with the ring drained — raise the completion doorbell. */
+    void ringPostCompletion(Status st);
 
     std::string _name;
     DmaPort _dma;
@@ -236,10 +282,21 @@ class Accelerator : public fpga::AccelDevice, public sim::Clocked
     std::uint64_t _epoch = 0;
 
     sim::Tick _stateLineGap;
+    std::uint32_t _ringPollCycles;
+
+    bool _ringArmed = false;
+    mem::Gva _ringBase{};
+    std::uint32_t _ringEntries = 0;
+    ring::DeviceState _ringState{};
+    bool _ringFetchInFlight = false;
+    bool _ringPollPending = false;
 
     sim::Counter _preempts;
     sim::Counter _resumes;
     sim::Counter _jobs;
+    sim::Counter _ringPolls;
+    sim::Counter _ringFetches;
+    sim::Counter _ringPosts;
 };
 
 } // namespace optimus::accel

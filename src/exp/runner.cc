@@ -141,7 +141,8 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             "          [--time-scale F]"
             " [--faults PLAN] [--repeat N] [--fail-fast]\n"
             "          [--nodes N] [--fleet-policy P]"
-            " [--list] [--quiet]\n"
+            " [--cmd-path mmio|ring]\n"
+            "          [--list] [--quiet]\n"
             "  --sim-threads N  epoch-scheduler pool width inside "
             "each System;\n"
             "                   capped so jobs x sim-threads never "
@@ -167,7 +168,16 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             "routing policy:\n"
             "                   least-loaded, locality, or slo-aware "
             "(default\n"
-            "                   sweeps all)\n",
+            "                   sweeps all)\n"
+            "  --cmd-path P     restrict command-path-aware benches "
+            "to one\n"
+            "                   submission path: 'mmio' (trapped "
+            "doorbells) or\n"
+            "                   'ring' (polled shared-memory rings); "
+            "default\n"
+            "                   runs each bench's full set; excluded "
+            "rows\n"
+            "                   render as 'skipped'\n",
             argc > 0 ? argv[0] : "bench");
     };
     for (int i = 1; i < argc; ++i) {
@@ -263,6 +273,20 @@ Runner::parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.fleetPolicy = v;
+        } else if (a == "--cmd-path") {
+            const char *v = val();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "mmio") != 0 &&
+                std::strcmp(v, "ring") != 0) {
+                std::fprintf(stderr,
+                             "--cmd-path wants 'mmio' or 'ring', "
+                             "got '%s'\n",
+                             v);
+                usage(stderr);
+                return false;
+            }
+            opts.cmdPath = v;
         } else if (a == "--fail-fast") {
             opts.failFast = true;
         } else if (a == "--list") {
@@ -361,6 +385,9 @@ Runner::run(const Options &opts)
                     opts.domainSplit ? "split" : "single",
                     opts.domainSplit ? hv::splitPlan().domainCount()
                                      : 1u);
+        std::printf("# command path: %s\n",
+                    opts.cmdPath.empty() ? "bench default"
+                                         : opts.cmdPath.c_str());
         return 0;
     }
 
@@ -374,6 +401,7 @@ Runner::run(const Options &opts)
     ctx.domainSplit = opts.domainSplit;
     ctx.nodes = opts.nodes;
     ctx.fleetPolicy = opts.fleetPolicy;
+    ctx.cmdPath = opts.cmdPath;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abort{false};
     std::mutex errLock;
@@ -530,9 +558,12 @@ Runner::run(const Options &opts)
 
     std::fprintf(stderr,
                  "[%s] %zu scenario(s), jobs=%u, sim-threads=%u, "
-                 "domain-plan=%s, %.0f ms\n",
+                 "domain-plan=%s, cmd-path=%s, %.0f ms\n",
                  _bench.c_str(), jobs.size(), opts.jobs, simThreads,
-                 opts.domainSplit ? "split" : "single", _wallMs);
+                 opts.domainSplit ? "split" : "single",
+                 opts.cmdPath.empty() ? "default"
+                                      : opts.cmdPath.c_str(),
+                 _wallMs);
     for (const std::string &e : _errors)
         std::fprintf(stderr, "[%s] FAILED %s\n", _bench.c_str(),
                      e.c_str());

@@ -87,6 +87,11 @@ class Runner
          *  keeps the full policy sweep. Ignored by single-node
          *  benches. */
         std::string fleetPolicy;
+        /** Command path selector (`--cmd-path mmio|ring`): restrict
+         *  command-path-aware benches to one submission path; empty
+         *  (default) keeps each bench's default set. Benches render
+         *  restricted-out rows as "skipped". */
+        std::string cmdPath;
         bool list = false;    ///< print scenario names and exit
         bool quiet = false;   ///< suppress text tables
         /** Abort the whole run on the first scenario failure instead

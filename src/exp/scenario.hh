@@ -61,6 +61,13 @@ struct RunContext
      *  the bench's full policy sweep. */
     std::string fleetPolicy;
 
+    /** --cmd-path: restrict command-path-aware scenarios to one
+     *  submission path — "mmio" (trapped doorbells, the paper's
+     *  baseline) or "ring" (polled shared-memory rings, DESIGN.md
+     *  §14); empty = run each bench's default set. Benches render
+     *  restricted-out rows as "skipped" rather than dropping them. */
+    std::string cmdPath;
+
     /** Scale a simulated duration (never below one tick). */
     sim::Tick
     scaled(sim::Tick t) const

@@ -332,9 +332,17 @@ Cluster::issueExports(std::size_t ti)
         // them without waiting). Exporting now would capture an idle
         // context and strand the job when the trap lands on the
         // neutralized source vaccel — hold off until it is absorbed.
-        if (src._workers[w]->busy &&
-            src._workers[w]->handle->vaccel().visibleStatus() !=
-                accel::Status::kRunning)
+        // The ring path's analogue is a publish whose kick has not
+        // landed yet: the guest cursor runs ahead of the hypervisor
+        // mirror, so the captured context would miss the newest
+        // entries and the destination poller would never fetch them.
+        if (src._workers[w]->handle->ringEnabled()) {
+            if (src._workers[w]->handle->submitQueue().produced() >
+                src._workers[w]->handle->vaccel().ringProdSeq())
+                continue; // kick in flight; stays kRetry
+        } else if (src._workers[w]->busy &&
+                   src._workers[w]->handle->vaccel().visibleStatus() !=
+                       accel::Status::kRunning)
             continue; // stays kRetry for the next barrier
         ft.exportState[w] = ExportState::kPending;
         hv::VirtualAccel &v = src._workers[w]->handle->vaccel();
@@ -374,6 +382,14 @@ Cluster::assembleAndSend(std::size_t ti)
         pw.cur = sw.cur;
         pw.issued = sw.issued;
         pw.batchLeft = sw.batchLeft;
+        for (const auto &inf : sw.inflight) {
+            MigrationParcel::WorkerState::RingInflight ri;
+            ri.req = inf.req;
+            ri.issued = inf.issued;
+            ri.seq = inf.seq;
+            pw.inflight.push_back(ri);
+        }
+        parcel->bytes += 64ULL * pw.inflight.size();
 
         hv::AccelHandle &h = *sw.handle;
         pw.windowBase = h.vaccel().windowBase().value();
@@ -386,9 +402,11 @@ Cluster::assembleAndSend(std::size_t ti)
 
         // The source worker is now empty; its in-flight request (if
         // any) travels inside pw and completes on the destination.
+        // Ring contents themselves ride the window image above.
         sw.busy = false;
         sw.done = false;
         sw.batchLeft = 0;
+        sw.inflight.clear();
     }
 
     parcel->bytes += 64ULL * src._queue.size();
@@ -438,20 +456,38 @@ Cluster::importParcel(MigrationParcel &p)
             "fleet: DMA heap layout differs across nodes");
 
         // Memory image first — the preemption path saved the device
-        // blob into the window, so this write carries it too.
+        // blob into the window, so this write carries it too (and,
+        // for ring tenants, the ring entries and cursor lines).
         if (!pw.memory.empty())
             h.memWrite(mem::Gva(pw.windowBase), pw.memory.data(),
                        pw.memory.size());
+        if (h.ringEnabled())
+            h.ringResync(); // reload queue cursors from the image
         dw.busy = pw.busy;
         dw.cur = pw.cur;
         dw.issued = pw.issued;
         dw.batchLeft = pw.batchLeft;
         dw.done = false;
+        dw.inflight.clear();
+        for (const auto &ri : pw.inflight) {
+            svc::Tenant::Worker::Inflight inf;
+            inf.req = ri.req;
+            inf.issued = ri.issued;
+            inf.seq = ri.seq;
+            dw.inflight.push_back(inf);
+        }
         sys.hv.importContext(h.vaccel(), pw.ctx);
 
-        if (dw.busy &&
-            (pw.ctx.visibleStatus == accel::Status::kDone ||
-             pw.ctx.visibleStatus == accel::Status::kError)) {
+        if (h.ringEnabled()) {
+            // Ring completions never use the mailbox: finished (or
+            // error-posted) entries are already in the imported ring
+            // memory — or are posted into it by importContext's error
+            // delivery — and the next pump() polls them out against
+            // the restored inflight queue.
+            dw.busy = !dw.inflight.empty();
+        } else if (dw.busy &&
+                   (pw.ctx.visibleStatus == accel::Status::kDone ||
+                    pw.ctx.visibleStatus == accel::Status::kError)) {
             // The job already finished (or was force-reset by the
             // export timeout) before the parcel shipped; synthesize
             // the completion mailbox the doorbell would have written

@@ -118,8 +118,18 @@ struct MigrationParcel
         unsigned batchLeft = 0;
         std::uint64_t windowBase = 0;
         /** Registered DMA-window image — carries the job data *and*
-         *  the device blob the preemption path saved into it. */
+         *  the device blob the preemption path saved into it (and,
+         *  for ring tenants, the ring contents and cursors). */
         std::vector<std::uint8_t> memory;
+        /** Ring path: issued-but-uncompleted requests, oldest
+         *  first; mirrors svc::Tenant::Worker::Inflight. */
+        struct RingInflight
+        {
+            svc::Request req;
+            sim::Tick issued = 0;
+            std::uint64_t seq = 0;
+        };
+        std::vector<RingInflight> inflight;
     };
     std::vector<WorkerState> workers;
 

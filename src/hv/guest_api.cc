@@ -1,5 +1,7 @@
 #include "hv/guest_api.hh"
 
+#include <vector>
+
 #include "sim/logging.hh"
 
 namespace optimus::hv {
@@ -69,6 +71,65 @@ AccelHandle::setupStateBuffer()
     std::uint64_t size = mmioRead(accel::reg::kStateSize);
     mem::Gva buf = dmaAlloc(size, 64);
     mmioWrite(accel::reg::kStateBuf, buf.value());
+}
+
+void
+AccelHandle::setupRing(std::uint32_t entries)
+{
+    std::uint64_t bytes = ring::ringBytes(entries);
+    mem::Gva base = dmaAlloc(bytes, ring::kLineBytes);
+    std::vector<std::uint8_t> zero(bytes, 0);
+    memWrite(base, zero.data(), bytes);
+    bool done = false;
+    _hv.setupRing(_v, base, entries, [&]() { done = true; });
+    pumpUntil([&]() { return done; });
+    _submitQ = ring::SubmitQueue(process(), base, entries);
+    _completeQ = ring::CompleteQueue(process(), base, entries);
+}
+
+std::uint64_t
+AccelHandle::ringSubmit()
+{
+    OPTIMUS_ASSERT(_submitQ.valid(), "ringSubmit before setupRing");
+    pumpUntil([&]() { return !_submitQ.full(); });
+    std::uint64_t seq = _submitQ.push(ring::op::kStart);
+    _submitQ.publish();
+    bool done = false;
+    _hv.ringPublish(_v, _submitQ.produced(), [&]() { done = true; });
+    pumpUntil([&]() { return done; });
+    return seq;
+}
+
+bool
+AccelHandle::ringPoll(ring::CompleteEntry &out)
+{
+    OPTIMUS_ASSERT(_completeQ.valid(), "ringPoll before setupRing");
+    return _completeQ.poll(out);
+}
+
+ring::CompleteEntry
+AccelHandle::ringWait(std::uint64_t seq)
+{
+    ring::CompleteEntry e{};
+    bool got = false;
+    pumpUntil([&]() {
+        while (_completeQ.poll(e)) {
+            if (e.seq == seq) {
+                got = true;
+                return true;
+            }
+        }
+        return false;
+    });
+    OPTIMUS_ASSERT(got, "ringWait consumed past its sequence");
+    return e;
+}
+
+void
+AccelHandle::ringResync()
+{
+    _submitQ.resync();
+    _completeQ.resync();
 }
 
 accel::Status

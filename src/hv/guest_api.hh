@@ -19,6 +19,7 @@
 
 #include "hv/dma_heap.hh"
 #include "hv/optimus.hh"
+#include "ring/ring.hh"
 
 namespace optimus::hv {
 
@@ -93,6 +94,40 @@ class AccelHandle
         return mmioRead(accel::reg::kErrStatus);
     }
 
+    // ----- doorbell-free command/completion rings (DESIGN.md §14) --
+    /**
+     * Switch this handle to the ring command path: allocate and zero
+     * a ring pair of @p entries slots in the DMA window, register it
+     * with the hypervisor (one hypercall — the last trap-priced call
+     * on this path), and build the producer/consumer views. Program
+     * application registers and the state buffer first; they are
+     * replayed per slot exactly as on the MMIO path.
+     */
+    void setupRing(std::uint32_t entries);
+
+    bool ringEnabled() const { return _submitQ.valid(); }
+    ring::SubmitQueue &submitQueue() { return _submitQ; }
+    ring::CompleteQueue &completeQueue() { return _completeQ; }
+
+    /**
+     * Submit one job through the ring: write the entry, publish the
+     * sequence word, and let the hypervisor's kick propagate it to
+     * the device poller. No MMIO trap. Blocks (pumping) only while
+     * the ring is full. @return the entry's sequence number.
+     */
+    std::uint64_t ringSubmit();
+
+    /** Consume the next completion if one is posted (non-blocking). */
+    bool ringPoll(ring::CompleteEntry &out);
+
+    /** Pump simulated time until completion @p seq posts, consuming
+     *  (and discarding) everything before it. */
+    ring::CompleteEntry ringWait(std::uint64_t seq);
+
+    /** Reload queue cursors from ring memory — after a migration
+     *  image overwrote the ring area. */
+    void ringResync();
+
     /** Run the event loop until @p pred holds (library internal). */
     void pumpUntil(const std::function<bool()> &pred);
 
@@ -100,6 +135,8 @@ class AccelHandle
     OptimusHv &_hv;
     VirtualAccel &_v;
     DmaHeap _heap;
+    ring::SubmitQueue _submitQ;
+    ring::CompleteQueue _completeQ;
 };
 
 } // namespace optimus::hv

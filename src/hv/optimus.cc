@@ -17,7 +17,7 @@ OptimusHv::OptimusHv(Platform &platform)
       _slots(platform.numAccels()),
       _trace(&platform.trace()),
       _comp(platform.trace().registerComponent("hv")),
-      _traps(&platform.telemetry().node("hv"), "traps",
+      _traps(&platform.telemetry().node("hv"), "mmio_traps",
              "MMIO traps taken (trap-and-emulate)"),
       _hypercalls(&platform.telemetry().node("hv"), "hypercalls",
                   "shadow-paging page registrations"),
@@ -35,7 +35,14 @@ OptimusHv::OptimusHv(Platform &platform)
                      "watchdog_fires",
                      "vaccels quarantined for lack of progress"),
       _slotResets(&platform.telemetry().node("hv"), "slot_resets",
-                  "VCU slot resets issued for fault recovery")
+                  "VCU slot resets issued for fault recovery"),
+      _ringSubmits(&platform.telemetry().node("hv"), "ring_submits",
+                   "command-ring publishes (doorbell-free submits)"),
+      _ringCompletes(&platform.telemetry().node("hv"),
+                     "ring_completes",
+                     "completions delivered through tenant rings"),
+      _ringKicks(&platform.telemetry().node("hv"), "ring_kicks",
+                 "ring publish notifications propagated to pollers")
 {
     for (std::uint32_t i = 0; i < platform.numAccels(); ++i) {
         platform.accel(i).setDoorbell(
@@ -398,6 +405,214 @@ OptimusHv::registerDmaPage(VirtualAccel &v, mem::Gva page_base,
     });
 }
 
+// --------------------------------------- doorbell-free command rings
+
+ring::DeviceConfig
+OptimusHv::ringConfigFor(const VirtualAccel &v) const
+{
+    ring::DeviceConfig cfg;
+    cfg.base = mem::Gva(v._ringBase);
+    cfg.entries = v._ringEntries;
+    cfg.state.prodSeq = v._ringProdSeq;
+    cfg.state.nextSeq = v._ringConsSeq;
+    cfg.state.compSeq = v._ringCompSeq;
+    cfg.state.jobSeq = v._ringJobSeq;
+    cfg.state.jobActive = v._ringJobActive;
+    return cfg;
+}
+
+void
+OptimusHv::setupRing(VirtualAccel &v, mem::Gva base,
+                     std::uint32_t entries,
+                     std::function<void()> done)
+{
+    OPTIMUS_ASSERT(entries > 0, "ring needs at least one entry");
+    OPTIMUS_ASSERT(base >= v._windowBase &&
+                       (base - v._windowBase) +
+                               ring::ringBytes(entries) <=
+                           v._windowBytes,
+                   "ring outside the tenant's DMA window");
+    ++_hypercalls;
+    if (!done)
+        done = []() {};
+    eventq().scheduleIn(
+        _platform.params().hypercallCost,
+        [this, &v, base, entries,
+         done = std::move(done)]() mutable {
+            v._ringEnabled = true;
+            v._ringBase = base.value();
+            v._ringEntries = entries;
+            v._ringProdSeq = 0;
+            v._ringConsSeq = 0;
+            v._ringCompSeq = 0;
+            v._ringJobSeq = 0;
+            v._ringJobActive = false;
+            if (isScheduled(v))
+                _platform.accel(v._slot).armRing(ringConfigFor(v));
+            done();
+        });
+}
+
+void
+OptimusHv::ringPublish(VirtualAccel &v, std::uint64_t prod_seq,
+                       std::function<void()> done)
+{
+    OPTIMUS_ASSERT(v._ringEnabled, "ringPublish without setupRing");
+    if (!done)
+        done = []() {};
+    // The publish itself is two plain stores in the guest's own
+    // memory — no trap. What is priced here is the propagation of
+    // the sequence-word store into the line the device polls.
+    eventq().scheduleIn(
+        _platform.params().ringPublishCost,
+        [this, &v, prod_seq, done = std::move(done)]() mutable {
+            ++_ringSubmits;
+            ++_ringKicks;
+            if (v._sched)
+                ++v._sched->ringSubmits;
+            if (_trace &&
+                _trace->wants(sim::TraceKind::kRingSubmit)) {
+                sim::TraceRecord r;
+                r.kind = sim::TraceKind::kRingSubmit;
+                r.comp = _comp;
+                r.addr = v._id;
+                r.arg = prod_seq;
+                r.vm = v._vmId;
+                r.proc = v._procId;
+                _trace->emit(r);
+            }
+            if (prod_seq > v._ringProdSeq)
+                v._ringProdSeq = prod_seq;
+            // Like START, new work acknowledges an earlier fault and
+            // makes a quarantined tenant eligible again — but unlike
+            // START it preserves a saved context: publishing behind a
+            // preempted job just queues more entries.
+            v._visibleStatus = Status::kRunning;
+            v._errStatus = 0;
+            v._quarantined = false;
+            if (isScheduled(v)) {
+                _platform.accel(v._slot).ringNotify(v._ringProdSeq);
+            } else {
+                Slot &slot = _slots[v._slot];
+                if (optimusMode() && slot.scheduled == nullptr &&
+                    !slot.switching) {
+                    performSwitch(v._slot, &v);
+                } else {
+                    armSliceTimer(v._slot);
+                }
+            }
+            armWatchdog(v);
+            done();
+        });
+}
+
+void
+OptimusHv::syncRingFromDevice(VirtualAccel &v,
+                              const accel::Accelerator &a)
+{
+    if (!v._ringEnabled || !a.ringArmed())
+        return;
+    const ring::DeviceState &st = a.ringState();
+    // Cursors only ever advance; a stale device view (e.g. a
+    // freshly-armed placeholder next to imported mirrors) must not
+    // roll them back.
+    if (st.compSeq > v._ringCompSeq) {
+        std::uint64_t n = st.compSeq - v._ringCompSeq;
+        _ringCompletes += n;
+        if (v._sched)
+            v._sched->ringCompletes += n;
+        if (_trace &&
+            _trace->wants(sim::TraceKind::kRingComplete)) {
+            for (std::uint64_t seq = v._ringCompSeq;
+                 seq < st.compSeq; ++seq) {
+                sim::TraceRecord r;
+                r.kind = sim::TraceKind::kRingComplete;
+                r.comp = _comp;
+                r.addr = v._id;
+                r.arg = seq;
+                r.vm = v._vmId;
+                r.proc = v._procId;
+                _trace->emit(r);
+            }
+        }
+        v._ringCompSeq = st.compSeq;
+    }
+    if (st.nextSeq > v._ringConsSeq)
+        v._ringConsSeq = st.nextSeq;
+    if (st.prodSeq > v._ringProdSeq)
+        v._ringProdSeq = st.prodSeq;
+    if (st.jobActive) {
+        v._ringJobActive = true;
+        v._ringJobSeq = st.jobSeq;
+    } else if (st.nextSeq >= v._ringConsSeq &&
+               st.compSeq >= v._ringCompSeq) {
+        // Only a device whose cursors are current can attest that no
+        // job is in flight.
+        v._ringJobActive = false;
+    }
+}
+
+void
+OptimusHv::postRingErrors(VirtualAccel &v)
+{
+    if (!v._ringEnabled)
+        return;
+    // Pick up completions the device posted since the last doorbell
+    // so they are not overwritten as errors.
+    const Slot &slot = _slots[v._slot];
+    if (slot.scheduled == &v)
+        syncRingFromDevice(v, _platform.accel(v._slot));
+    const std::uint64_t from = v._ringCompSeq;
+    const std::uint64_t to = v._ringProdSeq;
+    v._ringJobActive = false;
+    if (from >= to)
+        return;
+    v._ringCompSeq = to;
+    v._ringConsSeq = to;
+    _ringCompletes += to - from;
+    if (v._sched)
+        v._sched->ringCompletes += to - from;
+    if (_trace && _trace->wants(sim::TraceKind::kRingComplete)) {
+        for (std::uint64_t seq = from; seq < to; ++seq) {
+            sim::TraceRecord r;
+            r.kind = sim::TraceKind::kRingComplete;
+            r.comp = _comp;
+            r.addr = v._id;
+            r.arg = seq;
+            r.vm = v._vmId;
+            r.proc = v._procId;
+            _trace->emit(r);
+        }
+    }
+    const std::uint64_t err = v._errStatus;
+    const std::uint64_t base = v._ringBase;
+    const std::uint32_t entries = v._ringEntries;
+    const sim::Tick at = eventq().now();
+    guest::Process *proc = v._proc;
+    // The entry slots and cursor words live in guest memory (host
+    // domain): write the entries first, then publish the cursors,
+    // exactly as the device poller would have.
+    _platform.runOnHost([proc, base, entries, from, to, err, at]() {
+        for (std::uint64_t seq = from; seq < to; ++seq) {
+            ring::CompleteEntry ce{};
+            ce.seq = seq;
+            ce.status = static_cast<std::uint64_t>(Status::kError);
+            ce.err = err;
+            ce.tick = at;
+            proc->writeValue(
+                mem::Gva(base + ring::completeSlotOff(entries, seq)),
+                ce);
+        }
+        proc->writeValue(
+            mem::Gva(base +
+                     ring::headerOff(ring::kCompleteProdLine)),
+            to);
+        proc->writeValue(
+            mem::Gva(base + ring::headerOff(ring::kSubmitConsLine)),
+            to);
+    });
+}
+
 // ------------------------------------------------------------ scheduling
 
 void
@@ -489,7 +704,18 @@ OptimusHv::scheduleVaccel(Slot &slot, VirtualAccel &v,
                 v._pendingStart = false;
             }
             (void)slot;
-            deviceMmioSeq(std::move(w), std::move(done));
+            // 5. Ring tenants: re-arm the device poller with the
+            //    mirrored cursors — only after the register replay
+            //    (and any RESUME) landed, or the poller could fetch a
+            //    command into a half-programmed device.
+            auto arm = [this, &v,
+                        done = std::move(done)]() mutable {
+                if (v._ringEnabled)
+                    _platform.accel(v._slot).armRing(
+                        ringConfigFor(v));
+                done();
+            };
+            deviceMmioSeq(std::move(w), std::move(arm));
         });
     };
 
@@ -664,6 +890,7 @@ OptimusHv::performSwitch(std::uint32_t slot_idx, VirtualAccel *to)
         noteError(*from, accel::errst::kForcedReset);
         from->_visibleStatus = Status::kError;
         from->_savedContext = false;
+        postRingErrors(*from);
         deviceMmio(true,
                    fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
                    1ULL << slot_idx,
@@ -696,6 +923,7 @@ OptimusHv::performSwitch(std::uint32_t slot_idx, VirtualAccel *to)
         noteError(*from, accel::errst::kForcedReset);
         from->_visibleStatus = Status::kError;
         from->_savedContext = false;
+        postRingErrors(*from);
         deviceMmio(true,
                    fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
                    1ULL << slot_idx,
@@ -714,8 +942,14 @@ OptimusHv::onDoorbell(std::uint32_t slot_idx, accel::Accelerator &a)
     if (v == nullptr)
         return;
 
+    if (v->_sched)
+        ++v->_sched->doorbells;
+
     Status st = a.status();
     if (st == Status::kSaved) {
+        // The poller is quiescent now: refresh the ring mirrors so
+        // the saved context re-arms exactly where the device stopped.
+        syncRingFromDevice(*v, a);
         if (slot.onSaved) {
             ++slot.preemptToken; // cancel the timeout
             auto cb = std::move(slot.onSaved);
@@ -727,6 +961,32 @@ OptimusHv::onDoorbell(std::uint32_t slot_idx, accel::Accelerator &a)
     if (st == Status::kDone || st == Status::kError) {
         if (st == Status::kError)
             noteError(*v, accel::errst::kDeviceError);
+        if (v->_ringEnabled) {
+            syncRingFromDevice(*v, a);
+            v->_cachedResult = a.result();
+            v->_cachedProgress = a.progress();
+            if (st == Status::kError) {
+                // Per-job results ride the ring; the doorbell only
+                // announces the fault. Everything submitted but not
+                // completed gets an error completion.
+                v->_visibleStatus = Status::kError;
+                postRingErrors(*v);
+                if (v->_completion)
+                    v->_completion(st);
+                return;
+            }
+            // Drained doorbell: every entry the device knew of is
+            // complete. A publish kick that raced the drain just
+            // re-notifies the poller instead.
+            if (v->_ringProdSeq > v->_ringConsSeq) {
+                a.ringNotify(v->_ringProdSeq);
+                return;
+            }
+            v->_visibleStatus = Status::kDone;
+            if (v->_completion)
+                v->_completion(st);
+            return;
+        }
         v->_visibleStatus = st;
         v->_cachedResult = a.result();
         v->_cachedProgress = a.progress();
@@ -850,6 +1110,7 @@ OptimusHv::migrate(VirtualAccel &v, std::uint32_t dst_idx,
             noteError(v, accel::errst::kForcedReset);
             v._visibleStatus = Status::kError;
             v._savedContext = false;
+            postRingErrors(v);
             deviceMmio(
                 true,
                 fpga::kVcuMmioBase + fpga::vcu_reg::kResetTable,
@@ -894,6 +1155,14 @@ OptimusHv::exportContext(
         ctx.cachedProgress = v._cachedProgress;
         ctx.errStatus = v._errStatus;
         ctx.quarantined = v._quarantined;
+        ctx.ringEnabled = v._ringEnabled;
+        ctx.ringBase = v._ringBase;
+        ctx.ringEntries = v._ringEntries;
+        ctx.ringProdSeq = v._ringProdSeq;
+        ctx.ringConsSeq = v._ringConsSeq;
+        ctx.ringCompSeq = v._ringCompSeq;
+        ctx.ringJobSeq = v._ringJobSeq;
+        ctx.ringJobActive = v._ringJobActive;
         v._pendingStart = false;
         v._savedContext = false;
         v._visibleStatus = Status::kIdle;
@@ -996,6 +1265,27 @@ OptimusHv::importContext(VirtualAccel &v, const VaccelContext &ctx)
     v._cachedProgress = ctx.cachedProgress;
     v._errStatus = ctx.errStatus;
     v._quarantined = ctx.quarantined;
+    if (ctx.ringEnabled) {
+        v._ringEnabled = true;
+        v._ringBase = ctx.ringBase;
+        v._ringEntries = ctx.ringEntries;
+        v._ringProdSeq = ctx.ringProdSeq;
+        v._ringConsSeq = ctx.ringConsSeq;
+        v._ringCompSeq = ctx.ringCompSeq;
+        v._ringJobSeq = ctx.ringJobSeq;
+        v._ringJobActive = ctx.ringJobActive;
+        // A kError context with submitted-but-uncompleted entries
+        // came from a forced reset that raced the export — the
+        // source could not post the error completions, so deliver
+        // them here, into the already-imported window image.
+        if (ctx.visibleStatus == Status::kError)
+            postRingErrors(v);
+        // Re-arm an idle placeholder's poller with the imported
+        // cursors (tenant setup armed it with fresh ones).
+        Slot &rs = _slots[v._slot];
+        if (rs.scheduled == &v && !rs.switching)
+            _platform.accel(v._slot).armRing(ringConfigFor(v));
+    }
     if (ctx.visibleStatus != Status::kRunning || !optimusMode())
         return;
 
@@ -1130,6 +1420,10 @@ OptimusHv::quarantine(VirtualAccel &v)
     v._quarantined = true;
     v._pendingStart = false;
     v._savedContext = false;
+    // Ring tenants learn of the quarantine through their completion
+    // ring: every submitted-but-uncompleted entry reports kError with
+    // the kWatchdog bit.
+    postRingErrors(v);
     if (_trace && _trace->wants(sim::TraceKind::kWatchdogFire)) {
         sim::TraceRecord r;
         r.kind = sim::TraceKind::kWatchdogFire;

@@ -31,6 +31,7 @@
 #include "guest/process.hh"
 #include "guest/vm.hh"
 #include "hv/platform.hh"
+#include "ring/ring.hh"
 
 namespace optimus::hv {
 
@@ -66,6 +67,17 @@ struct VaccelContext
     std::uint64_t cachedProgress = 0;
     std::uint64_t errStatus = 0;
     bool quarantined = false;
+    /** Command-ring attachment and mirrored cursors (DESIGN.md §14).
+     *  The ring contents themselves live in the tenant's DMA window
+     *  and travel with the migration memory image. */
+    bool ringEnabled = false;
+    std::uint64_t ringBase = 0;
+    std::uint32_t ringEntries = 0;
+    std::uint64_t ringProdSeq = 0;
+    std::uint64_t ringConsSeq = 0;
+    std::uint64_t ringCompSeq = 0;
+    std::uint64_t ringJobSeq = 0;
+    bool ringJobActive = false;
 };
 
 /** One virtual accelerator, as exposed to a guest. */
@@ -110,6 +122,14 @@ class VirtualAccel
         _completion = std::move(h);
     }
 
+    /** Whether this vaccel drives its jobs through a shared-memory
+     *  command ring (OptimusHv::setupRing) instead of MMIO START. */
+    bool ringEnabled() const { return _ringEnabled; }
+    /** Hypervisor mirror of the guest's published submit cursor. */
+    std::uint64_t ringProdSeq() const { return _ringProdSeq; }
+    /** Hypervisor mirror of the device's completion cursor. */
+    std::uint64_t ringCompSeq() const { return _ringCompSeq; }
+
   private:
     friend class OptimusHv;
 
@@ -128,7 +148,15 @@ class VirtualAccel
               watchdogFires(node, "watchdog_fires",
                             "watchdog quarantines of this vaccel"),
               faults(node, "faults_observed",
-                     "error bits raised into ERR_STATUS")
+                     "error bits raised into ERR_STATUS"),
+              doorbells(node, "doorbell_traps",
+                        "device doorbells delivered while this "
+                        "vaccel held the slot"),
+              ringSubmits(node, "ring_submits",
+                          "command-ring publishes by this tenant"),
+              ringCompletes(node, "ring_completes",
+                            "completions delivered through this "
+                            "tenant's ring")
         {
         }
         sim::Counter slices;
@@ -136,6 +164,9 @@ class VirtualAccel
         sim::Counter occupancyTicks;
         sim::Counter watchdogFires;
         sim::Counter faults;
+        sim::Counter doorbells;
+        sim::Counter ringSubmits;
+        sim::Counter ringCompletes;
     };
 
     std::uint32_t _id = 0;
@@ -165,6 +196,20 @@ class VirtualAccel
     std::uint64_t _wdEpoch = 0;
     bool _wdArmed = false;
     std::uint64_t _wdLastProgress = 0;
+
+    /** Ring-path mirrors (valid when _ringEnabled): the hypervisor's
+     *  view of the guest's publish cursor and the device poller's
+     *  fetch/post cursors, refreshed at every doorbell. They are what
+     *  re-arms the device poller exactly after preemption, slot
+     *  migration, and cross-node import. */
+    bool _ringEnabled = false;
+    std::uint64_t _ringBase = 0;
+    std::uint32_t _ringEntries = 0;
+    std::uint64_t _ringProdSeq = 0;
+    std::uint64_t _ringConsSeq = 0;
+    std::uint64_t _ringCompSeq = 0;
+    std::uint64_t _ringJobSeq = 0;
+    bool _ringJobActive = false;
 
     double _weight = 1.0;
     std::int32_t _priority = 0;
@@ -260,6 +305,39 @@ class OptimusHv
      * registers + RESUME let the device reload the blob by DMA.
      */
     void importContext(VirtualAccel &v, const VaccelContext &ctx);
+
+    // ------------------------- doorbell-free command/completion rings
+    /**
+     * Attach @p v to a submission/completion ring pair the guest laid
+     * out at @p base in its pinned DMA window (ring::ringBytes(entries)
+     * bytes, zeroed). One hypercall-priced setup call; afterwards the
+     * guest submits jobs by writing entries and bumping the published
+     * sequence word — no MMIO trap per job. The hypervisor keeps
+     * mirrored cursors so scheduling, preemption, and migration stay
+     * entirely under its control.
+     */
+    void setupRing(VirtualAccel &v, mem::Gva base,
+                   std::uint32_t entries,
+                   std::function<void()> done = nullptr);
+
+    /**
+     * Guest published submit entries up to (exclusive) @p prod_seq.
+     * Models the coherence-visible sequence-word store: after the
+     * publish propagation cost the hypervisor wakes the device poller
+     * (if @p v holds its slot) or marks the tenant runnable (if not).
+     * Replaces the START trap; like START it clears quarantine and
+     * ERR_STATUS but — unlike START — preserves a saved context, so
+     * publishing behind a preempted job just queues more work.
+     */
+    void ringPublish(VirtualAccel &v, std::uint64_t prod_seq,
+                     std::function<void()> done = nullptr);
+
+    std::uint64_t ringSubmits() const { return _ringSubmits.value(); }
+    std::uint64_t ringCompletes() const
+    {
+        return _ringCompletes.value();
+    }
+    std::uint64_t ringKicks() const { return _ringKicks.value(); }
 
     // --------------------------------------------- watchdog & recovery
     /**
@@ -376,6 +454,16 @@ class OptimusHv
     void onDoorbell(std::uint32_t slot_idx, accel::Accelerator &a);
     sim::Tick sliceFor(const Slot &slot, const VirtualAccel &v) const;
     std::uint64_t sliceStride() const;
+    /** Device-side ring cursors for re-arming @p v's poller. */
+    ring::DeviceConfig ringConfigFor(const VirtualAccel &v) const;
+    /** Refresh @p v's ring mirrors from the device poller's cursors
+     *  (at doorbells, while @p v still owns the device). */
+    void syncRingFromDevice(VirtualAccel &v,
+                            const accel::Accelerator &a);
+    /** Deliver error completions for every submitted-but-uncompleted
+     *  ring entry of @p v (quarantine, forced reset, migration
+     *  timeout), carrying its ERR_STATUS bits. */
+    void postRingErrors(VirtualAccel &v);
 
     Platform &_platform;
     std::vector<Slot> _slots;
@@ -404,6 +492,9 @@ class OptimusHv
     sim::Counter _migrations;
     sim::Counter _watchdogFires;
     sim::Counter _slotResets;
+    sim::Counter _ringSubmits;
+    sim::Counter _ringCompletes;
+    sim::Counter _ringKicks;
 };
 
 } // namespace optimus::hv

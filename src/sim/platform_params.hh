@@ -94,6 +94,22 @@ struct PlatformParams
     /** Cost of the shadow-paging page-registration hypercall. */
     Tick hypercallCost = 2600 * kTickNs;
 
+    // ------------------------------------------------- shared-memory rings
+    /**
+     * Device-side ring-poll granularity (FPGA-interface cycles): the
+     * clock-gated poller re-checks the submission ring this many
+     * cycles after being woken, standing in for the cache-coherent
+     * polling interval of a real shared-memory command ring.
+     */
+    std::uint32_t ringPollCycles = 16;
+    /**
+     * Host-side cost of publishing new submission-ring entries: a
+     * pair of CPU stores plus the coherence traffic that makes the
+     * sequence word globally visible — two orders of magnitude below
+     * trapEmulateCost, which is the whole point of the ring path.
+     */
+    Tick ringPublishCost = 40 * kTickNs;
+
     // ------------------------------------------------- temporal multiplexing
     /** Default scheduler time slice (10 ms per the paper). */
     Tick timeSlice = 10 * kTickMs;

@@ -36,6 +36,10 @@ traceKindName(TraceKind k)
         return "slot_reset";
       case TraceKind::kDmaRetry:
         return "dma_retry";
+      case TraceKind::kRingSubmit:
+        return "ring_submit";
+      case TraceKind::kRingComplete:
+        return "ring_complete";
     }
     return "unknown";
 }

@@ -48,9 +48,11 @@ enum class TraceKind : std::uint8_t {
     kWatchdogFire,   ///< hypervisor watchdog quarantined a vaccel
     kSlotReset,      ///< VCU reset-table slot reset issued
     kDmaRetry,       ///< shell re-issued a dropped CCI-P response
+    kRingSubmit,     ///< guest published submit entries to its ring
+    kRingComplete,   ///< device posted a completion into the ring
 };
 
-inline constexpr std::size_t kNumTraceKinds = 12;
+inline constexpr std::size_t kNumTraceKinds = 14;
 
 constexpr std::uint32_t
 traceMask(TraceKind k)
@@ -86,6 +88,8 @@ inline constexpr std::uint8_t kTraceError = 1 << 1;
  *  - kSlotReset:             addr=slot, arg=reset-table mask
  *  - kDmaRetry:              addr=iova, arg=retry ordinal,
  *                            start=original issue tick
+ *  - kRingSubmit:            addr=vaccel id, arg=published prod seq
+ *  - kRingComplete:          addr=vaccel id, arg=completion seq
  */
 struct TraceRecord {
     Tick at = 0;     ///< stamped by TraceBus::emit

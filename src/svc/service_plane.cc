@@ -118,13 +118,25 @@ ServicePlane::addTenant(const TenantConfig &cfg)
         w->wl->program();
         h.setupStateBuffer();
 
-        Tenant::Worker *wp = w.get();
-        vaccel.setCompletionHandler([this, wp](accel::Status st) {
-            // Event-callback context: record only, never pump.
-            wp->done = true;
-            wp->doneStatus = st;
-            wp->doneTick = _sys.eq.now();
-        });
+        if (cfg.cmdPath == ring::CmdPath::kRing) {
+            // Ring path: completions ride the ring (polled by
+            // drainCompletions), so no doorbell handler is installed
+            // — per-job traps disappear from the hot path entirely.
+            std::uint32_t entries =
+                cfg.ringEntries != 0
+                    ? cfg.ringEntries
+                    : ring::defaultEntries(cfg.batchMax);
+            h.setupRing(entries);
+        } else {
+            Tenant::Worker *wp = w.get();
+            vaccel.setCompletionHandler([this,
+                                         wp](accel::Status st) {
+                // Event-callback context: record only, never pump.
+                wp->done = true;
+                wp->doneStatus = st;
+                wp->doneTick = _sys.eq.now();
+            });
+        }
         t->_workers.push_back(std::move(w));
     }
 
@@ -273,68 +285,94 @@ ServicePlane::pump()
     }
 }
 
+void
+ServicePlane::settle(Tenant &t, Tenant::Worker &w,
+                     const Request &req, accel::Status st,
+                     sim::Tick issued, sim::Tick done_tick)
+{
+    if (st == accel::Status::kDone) {
+        std::uint64_t service = (done_tick - issued) / sim::kTickNs;
+        std::uint64_t e2e =
+            (done_tick - req.arrival) / sim::kTickNs;
+        // Synchronous guest-API call; safe here (top level).
+        if (!w.wl->verify())
+            ++t._verifyFailures;
+        ++t._completed;
+        t._serviceNs.sample(service);
+        t._e2eNs.sample(e2e);
+        if (t._cfg.sloNs != 0 && e2e > t._cfg.sloNs)
+            ++t._sloViolations;
+        else
+            ++t._goodput;
+        if (req.user >= 0 && _sys.eq.now() < _horizon) {
+            // Closed loop: the user thinks, then returns.
+            sim::Tick target = done_tick + t._cfg.think;
+            sim::Tick now = _sys.eq.now();
+            int user = req.user;
+            Tenant *tp2 = &t;
+            _sys.eq.scheduleIn(
+                target > now ? target - now : sim::Tick{0},
+                [this, tp2, user]() {
+                    onClosedArrival(*tp2, user);
+                });
+        }
+        return;
+    }
+    // ERROR: the fault path (e.g. a watchdog quarantine) completed
+    // this request with ERR_STATUS bits set — on the ring path, in
+    // the completion entry's err word. The plane retries up to
+    // maxAttempts; the retry's START (or publish kick) clears the
+    // quarantine and reclaims a slot.
+    ++t._errors;
+    if (req.attempts < t._cfg.maxAttempts) {
+        ++t._retries;
+        t._queue.push_front(req);
+    } else {
+        ++t._dropped;
+        if (req.user >= 0 && _sys.eq.now() < _horizon) {
+            int user = req.user;
+            Tenant *tp2 = &t;
+            _sys.eq.scheduleIn(
+                std::max<sim::Tick>(t._cfg.think, sim::kTickUs),
+                [this, tp2, user]() {
+                    onClosedArrival(*tp2, user);
+                });
+        }
+    }
+}
+
 bool
 ServicePlane::drainCompletions(Tenant &t)
 {
     bool progress = false;
     for (auto &wp : t._workers) {
         Tenant::Worker &w = *wp;
+        if (w.handle->ringEnabled()) {
+            // Ring path: consume posted completions in order and
+            // match them against the inflight queue.
+            ring::CompleteEntry e;
+            while (w.handle->ringPoll(e)) {
+                progress = true;
+                OPTIMUS_ASSERT(!w.inflight.empty(),
+                               "ring completion without an "
+                               "inflight request");
+                Tenant::Worker::Inflight inf = w.inflight.front();
+                w.inflight.pop_front();
+                OPTIMUS_ASSERT(e.seq == inf.seq,
+                               "ring completion out of order");
+                settle(t, w, inf.req,
+                       static_cast<accel::Status>(e.status),
+                       inf.issued, static_cast<sim::Tick>(e.tick));
+            }
+            w.busy = !w.inflight.empty();
+            continue;
+        }
         if (!w.done || !w.busy)
             continue;
         w.done = false;
         w.busy = false;
         progress = true;
-
-        if (w.doneStatus == accel::Status::kDone) {
-            std::uint64_t service =
-                (w.doneTick - w.issued) / sim::kTickNs;
-            std::uint64_t e2e =
-                (w.doneTick - w.cur.arrival) / sim::kTickNs;
-            // Synchronous guest-API call; safe here (top level).
-            if (!w.wl->verify())
-                ++t._verifyFailures;
-            ++t._completed;
-            t._serviceNs.sample(service);
-            t._e2eNs.sample(e2e);
-            if (t._cfg.sloNs != 0 && e2e > t._cfg.sloNs)
-                ++t._sloViolations;
-            else
-                ++t._goodput;
-            if (w.cur.user >= 0 && _sys.eq.now() < _horizon) {
-                // Closed loop: the user thinks, then returns.
-                sim::Tick target = w.doneTick + t._cfg.think;
-                sim::Tick now = _sys.eq.now();
-                int user = w.cur.user;
-                Tenant *tp2 = &t;
-                _sys.eq.scheduleIn(
-                    target > now ? target - now : sim::Tick{0},
-                    [this, tp2, user]() {
-                        onClosedArrival(*tp2, user);
-                    });
-            }
-        } else {
-            // ERROR: the fault path (e.g. a watchdog quarantine)
-            // completed this request with ERR_STATUS bits set. The
-            // plane retries up to maxAttempts; the retry's START
-            // clears the quarantine and reclaims a slot.
-            ++t._errors;
-            if (w.cur.attempts < t._cfg.maxAttempts) {
-                ++t._retries;
-                t._queue.push_front(w.cur);
-            } else {
-                ++t._dropped;
-                if (w.cur.user >= 0 && _sys.eq.now() < _horizon) {
-                    int user = w.cur.user;
-                    Tenant *tp2 = &t;
-                    _sys.eq.scheduleIn(
-                        std::max<sim::Tick>(t._cfg.think,
-                                            sim::kTickUs),
-                        [this, tp2, user]() {
-                            onClosedArrival(*tp2, user);
-                        });
-                }
-            }
-        }
+        settle(t, w, w.cur, w.doneStatus, w.issued, w.doneTick);
     }
     return progress;
 }
@@ -347,6 +385,46 @@ ServicePlane::dispatch(Tenant &t)
         return false; // frozen/detached: queued work travels instead
     for (auto &wp : t._workers) {
         Tenant::Worker &w = *wp;
+        if (w.handle->ringEnabled()) {
+            // Ring path: keep up to batchMax requests outstanding in
+            // the submit ring. Entries are pushed back-to-back and
+            // published once — one kick, zero traps.
+            if (t._queue.empty())
+                continue;
+            // Batch formation mirrors the MMIO path: an idle ring
+            // waits for batchMin queued requests while arrivals can
+            // still come; drains are never gated.
+            if (w.inflight.empty() && _sys.eq.now() < _horizon &&
+                t._queue.size() < t._cfg.batchMin)
+                continue;
+            ring::SubmitQueue &sq = w.handle->submitQueue();
+            std::size_t limit = std::max(1u, t._cfg.batchMax);
+            std::uint64_t pushed = 0;
+            while (!t._queue.empty() &&
+                   w.inflight.size() < limit && !sq.full()) {
+                Tenant::Worker::Inflight inf;
+                inf.req = t._queue.front();
+                t._queue.pop_front();
+                ++inf.req.attempts;
+                inf.issued = _sys.eq.now();
+                inf.seq = sq.push(ring::op::kStart);
+                t._queueNs.sample(
+                    (inf.issued - inf.req.arrival) / sim::kTickNs);
+                w.inflight.push_back(inf);
+                ++pushed;
+            }
+            if (pushed == 0)
+                continue;
+            ++t._batches;
+            sq.publish();
+            // Asynchronous kick, like the async START below: nothing
+            // waits on it; completions surface through the ring.
+            _sys.hv.ringPublish(w.handle->vaccel(), sq.produced(),
+                                nullptr);
+            w.busy = true;
+            progress = true;
+            continue;
+        }
         if (w.busy || t._queue.empty())
             continue;
         if (w.batchLeft == 0) {

@@ -37,6 +37,7 @@
 
 #include "hv/system.hh"
 #include "hv/workloads.hh"
+#include "ring/ring.hh"
 #include "svc/traffic.hh"
 
 namespace optimus::fleet {
@@ -75,6 +76,13 @@ struct TenantConfig
     /** End-to-end SLO target in nanoseconds; 0 disables SLO
      *  accounting (every completion counts as goodput). */
     std::uint64_t sloNs = 0;
+
+    /** Command path: trapped MMIO doorbells (the paper's baseline)
+     *  or polled shared-memory rings (DESIGN.md §14). */
+    ring::CmdPath cmdPath = ring::CmdPath::kMmio;
+    /** Ring slots per worker; 0 sizes automatically from batchMax
+     *  (ring::defaultEntries). Ignored on the MMIO path. */
+    std::uint32_t ringEntries = 0;
 };
 
 /** One admitted request waiting in or moving through the plane. */
@@ -173,6 +181,16 @@ class Tenant
         bool done = false;
         accel::Status doneStatus = accel::Status::kIdle;
         sim::Tick doneTick = 0;
+
+        /** Ring path: one issued-but-uncompleted request per submit
+         *  entry, oldest first (completions post in order). */
+        struct Inflight
+        {
+            Request req;
+            sim::Tick issued = 0;
+            std::uint64_t seq = 0;
+        };
+        std::deque<Inflight> inflight;
     };
 
     Tenant(ServicePlane &plane, const TenantConfig &cfg,
@@ -293,6 +311,10 @@ class ServicePlane
 
     bool drainCompletions(Tenant &t);
     bool dispatch(Tenant &t);
+    /** Shared completion accounting for both command paths. */
+    void settle(Tenant &t, Tenant::Worker &w, const Request &req,
+                accel::Status st, sim::Tick issued,
+                sim::Tick done_tick);
 
     hv::System &_sys;
     sim::TelemetryNode *_node; ///< "sys.svc"
